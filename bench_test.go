@@ -1,0 +1,182 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section. Each benchmark runs the corresponding experiment
+// over all twelve workloads and prints the rendered rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full result set (the same data cmd/arlreport emits).
+// Reported ns/op is the cost of regenerating that experiment.
+//
+// The profiling and prediction benchmarks truncate each workload to
+// benchMaxInsts instructions to keep iteration time sane; the timing
+// benchmark (Figure 8) uses full runs because truncated traces measure
+// program setup rather than the kernels. Override the truncation via
+// -benchtime and the REPRO_BENCH_FULL=1 environment variable.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+)
+
+const benchMaxInsts = 1_000_000
+
+func benchRunner(full bool) *experiments.Runner {
+	r := experiments.NewRunner()
+	if !full && os.Getenv("REPRO_BENCH_FULL") == "" {
+		r.MaxInsts = benchMaxInsts
+	}
+	return r
+}
+
+var printOnce sync.Map
+
+// printResult emits a rendered experiment table exactly once per
+// benchmark name across all iterations.
+func printResult(name, rendered string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", rendered)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (E1): benchmark characteristics.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		rows, err := r.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("table1", experiments.RenderTable1(rows))
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (E2): static region classes.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		rows, err := r.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("figure2", experiments.RenderFigure2(rows))
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (E3): window occupancy.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		rows, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("table2", experiments.RenderTable2(rows))
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (E4): prediction-scheme
+// accuracy (the predictor study also yields Table 3 and Figure 5; they
+// have their own benchmarks for per-experiment timing).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		study, err := r.RunPredictorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("figure4", experiments.RenderFigure4(study.Figure4))
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (E5): ARPT occupancy per context.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		study, err := r.RunPredictorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("table3", experiments.RenderTable3(study.Table3))
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (E6): accuracy vs ARPT size
+// with and without compiler information.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		study, err := r.RunPredictorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("figure5", experiments.RenderFigure5(study.Figure5))
+	}
+}
+
+// BenchmarkLVCHitRate regenerates the §3.3 stack-cache claim (E8).
+func BenchmarkLVCHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		rows, err := r.LVCHitRate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("lvc", experiments.RenderLVC(rows))
+	}
+}
+
+// BenchmarkAblation2Bit regenerates the footnote-8 comparison (E9).
+func BenchmarkAblation2Bit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		study, err := r.RunPredictorStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("ablation2bit", experiments.RenderAblation(study.Ablation))
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (E7): the (N+M) configuration
+// study on the Table 4 machine. Full workload runs; this is the
+// expensive one.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(true)
+		rows, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("figure8", experiments.RenderFigure8(rows, cpu.Figure8Configs()))
+	}
+}
+
+// BenchmarkPenaltySweep regenerates the E11 ablation.
+func BenchmarkPenaltySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(true)
+		rows, err := r.PenaltySweep([]int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("penalty", experiments.RenderPenaltySweep(rows))
+	}
+}
+
+// BenchmarkContextSweep regenerates the E10 ablation.
+func BenchmarkContextSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(false)
+		rows, err := r.ContextSweep([]int{0, 8}, []int{0, 7, 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("contextsweep", experiments.RenderContextSweep(rows))
+	}
+}

@@ -1,0 +1,54 @@
+// Command arlasm assembles a RISA assembly file and prints a summary or
+// disassembly of the linked image.
+//
+// Usage:
+//
+//	arlasm [-d] file.s
+//
+// With -d the text segment is disassembled with addresses and symbols.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble the text segment")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: arlasm [-d] file.s")
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	p, err := asm.Assemble(flag.Arg(0), string(b))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*dis {
+		fmt.Printf("%s: %d instructions, %d data bytes, %d symbols, entry %#x\n",
+			p.Name, len(p.Text), len(p.Data), len(p.Syms), p.Entry)
+		return
+	}
+	symAt := map[uint32][]string{}
+	for _, s := range p.Syms {
+		symAt[s.Addr] = append(symAt[s.Addr], s.Name)
+	}
+	for i, in := range p.Text {
+		pc := p.Index2PC(i)
+		for _, s := range symAt[pc] {
+			fmt.Printf("%s:\n", s)
+		}
+		fmt.Printf("  %08x:  %08x  %s\n", pc, p.Words[i], in)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlasm: "+format+"\n", args...)
+	os.Exit(1)
+}

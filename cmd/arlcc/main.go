@@ -1,0 +1,97 @@
+// Command arlcc compiles a MiniC source file to RISA assembly (with
+// region-hint annotations) or reports the linked program's layout.
+//
+// Usage:
+//
+//	arlcc [-S] [-o out.s] file.c
+//	arlcc -workload 099.go [-scale N] [-S]
+//
+// With -S the generated assembly (including the ;@stack / ;@nonstack /
+// ;@unknown hints of the paper's Figure 6 analysis) is written to -o or
+// stdout; otherwise a summary of the linked image is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/minicc"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit assembly instead of a summary")
+	out := flag.String("o", "", "output file (default stdout)")
+	wl := flag.String("workload", "", "compile a built-in workload instead of a file")
+	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	flag.Parse()
+
+	var name, src string
+	switch {
+	case *wl != "":
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		s := *scale
+		if s <= 0 {
+			s = w.DefaultScale
+		}
+		name, src = w.Name, w.Source(s)
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		name, src = flag.Arg(0), string(b)
+	default:
+		fatalf("usage: arlcc [-S] [-o out.s] file.c | arlcc -workload NAME")
+	}
+
+	text, err := minicc.CompileToAsm(name, src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *emitAsm {
+		if *out == "" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	p, err := asm.Assemble(name, text)
+	if err != nil {
+		fatalf("internal: %v", err)
+	}
+	summarize(p)
+}
+
+func summarize(p *prog.Program) {
+	hints := map[prog.Hint]int{}
+	mems := 0
+	for i, in := range p.Text {
+		if in.IsMem() {
+			mems++
+			hints[p.HintAt(i)]++
+		}
+	}
+	fmt.Printf("program %s\n", p.Name)
+	fmt.Printf("  text:  %d instructions (%d bytes)\n", len(p.Text), 4*len(p.Text))
+	fmt.Printf("  data:  %d bytes\n", len(p.Data))
+	fmt.Printf("  entry: %#x\n", p.Entry)
+	fmt.Printf("  static memory instructions: %d\n", mems)
+	fmt.Printf("    hinted stack:    %d\n", hints[prog.HintStack])
+	fmt.Printf("    hinted nonstack: %d\n", hints[prog.HintNonStack])
+	fmt.Printf("    hinted unknown:  %d\n", hints[prog.HintUnknown])
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlcc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command arlpredict regenerates the paper's prediction studies:
+// Figure 4 (scheme accuracy), Table 3 (ARPT occupancy per context),
+// Figure 5 (accuracy vs table size, with and without compiler
+// information), plus the 2-bit and context-width ablations.
+//
+// Usage:
+//
+//	arlpredict [-fig4] [-table3] [-fig5] [-ablation2bit] [-ablationctx]
+//	           [-w name] [-scale N] [-n maxInsts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	f4 := flag.Bool("fig4", false, "Figure 4: per-scheme accuracy")
+	t3 := flag.Bool("table3", false, "Table 3: unlimited-ARPT occupancy")
+	f5 := flag.Bool("fig5", false, "Figure 5: accuracy vs ARPT size / hints")
+	ab2 := flag.Bool("ablation2bit", false, "1-bit vs 2-bit ablation")
+	abc := flag.Bool("ablationctx", false, "context-width sweep")
+	wl := flag.String("w", "", "restrict to one workload")
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	all := !*f4 && !*t3 && !*f5 && !*ab2 && !*abc
+	r := experiments.NewRunner()
+	r.Scale = *scale
+	r.MaxInsts = *maxInsts
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+	if *wl != "" {
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		r.Workloads = []*workload.Workload{w}
+	}
+
+	if all || *f4 || *t3 || *f5 || *ab2 {
+		study, err := r.RunPredictorStudy()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if all || *f4 {
+			fmt.Println(experiments.RenderFigure4(study.Figure4))
+		}
+		if all || *t3 {
+			fmt.Println(experiments.RenderTable3(study.Table3))
+		}
+		if all || *f5 {
+			fmt.Println(experiments.RenderFigure5(study.Figure5))
+		}
+		if all || *ab2 {
+			fmt.Println(experiments.RenderAblation(study.Ablation))
+		}
+	}
+	if all || *abc {
+		rows, err := r.ContextSweep([]int{0, 4, 8, 16}, []int{0, 7, 15, 24})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderContextSweep(rows))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlpredict: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command arlprofile regenerates the paper's profiling results: Table 1
+// (benchmark characteristics), Figure 2 (static region-class
+// breakdown), Table 2 (sliding-window region occupancy) and the §3.3
+// stack-cache hit-rate claim.
+//
+// Usage:
+//
+//	arlprofile [-table1] [-fig2] [-table2] [-lvc] [-w name] [-scale N] [-n maxInsts]
+//
+// Without selection flags, every profiling experiment runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "Table 1: instruction counts and load/store mix")
+	f2 := flag.Bool("fig2", false, "Figure 2: static region-class breakdown")
+	t2 := flag.Bool("table2", false, "Table 2: window occupancy mean/stddev")
+	lvc := flag.Bool("lvc", false, "stack-cache hit rate (§3.3)")
+	wl := flag.String("w", "", "restrict to one workload")
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	all := !*t1 && !*f2 && !*t2 && !*lvc
+	r := experiments.NewRunner()
+	r.Scale = *scale
+	r.MaxInsts = *maxInsts
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+	if *wl != "" {
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		r.Workloads = []*workload.Workload{w}
+	}
+
+	if all || *t1 {
+		rows, err := r.Table1()
+		check(err)
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if all || *f2 {
+		rows, err := r.Figure2()
+		check(err)
+		fmt.Println(experiments.RenderFigure2(rows))
+	}
+	if all || *t2 {
+		rows, err := r.Table2()
+		check(err)
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if all || *lvc {
+		rows, err := r.LVCHitRate()
+		check(err)
+		fmt.Println(experiments.RenderLVC(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlprofile: "+format+"\n", args...)
+	os.Exit(1)
+}

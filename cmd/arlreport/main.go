@@ -1,0 +1,98 @@
+// Command arlreport runs every experiment in DESIGN.md's index (E1-E11)
+// over all twelve workloads and prints the full paper-vs-measured data
+// set used to populate EXPERIMENTS.md.
+//
+// Usage:
+//
+//	arlreport [-scale N] [-n maxInsts] [-skip-timing]
+//
+// The timing study (E7, E11) dominates the run time; -skip-timing
+// restricts the report to the profiling and prediction experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty studies")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.Scale = *scale
+	r.MaxInsts = *maxInsts
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	start := time.Now()
+	section := func(title string) {
+		fmt.Printf("\n============ %s ============\n\n", title)
+	}
+
+	section("E1: Table 1")
+	t1, err := r.Table1()
+	check(err)
+	fmt.Print(experiments.RenderTable1(t1))
+
+	section("E2: Figure 2")
+	f2, err := r.Figure2()
+	check(err)
+	fmt.Print(experiments.RenderFigure2(f2))
+
+	section("E3: Table 2")
+	t2, err := r.Table2()
+	check(err)
+	fmt.Print(experiments.RenderTable2(t2))
+
+	section("E4/E5/E6/E9: predictor study")
+	study, err := r.RunPredictorStudy()
+	check(err)
+	fmt.Print(experiments.RenderFigure4(study.Figure4))
+	fmt.Println()
+	fmt.Print(experiments.RenderTable3(study.Table3))
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure5(study.Figure5))
+	fmt.Println()
+	fmt.Print(experiments.RenderAblation(study.Ablation))
+
+	section("E8: LVC hit rate")
+	lvc, err := r.LVCHitRate()
+	check(err)
+	fmt.Print(experiments.RenderLVC(lvc))
+
+	section("E10: context sweep")
+	ctx, err := r.ContextSweep([]int{0, 8, 16}, []int{0, 7, 24})
+	check(err)
+	fmt.Print(experiments.RenderContextSweep(ctx))
+
+	if !*skipTiming {
+		section("E7: Figure 8")
+		f8, err := r.Figure8()
+		check(err)
+		fmt.Print(experiments.RenderFigure8(f8, cpu.Figure8Configs()))
+
+		section("E11: misprediction penalty sweep")
+		pen, err := r.PenaltySweep([]int{1, 4, 16})
+		check(err)
+		fmt.Print(experiments.RenderPenaltySweep(pen))
+	}
+
+	fmt.Fprintf(os.Stderr, "\narlreport: completed in %s\n", time.Since(start).Round(time.Second))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arlreport: %v\n", err)
+		os.Exit(1)
+	}
+}

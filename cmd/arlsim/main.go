@@ -1,0 +1,80 @@
+// Command arlsim regenerates the paper's Figure 8: the timing study of
+// conventional (N+0) and data-decoupled (N+M) memory-pipeline
+// configurations on the Table 4 machine, plus the misprediction-penalty
+// ablation.
+//
+// Usage:
+//
+//	arlsim [-fig8] [-ablationpenalty] [-w name] [-scale N] [-n maxInsts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	f8 := flag.Bool("fig8", false, "Figure 8: (N+M) configuration study")
+	abp := flag.Bool("ablationpenalty", false, "ARPT misprediction penalty sweep")
+	abs := flag.Bool("ablationsteer", false, "steering policy ablation")
+	abf := flag.Bool("ablationffwd", false, "LVAQ fast-forwarding ablation")
+	wl := flag.String("w", "", "restrict to one workload")
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 0, "truncate traces (0 = full)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	all := !*f8 && !*abp && !*abs && !*abf
+	r := experiments.NewRunner()
+	r.Scale = *scale
+	r.MaxInsts = *maxInsts
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+	if *wl != "" {
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		r.Workloads = []*workload.Workload{w}
+	}
+
+	if all || *f8 {
+		rows, err := r.Figure8()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderFigure8(rows, cpu.Figure8Configs()))
+	}
+	if all || *abp {
+		rows, err := r.PenaltySweep([]int{1, 4, 16})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderPenaltySweep(rows))
+	}
+	if all || *abs {
+		rows, err := r.SteeringPolicies()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderSteering(rows))
+	}
+	if all || *abf {
+		rows, err := r.FastForwardAblation()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderFastForward(rows))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Access Region Locality for High-Bandwidth
+// Processor Memory System Design" (Cho, Yew, Lee; MICRO-32, 1999) as a
+// self-contained Go library: a MiniC compiler and RISA toolchain, a
+// functional simulator and region profiler, the ARPT access-region
+// predictor family, and a cycle-level out-of-order timing simulator
+// with data-decoupled LSQ/LVAQ memory pipelines.
+//
+// The root package only anchors the module; the implementation lives
+// under internal/ (see DESIGN.md for the system inventory) and the
+// runnable entry points under cmd/ and examples/. The benchmark file
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation.
+package repro

@@ -1,0 +1,65 @@
+// Decoupled: run one workload through the timing simulator on the
+// baseline (2+0) memory system and on the paper's data-decoupled (3+3)
+// design, and compare — a miniature of the Figure 8 experiment.
+//
+// Run with: go run ./examples/decoupled [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := "130.li"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workload.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (try: go, li, perl, swim, ...)", name)
+	}
+
+	fmt.Printf("compiling and tracing %s (%s)...\n", w.Name, w.About)
+	p, err := w.Compile(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := cpu.BuildTrace(p, cpu.TraceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d dynamic instructions; steering accuracy %.3f%%\n\n",
+		len(tr.Insts), tr.PredictorStats.Accuracy())
+
+	configs := []cpu.Config{
+		cpu.Conventional(2, 2),  // the baseline: dual-ported cache
+		cpu.Decoupled(3, 3),     // the paper's pick
+		cpu.Conventional(16, 2), // unlimited-bandwidth upper bound
+	}
+	var base *cpu.Result
+	for _, cfg := range configs {
+		res, err := cpu.Simulate(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		fmt.Printf("%-10s  %9d cycles  IPC %5.2f  speedup %.3f\n",
+			cfg.Name, res.Cycles, res.IPC(), res.Speedup(base))
+		if cfg.Decoupled() {
+			fmt.Printf("            LVC: %d accesses, %.2f%% hit rate; "+
+				"%d fast forwards; %d steering mispredicts\n",
+				res.LVCStats.Accesses, 100*res.LVCStats.HitRate(),
+				res.FastForwards, res.ARPTMispredicts)
+		}
+	}
+	fmt.Println("\nThe (3+3) design reaches most of the (16+0) headroom with two")
+	fmt.Println("small caches instead of one heavily multi-ported one — the")
+	fmt.Println("paper's central result.")
+}

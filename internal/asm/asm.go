@@ -1,0 +1,362 @@
+// Package asm implements a two-pass assembler for RISA assembly.
+//
+// Syntax summary:
+//
+//	.text / .data                 section switch
+//	label:                        define a label in the current section
+//	.word v, v, ...               emit 32-bit words (data section)
+//	.float f, f, ...              emit float32 values
+//	.space n                      reserve n zero bytes
+//	.asciiz "s"                   NUL-terminated string
+//	.align n                      align to 2^n bytes
+//	.globl name                   accepted and ignored
+//	lw $t0, 8($sp)                base+displacement memory operand
+//	lw $t0, sym                   pseudo: la $at, sym; lw $t0, 0($at)
+//	beq $a0, $t1, label           branches take label targets
+//	jal func                      jumps take label targets
+//
+// Pseudo-instructions: li, la, move, b, not, neg, bge, bgt, ble, blt,
+// bgeu?, seq-like forms are intentionally omitted; the compiler emits
+// only what is listed here.
+//
+// A trailing ";@hint" comment on a memory instruction attaches a MiniC
+// compiler region hint (stack / nonstack / unknown) that rides along in
+// the program image for the paper's §3.5.2 experiment.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// stmt is one parsed source statement (after label stripping).
+type stmt struct {
+	line   int
+	op     string   // lower-case mnemonic or directive (with leading '.')
+	args   []string // comma-separated operand fields, trimmed
+	hint   prog.Hint
+	strArg string // for .asciiz
+}
+
+type asmState struct {
+	file   string
+	data   []byte
+	text   []isa.Inst
+	pos    []prog.SourcePos
+	hints  []prog.Hint
+	labels map[string]uint32
+}
+
+// Assemble assembles one source unit into a linked program. name is used
+// in diagnostics and becomes the program name. The entry point is the
+// label "main" (or "_start" when present).
+func Assemble(name, source string) (*prog.Program, error) {
+	a := &asmState{file: name, labels: make(map[string]uint32)}
+
+	stmts, dataStmts, err := a.parse(source)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 1 sized everything and filled a.labels (done inside parse).
+	// Pass 2: emit data then text.
+	for _, s := range dataStmts {
+		if err := a.emitData(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range stmts {
+		if err := a.emitText(s); err != nil {
+			return nil, err
+		}
+	}
+
+	entry, ok := a.labels["_start"]
+	if !ok {
+		entry, ok = a.labels["main"]
+	}
+	if !ok {
+		return nil, &Error{File: name, Line: 0, Msg: "no main or _start label"}
+	}
+
+	p := &prog.Program{
+		Name:  name,
+		Text:  a.text,
+		Data:  a.data,
+		Entry: entry,
+		Pos:   a.pos,
+		Hints: a.hints,
+	}
+	p.Words = make([]uint32, len(a.text))
+	for i, in := range a.text {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, &Error{File: name, Line: a.pos[i].Line, Msg: err.Error()}
+		}
+		p.Words[i] = w
+	}
+	syms := make([]prog.Symbol, 0, len(a.labels))
+	for n, addr := range a.labels {
+		syms = append(syms, prog.Symbol{Name: n, Addr: addr})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Addr != syms[j].Addr {
+			return syms[i].Addr < syms[j].Addr
+		}
+		return syms[i].Name < syms[j].Name
+	})
+	p.Syms = syms
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *asmState) errf(line int, format string, args ...any) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parse runs pass 1: split statements by section, resolve label
+// addresses (using exact pseudo-op expansion sizes), and return the text
+// and data statement lists for pass 2.
+func (a *asmState) parse(source string) (text, data []stmt, err error) {
+	sec := secText
+	textPC := prog.TextBase
+	dataOff := uint32(0)
+
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		hint := prog.HintNone
+		if i := strings.Index(line, ";@"); i >= 0 {
+			switch strings.TrimSpace(line[i+2:]) {
+			case "stack":
+				hint = prog.HintStack
+			case "nonstack":
+				hint = prog.HintNonStack
+			case "unknown":
+				hint = prog.HintUnknown
+			default:
+				return nil, nil, a.errf(lineNo+1, "bad hint comment %q", line[i:])
+			}
+			line = line[:i]
+		}
+		if i := strings.IndexAny(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Peel leading labels (there may be several on one line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t\"(),") {
+				break
+			}
+			label := line[:i]
+			if _, dup := a.labels[label]; dup {
+				return nil, nil, a.errf(lineNo+1, "duplicate label %q", label)
+			}
+			if sec == secText {
+				a.labels[label] = textPC
+			} else {
+				a.labels[label] = prog.DataBase + dataOff
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		s := stmt{line: lineNo + 1, hint: hint}
+		fields := strings.SplitN(line, " ", 2)
+		s.op = strings.ToLower(strings.TrimSpace(fields[0]))
+		if len(fields) == 2 {
+			rest := strings.TrimSpace(fields[1])
+			if s.op == ".asciiz" {
+				str, err := strconv.Unquote(rest)
+				if err != nil {
+					return nil, nil, a.errf(s.line, ".asciiz: %v", err)
+				}
+				s.strArg = str
+			} else {
+				s.args = splitOperands(rest)
+			}
+		}
+
+		switch s.op {
+		case ".text":
+			sec = secText
+			continue
+		case ".data":
+			sec = secData
+			continue
+		case ".globl", ".global", ".ent", ".end", ".file":
+			continue
+		}
+
+		if sec == secData {
+			n, err := a.dataSize(s, dataOff)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Re-bind any label defined at this offset is already done;
+			// alignment directives may move subsequent labels only.
+			dataOff += n
+			data = append(data, s)
+		} else {
+			n, err := a.instCount(s)
+			if err != nil {
+				return nil, nil, err
+			}
+			textPC += uint32(n) * isa.InstBytes
+			text = append(text, s)
+		}
+	}
+	return text, data, nil
+}
+
+// splitOperands splits "a, b, c" respecting no nesting beyond the
+// disp(reg) form, which contains no commas.
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dataSize reports how many bytes a data-section statement emits,
+// accounting for alignment at the given offset.
+func (a *asmState) dataSize(s stmt, off uint32) (uint32, error) {
+	switch s.op {
+	case ".word", ".float":
+		// Words are 4-aligned implicitly.
+		pad := (4 - off%4) % 4
+		return pad + 4*uint32(len(s.args)), nil
+	case ".space":
+		n, err := parseInt(s.args[0])
+		if err != nil || n < 0 {
+			return 0, a.errf(s.line, ".space: bad size %q", s.args[0])
+		}
+		return uint32(n), nil
+	case ".asciiz":
+		// Rounded up to a word so following labels stay 4-aligned.
+		return (uint32(len(s.strArg)) + 1 + 3) &^ 3, nil
+	case ".align":
+		n, err := parseInt(s.args[0])
+		if err != nil || n < 0 || n > 12 {
+			return 0, a.errf(s.line, ".align: bad power %q", s.args[0])
+		}
+		size := uint32(1) << uint(n)
+		return (size - off%size) % size, nil
+	}
+	return 0, a.errf(s.line, "directive %q not allowed in .data", s.op)
+}
+
+// Labels in .data get their final addresses during pass 1 because
+// dataSize is deterministic; emitData just replays the same layout.
+func (a *asmState) emitData(s stmt) error {
+	pad4 := func() {
+		for uint32(len(a.data))%4 != 0 {
+			a.data = append(a.data, 0)
+		}
+	}
+	switch s.op {
+	case ".word":
+		pad4()
+		for _, arg := range s.args {
+			v, err := a.resolveValue(arg, s.line)
+			if err != nil {
+				return err
+			}
+			a.data = append(a.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".float":
+		pad4()
+		for _, arg := range s.args {
+			f, err := strconv.ParseFloat(arg, 32)
+			if err != nil {
+				return a.errf(s.line, ".float: %v", err)
+			}
+			v := math.Float32bits(float32(f))
+			a.data = append(a.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".space":
+		n, _ := parseInt(s.args[0])
+		a.data = append(a.data, make([]byte, n)...)
+	case ".asciiz":
+		a.data = append(a.data, s.strArg...)
+		a.data = append(a.data, 0)
+		for uint32(len(a.data))%4 != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".align":
+		n, _ := parseInt(s.args[0])
+		size := 1 << uint(n)
+		for len(a.data)%size != 0 {
+			a.data = append(a.data, 0)
+		}
+	}
+	return nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// floatBits parses a float literal and returns its IEEE-754 float32 bit
+// pattern.
+func floatBits(s string) (uint32, error) {
+	f, err := strconv.ParseFloat(s, 32)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32bits(float32(f)), nil
+}
+
+// resolveValue resolves an integer literal or a label (optionally
+// label+NN / label-NN) to a 32-bit value.
+func (a *asmState) resolveValue(arg string, line int) (uint32, error) {
+	if v, err := parseInt(arg); err == nil {
+		return uint32(v), nil
+	}
+	base, off := arg, int64(0)
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.LastIndex(arg, sep); i > 0 {
+			if v, err := parseInt(arg[i:]); err == nil {
+				base, off = arg[:i], v
+				break
+			}
+		}
+	}
+	addr, ok := a.labels[base]
+	if !ok {
+		return 0, a.errf(line, "undefined symbol %q", base)
+	}
+	return addr + uint32(off), nil
+}

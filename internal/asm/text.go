@@ -1,0 +1,638 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// instCount reports how many machine instructions a text statement
+// expands to. It must agree exactly with emitText: pass 1 uses it to lay
+// out label addresses.
+func (a *asmState) instCount(s stmt) (int, error) {
+	switch s.op {
+	case "li":
+		if len(s.args) != 2 {
+			return 0, a.errf(s.line, "li needs 2 operands")
+		}
+		v, err := parseInt(s.args[1])
+		if err != nil {
+			return 0, a.errf(s.line, "li: bad immediate %q", s.args[1])
+		}
+		return liLen(uint32(v)), nil
+	case "la":
+		return 2, nil
+	case "li.s":
+		return 3, nil
+	case "bge", "bgt", "ble", "blt":
+		return 2, nil
+	case "lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb", "l.s", "s.s":
+		if len(s.args) != 2 {
+			return 0, a.errf(s.line, "%s needs 2 operands", s.op)
+		}
+		if strings.HasSuffix(s.args[1], ")") {
+			return 1, nil
+		}
+		return 2, nil // symbolic address: lui + mem
+	default:
+		return 1, nil
+	}
+}
+
+func liLen(v uint32) int {
+	iv := int32(v)
+	if iv >= -32768 && iv <= 32767 {
+		return 1
+	}
+	if v&0xFFFF == 0 {
+		return 1
+	}
+	return 2
+}
+
+func (a *asmState) emit(s stmt, in isa.Inst) {
+	a.text = append(a.text, in)
+	a.pos = append(a.pos, prog.SourcePos{File: a.file, Line: s.line})
+	h := prog.HintNone
+	if in.IsMem() {
+		h = s.hint
+	}
+	a.hints = append(a.hints, h)
+}
+
+func (a *asmState) curPC() uint32 {
+	return prog.TextBase + uint32(len(a.text))*isa.InstBytes
+}
+
+func (a *asmState) reg(arg string, line int) (isa.Register, error) {
+	r, ok := isa.RegByName(arg)
+	if !ok {
+		return 0, a.errf(line, "bad register %q", arg)
+	}
+	return r, nil
+}
+
+func (a *asmState) fpreg(arg string, line int) (isa.Register, error) {
+	r, ok := isa.FPRegByName(arg)
+	if !ok {
+		return 0, a.errf(line, "bad fp register %q", arg)
+	}
+	return r, nil
+}
+
+func (a *asmState) imm16(arg string, line int) (int32, error) {
+	v, err := parseInt(arg)
+	if err != nil {
+		return 0, a.errf(line, "bad immediate %q", arg)
+	}
+	if v < -32768 || v > 32767 {
+		return 0, a.errf(line, "immediate %d out of 16-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// branchOff computes the signed word offset from the instruction after
+// the branch at pc to the label target.
+func (a *asmState) branchOff(label string, pc uint32, line int) (int32, error) {
+	t, ok := a.labels[label]
+	if !ok {
+		return 0, a.errf(line, "undefined branch target %q", label)
+	}
+	diff := (int64(t) - int64(pc) - isa.InstBytes) / isa.InstBytes
+	if diff < -32768 || diff > 32767 {
+		return 0, a.errf(line, "branch to %q out of range (%d words)", label, diff)
+	}
+	return int32(diff), nil
+}
+
+// memOperand parses "disp($reg)" into (base, disp). ok=false means the
+// operand is symbolic and needs the lui+mem expansion.
+func (a *asmState) memOperand(arg string, line int) (base isa.Register, disp int32, ok bool, err error) {
+	if !strings.HasSuffix(arg, ")") {
+		return 0, 0, false, nil
+	}
+	i := strings.LastIndex(arg, "(")
+	if i < 0 {
+		return 0, 0, false, a.errf(line, "bad memory operand %q", arg)
+	}
+	regName := arg[i+1 : len(arg)-1]
+	base, okr := isa.RegByName(regName)
+	if !okr {
+		return 0, 0, false, a.errf(line, "bad base register %q", regName)
+	}
+	dispStr := strings.TrimSpace(arg[:i])
+	var d int64
+	if dispStr == "" {
+		d = 0
+	} else {
+		d, err = parseInt(dispStr)
+		if err != nil {
+			return 0, 0, false, a.errf(line, "bad displacement %q", dispStr)
+		}
+	}
+	if d < -32768 || d > 32767 {
+		return 0, 0, false, a.errf(line, "displacement %d out of range", d)
+	}
+	return base, int32(d), true, nil
+}
+
+// se16 narrows an unsigned 16-bit field to the sign-extended form the
+// instruction encoding stores. The VM masks logical/lui immediates back
+// to 16 bits, so the bit pattern survives the round trip.
+func se16(v uint32) int32 { return int32(int16(v)) }
+
+// luiOri emits the canonical two-instruction 32-bit constant load into
+// rd. It always emits exactly two instructions.
+func (a *asmState) luiOri(s stmt, rd isa.Register, v uint32) {
+	a.emit(s, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: se16(v >> 16)})
+	a.emit(s, isa.Inst{Op: isa.OpORI, Rd: rd, Rs: rd, Imm: se16(v & 0xFFFF)})
+}
+
+var memOps = map[string]isa.Op{
+	"lw": isa.OpLW, "lh": isa.OpLH, "lhu": isa.OpLHU, "lb": isa.OpLB,
+	"lbu": isa.OpLBU, "sw": isa.OpSW, "sh": isa.OpSH, "sb": isa.OpSB,
+	"l.s": isa.OpLWC1, "s.s": isa.OpSWC1,
+}
+
+var rType = map[string]isa.Funct{
+	"add": isa.FnADD, "sub": isa.FnSUB, "mul": isa.FnMUL, "mulh": isa.FnMULH,
+	"div": isa.FnDIV, "rem": isa.FnREM, "and": isa.FnAND, "or": isa.FnOR,
+	"xor": isa.FnXOR, "nor": isa.FnNOR, "sll": isa.FnSLL, "srl": isa.FnSRL,
+	"sra": isa.FnSRA, "slt": isa.FnSLT, "sltu": isa.FnSLTU,
+}
+
+var fpType = map[string]isa.Funct{
+	"add.s": isa.FnFADD, "sub.s": isa.FnFSUB, "mul.s": isa.FnFMUL,
+	"div.s": isa.FnFDIV, "neg.s": isa.FnFNEG, "abs.s": isa.FnFABS,
+	"sqrt.s": isa.FnFSQRT, "c.eq.s": isa.FnCEQ, "c.lt.s": isa.FnCLT,
+	"c.le.s": isa.FnCLE, "cvt.s.w": isa.FnCVTSW, "cvt.w.s": isa.FnCVTWS,
+	"mfc1": isa.FnMFC1, "mtc1": isa.FnMTC1,
+}
+
+var iType = map[string]isa.Op{
+	"addi": isa.OpADDI, "andi": isa.OpANDI, "ori": isa.OpORI,
+	"xori": isa.OpXORI, "slti": isa.OpSLTI, "slli": isa.OpSLLI,
+	"srli": isa.OpSRLI, "srai": isa.OpSRAI,
+}
+
+func (a *asmState) emitText(s stmt) error {
+	need := func(n int) error {
+		if len(s.args) != n {
+			return a.errf(s.line, "%s needs %d operands, got %d", s.op, n, len(s.args))
+		}
+		return nil
+	}
+
+	switch {
+	case s.op == "nop":
+		a.emit(s, isa.Inst{Op: isa.OpNop})
+		return nil
+
+	case s.op == "syscall":
+		a.emit(s, isa.Inst{Op: isa.OpSYSCALL})
+		return nil
+
+	case rType[s.op] != 0 || s.op == "add":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(s.args[2], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpReg, Funct: rType[s.op], Rd: rd, Rs: rs, Rt: rt})
+		return nil
+
+	case iType[s.op] != 0 || s.op == "addi":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		var imm int32
+		if s.op == "andi" || s.op == "ori" || s.op == "xori" {
+			// Logical immediates are unsigned 16-bit fields.
+			v, perr := parseInt(s.args[2])
+			if perr != nil || v < -32768 || v > 65535 {
+				return a.errf(s.line, "bad logical immediate %q", s.args[2])
+			}
+			imm = se16(uint32(v))
+		} else {
+			imm, err = a.imm16(s.args[2], s.line)
+			if err != nil {
+				return err
+			}
+		}
+		a.emit(s, isa.Inst{Op: iType[s.op], Rd: rd, Rs: rs, Imm: imm})
+		return nil
+
+	case s.op == "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(s.args[1])
+		if err != nil || v < 0 || v > 0xFFFF {
+			return a.errf(s.line, "lui: bad immediate %q", s.args[1])
+		}
+		a.emit(s, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: se16(uint32(v))})
+		return nil
+
+	case memOps[s.op] != 0 || s.op == "lw":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := memOps[s.op]
+		fp := op == isa.OpLWC1 || op == isa.OpSWC1
+		var rd isa.Register
+		var err error
+		if fp {
+			rd, err = a.fpreg(s.args[0], s.line)
+		} else {
+			rd, err = a.reg(s.args[0], s.line)
+		}
+		if err != nil {
+			return err
+		}
+		base, disp, direct, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		if direct {
+			a.emit(s, isa.Inst{Op: op, Rd: rd, Rs: base, Imm: disp})
+			return nil
+		}
+		// Symbolic address: lui $at, hi; mem rd, lo($at), with the
+		// MIPS hi-adjustment so the signed lo displacement works out.
+		addr, rerr := a.resolveValue(s.args[1], s.line)
+		if rerr != nil {
+			return rerr
+		}
+		hi := (addr + 0x8000) >> 16
+		lo := se16(addr & 0xFFFF)
+		a.emit(s, isa.Inst{Op: isa.OpLUI, Rd: isa.AT, Imm: se16(hi)})
+		a.emit(s, isa.Inst{Op: op, Rd: rd, Rs: isa.AT, Imm: lo})
+		return nil
+
+	case fpType[s.op] != 0 || s.op == "add.s":
+		return a.emitFP(s)
+
+	case s.op == "beq" || s.op == "bne":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOff(s.args[2], a.curPC(), s.line)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBEQ
+		if s.op == "bne" {
+			op = isa.OpBNE
+		}
+		a.emit(s, isa.Inst{Op: op, Rs: rs, Rd: rt, Imm: off})
+		return nil
+
+	case s.op == "beqz" || s.op == "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOff(s.args[1], a.curPC(), s.line)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBEQ
+		if s.op == "bnez" {
+			op = isa.OpBNE
+		}
+		a.emit(s, isa.Inst{Op: op, Rs: rs, Rd: isa.Zero, Imm: off})
+		return nil
+
+	case s.op == "blez" || s.op == "bgtz" || s.op == "bltz" || s.op == "bgez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOff(s.args[1], a.curPC(), s.line)
+		if err != nil {
+			return err
+		}
+		op := map[string]isa.Op{
+			"blez": isa.OpBLEZ, "bgtz": isa.OpBGTZ,
+			"bltz": isa.OpBLTZ, "bgez": isa.OpBGEZ,
+		}[s.op]
+		a.emit(s, isa.Inst{Op: op, Rs: rs, Imm: off})
+		return nil
+
+	case s.op == "bge" || s.op == "bgt" || s.op == "ble" || s.op == "blt":
+		return a.emitCmpBranch(s)
+
+	case s.op == "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, err := a.branchOff(s.args[0], a.curPC(), s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpBEQ, Rs: isa.Zero, Rd: isa.Zero, Imm: off})
+		return nil
+
+	case s.op == "j" || s.op == "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		t, ok := a.labels[s.args[0]]
+		if !ok {
+			return a.errf(s.line, "undefined jump target %q", s.args[0])
+		}
+		op := isa.OpJ
+		if s.op == "jal" {
+			op = isa.OpJAL
+		}
+		a.emit(s, isa.Inst{Op: op, Imm: int32(t / isa.InstBytes)})
+		return nil
+
+	case s.op == "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpJR, Rs: rs})
+		return nil
+
+	case s.op == "jalr":
+		var rd, rs isa.Register
+		var err error
+		switch len(s.args) {
+		case 1:
+			rd = isa.RA
+			rs, err = a.reg(s.args[0], s.line)
+		case 2:
+			rd, err = a.reg(s.args[0], s.line)
+			if err == nil {
+				rs, err = a.reg(s.args[1], s.line)
+			}
+		default:
+			return a.errf(s.line, "jalr needs 1 or 2 operands")
+		}
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpJALR, Rd: rd, Rs: rs})
+		return nil
+
+	case s.op == "li":
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		v64, err := parseInt(s.args[1])
+		if err != nil {
+			return a.errf(s.line, "li: bad immediate %q", s.args[1])
+		}
+		v := uint32(v64)
+		switch liLen(v) {
+		case 1:
+			if iv := int32(v); iv >= -32768 && iv <= 32767 {
+				a.emit(s, isa.Inst{Op: isa.OpADDI, Rd: rd, Rs: isa.Zero, Imm: iv})
+			} else {
+				a.emit(s, isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: se16(v >> 16)})
+			}
+		default:
+			a.luiOri(s, rd, v)
+		}
+		return nil
+
+	case s.op == "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		addr, err := a.resolveValue(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.luiOri(s, rd, addr)
+		return nil
+
+	case s.op == "li.s":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err := a.fpreg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		bits, err := floatBits(s.args[1])
+		if err != nil {
+			return a.errf(s.line, "li.s: %v", err)
+		}
+		a.luiOri(s, isa.AT, bits)
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: isa.FnMTC1, Rd: fd, Rs: isa.AT})
+		return nil
+
+	case s.op == "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpReg, Funct: isa.FnADD, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+
+	case s.op == "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpReg, Funct: isa.FnNOR, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+
+	case s.op == "neg":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpReg, Funct: isa.FnSUB, Rd: rd, Rs: isa.Zero, Rt: rs})
+		return nil
+	}
+
+	return a.errf(s.line, "unknown mnemonic %q", s.op)
+}
+
+// emitCmpBranch expands the two-instruction compare-and-branch pseudos
+// using $at.
+func (a *asmState) emitCmpBranch(s stmt) error {
+	if len(s.args) != 3 {
+		return a.errf(s.line, "%s needs 3 operands", s.op)
+	}
+	rs, err := a.reg(s.args[0], s.line)
+	if err != nil {
+		return err
+	}
+	rt, err := a.reg(s.args[1], s.line)
+	if err != nil {
+		return err
+	}
+	// bge rs,rt: !(rs<rt)  -> slt at,rs,rt; beq at,zero
+	// blt rs,rt:   rs<rt   -> slt at,rs,rt; bne at,zero
+	// bgt rs,rt:   rt<rs   -> slt at,rt,rs; bne at,zero
+	// ble rs,rt: !(rt<rs)  -> slt at,rt,rs; beq at,zero
+	x, y := rs, rt
+	branch := isa.OpBEQ
+	switch s.op {
+	case "blt":
+		branch = isa.OpBNE
+	case "bgt":
+		x, y = rt, rs
+		branch = isa.OpBNE
+	case "ble":
+		x, y = rt, rs
+	}
+	a.emit(s, isa.Inst{Op: isa.OpReg, Funct: isa.FnSLT, Rd: isa.AT, Rs: x, Rt: y})
+	off, err := a.branchOff(s.args[2], a.curPC(), s.line)
+	if err != nil {
+		return err
+	}
+	a.emit(s, isa.Inst{Op: branch, Rs: isa.AT, Rd: isa.Zero, Imm: off})
+	return nil
+}
+
+func (a *asmState) emitFP(s stmt) error {
+	fn := fpType[s.op]
+	switch fn {
+	case isa.FnFNEG, isa.FnFABS, isa.FnFSQRT:
+		if len(s.args) != 2 {
+			return a.errf(s.line, "%s needs 2 operands", s.op)
+		}
+		fd, err := a.fpreg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		fs, err := a.fpreg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: fn, Rd: fd, Rs: fs})
+	case isa.FnCEQ, isa.FnCLT, isa.FnCLE:
+		if len(s.args) != 3 {
+			return a.errf(s.line, "%s needs 3 operands", s.op)
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		fs, err := a.fpreg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		ft, err := a.fpreg(s.args[2], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: fn, Rd: rd, Rs: fs, Rt: ft})
+	case isa.FnCVTSW, isa.FnMTC1:
+		if len(s.args) != 2 {
+			return a.errf(s.line, "%s needs 2 operands", s.op)
+		}
+		fd, err := a.fpreg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: fn, Rd: fd, Rs: rs})
+	case isa.FnCVTWS, isa.FnMFC1:
+		if len(s.args) != 2 {
+			return a.errf(s.line, "%s needs 2 operands", s.op)
+		}
+		rd, err := a.reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		fs, err := a.fpreg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: fn, Rd: rd, Rs: fs})
+	default:
+		if len(s.args) != 3 {
+			return a.errf(s.line, "%s needs 3 operands", s.op)
+		}
+		fd, err := a.fpreg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		fs, err := a.fpreg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		ft, err := a.fpreg(s.args[2], s.line)
+		if err != nil {
+			return err
+		}
+		a.emit(s, isa.Inst{Op: isa.OpFP, Funct: fn, Rd: fd, Rs: fs, Rt: ft})
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 16-byte lines = 128 bytes.
+	return MustNew(Config{Name: "t", SizeBytes: 128, LineBytes: 16, Assoc: 2})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _ := c.Access(0x100C, false); !hit {
+		t.Error("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSetConflictAndLRU(t *testing.T) {
+	c := small()
+	// Three addresses mapping to set 0 (stride = 4 sets * 16 bytes).
+	a, b, d := uint32(0x0000), uint32(0x0040), uint32(0x0080)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a evicted, want b")
+	}
+	if c.Probe(b) {
+		t.Error("b still present")
+	}
+	if !c.Probe(d) {
+		t.Error("d not filled")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := small()
+	a, b, d := uint32(0x0000), uint32(0x0040), uint32(0x0080)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	if _, wb := c.Access(d, false); !wb {
+		t.Error("evicting dirty line did not write back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	c := small()
+	if hit, _ := c.Access(0x2000, true); hit {
+		t.Error("cold write hit")
+	}
+	if hit, _ := c.Access(0x2000, false); !hit {
+		t.Error("write did not allocate")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Access(0x0, true)
+	c.Access(0x40, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Errorf("flush reported %d dirty lines, want 1", dirty)
+	}
+	if c.Probe(0x0) || c.Probe(0x40) {
+		t.Error("lines survive flush")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "b1", SizeBytes: 0, LineBytes: 16, Assoc: 1},
+		{Name: "b2", SizeBytes: 128, LineBytes: 24, Assoc: 1}, // line not pow2
+		{Name: "b3", SizeBytes: 96, LineBytes: 16, Assoc: 2},  // 3 sets
+		{Name: "b4", SizeBytes: 128, LineBytes: 16, Assoc: 3}, // 8/3 sets
+		{Name: "b5", SizeBytes: 128, LineBytes: 16, Assoc: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q validated", cfg.Name)
+		}
+	}
+	good := []Config{L1Config(2, 2), L2Config(), LVCConfig(2)}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %q rejected: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPaperGeometries(t *testing.T) {
+	l1 := MustNew(L1Config(2, 2))
+	if got := l1.Config().SizeBytes; got != 64<<10 {
+		t.Errorf("L1 size = %d", got)
+	}
+	lvc := MustNew(LVCConfig(2))
+	if lvc.Config().Assoc != 1 || lvc.Config().SizeBytes != 4<<10 {
+		t.Errorf("LVC geometry = %+v", lvc.Config())
+	}
+}
+
+// Property: an immediate re-access of any address hits (temporal
+// locality invariant), regardless of the preceding access pattern.
+func TestReaccessHitsProperty(t *testing.T) {
+	f := func(warm []uint32, addr uint32) bool {
+		c := small()
+		for _, a := range warm {
+			c.Access(a, a%3 == 0)
+		}
+		c.Access(addr, false)
+		hit, _ := c.Access(addr, false)
+		return hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits+misses == accesses under arbitrary traffic.
+func TestStatsConservationProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := small()
+		for _, a := range addrs {
+			c.Access(a, a&1 == 1)
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses && s.Accesses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a direct-mapped cache of S sets never holds two addresses
+// with the same set index but different tags at once.
+func TestDirectMappedExclusionProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := MustNew(Config{Name: "dm", SizeBytes: 64, LineBytes: 16, Assoc: 1})
+		c.Access(a, false)
+		c.Access(b, false)
+		sameSet := (a>>4)&3 == (b>>4)&3
+		sameLine := a>>4 == b>>4
+		if sameSet && !sameLine {
+			return !c.Probe(a) && c.Probe(b)
+		}
+		return c.Probe(a) && c.Probe(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

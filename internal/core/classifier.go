@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// HintSource supplies a compiler region hint for a static instruction
+// index, or HintNone. Two implementations exist: prog.Program hints
+// (the MiniC Figure 6 analysis) and the profile oracle the paper used
+// (see profile.Oracle).
+type HintSource func(index int) prog.Hint
+
+// ClassifyStats is the accounting behind Figures 4 and 5.
+type ClassifyStats struct {
+	Total   uint64 // dynamic memory references seen
+	Correct uint64 // ... classified into the right stack/non-stack bin
+
+	StaticCovered uint64 // manifest in the addressing mode (rules 1-3)
+	HintCovered   uint64 // resolved by a compiler hint
+	TableLookups  uint64 // fell through to the ARPT (or rule-4 default)
+	TableCorrect  uint64 // ... and were predicted correctly
+}
+
+// Accuracy reports Correct/Total as a percentage.
+func (s ClassifyStats) Accuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Correct) / float64(s.Total)
+}
+
+// StaticFraction reports the share of dynamic references whose region
+// is manifest in the addressing mode (Figure 4's dark lower bars).
+func (s ClassifyStats) StaticFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.StaticCovered) / float64(s.Total)
+}
+
+// Classifier composes the three §4.2 dispatch-stage information
+// sources in priority order: compiler hints (when present), the
+// addressing-mode rules, then the ARPT (or the static default for
+// SchemeStatic). One Classifier evaluates one scheme configuration.
+type Classifier struct {
+	Scheme Scheme
+	Table  *ARPT      // nil for SchemeStatic
+	Hints  HintSource // nil when hints are off
+	Stats  ClassifyStats
+}
+
+// NewClassifier builds a classifier for scheme with an unlimited-table
+// configuration (the Figure 4 / Table 3 setup). Use NewClassifierSized
+// for the Figure 5 size sweep.
+func NewClassifier(scheme Scheme, hints HintSource) (*Classifier, error) {
+	return NewClassifierSized(scheme, 0, hints)
+}
+
+// NewClassifierSized builds a classifier whose ARPT has the given
+// number of entries (0 = unlimited).
+func NewClassifierSized(scheme Scheme, entries int, hints HintSource) (*Classifier, error) {
+	c := &Classifier{Scheme: scheme, Hints: hints}
+	if scheme == SchemeStatic {
+		return c, nil
+	}
+	cfg := SchemeConfig(scheme)
+	if cfg.Bits == 0 {
+		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
+	}
+	cfg.Entries = entries
+	t, err := NewARPT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Table = t
+	return c, nil
+}
+
+// Classify predicts the access region of one dynamic memory reference
+// and trains on the actual outcome. It returns the prediction made.
+func (c *Classifier) Classify(index int, pc uint32, in isa.Inst, ctx Context, actual Prediction) Prediction {
+	c.Stats.Total++
+
+	if c.Hints != nil {
+		if pred, usable := HintPrediction(c.Hints(index)); usable {
+			c.Stats.HintCovered++
+			if pred == actual {
+				c.Stats.Correct++
+			}
+			return pred
+		}
+	}
+
+	pred, covered := StaticPredict(in)
+	if covered {
+		c.Stats.StaticCovered++
+		if pred == actual {
+			c.Stats.Correct++
+		}
+		return pred
+	}
+
+	c.Stats.TableLookups++
+	if c.Table != nil {
+		pred = c.Table.Predict(pc, ctx)
+		c.Table.Update(pc, ctx, actual)
+	}
+	// SchemeStatic keeps rule 4's default (non-stack) prediction.
+	if pred == actual {
+		c.Stats.Correct++
+		c.Stats.TableCorrect++
+	}
+	return pred
+}
+
+// RefEvent is one dynamic memory reference with the fetch-stage context
+// the predictor would have seen.
+type RefEvent struct {
+	Index  int
+	PC     uint32
+	Addr   uint32 // effective address
+	Inst   isa.Inst
+	Ctx    Context
+	Actual Prediction
+}
+
+// Trace runs machine m to completion, maintaining the global branch
+// history and caller identification, and invokes handle for every
+// dynamic memory reference. Several classifiers can share one trace.
+func Trace(m *vm.Machine, handle func(RefEvent)) error {
+	var ctx Context
+	return m.Run(func(ev vm.Event) {
+		if ev.Inst.IsMem() {
+			ctx.CID = m.Reg(isa.RA)
+			handle(RefEvent{
+				Index:  ev.Index,
+				PC:     ev.PC,
+				Addr:   ev.MemAddr,
+				Inst:   ev.Inst,
+				Ctx:    ctx,
+				Actual: ActualOf(ev.Region),
+			})
+		}
+		if ev.Inst.IsBranch() {
+			ctx.UpdateGBH(ev.Taken)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package cpu
+
+import "fmt"
+
+// Latencies follow the MIPS R10000 as Table 4 specifies.
+const (
+	LatIntALU = 1
+	LatIntMul = 6
+	LatIntDiv = 35
+	LatFPALU  = 2
+	LatFPMul  = 2
+	LatFPDiv  = 12
+	LatL2     = 12 // L2 hit
+	LatMem    = 50 // main memory
+)
+
+// Config is one machine configuration. The paper's (N+M) notation maps
+// to L1Ports=N / LVCPorts=M; M=0 is a conventional single-pipeline
+// memory system.
+type Config struct {
+	Name string
+
+	IssueWidth        int // also decode and commit width (Table 4)
+	ROBSize           int
+	LSQSize           int
+	LVAQSize          int // 0 disables the LVAQ (conventional design)
+	L1Ports           int
+	L1Latency         int
+	LVCPorts          int
+	LVCLatency        int
+	IntALU            int
+	FPALU             int
+	IntMulDiv         int
+	FPMulDiv          int
+	MispredictPenalty int  // extra cycles after an ARPT steering miss
+	FastForward       bool // LVAQ offset-based store-to-load fast forwarding
+}
+
+// Decoupled reports whether the configuration runs two memory
+// pipelines.
+func (c Config) Decoupled() bool { return c.LVAQSize > 0 }
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.ROBSize <= 0 || c.LSQSize <= 0 {
+		return fmt.Errorf("cpu config %q: non-positive core sizes", c.Name)
+	}
+	if c.L1Ports <= 0 || c.L1Latency <= 0 {
+		return fmt.Errorf("cpu config %q: bad L1 parameters", c.Name)
+	}
+	if c.Decoupled() && (c.LVCPorts <= 0 || c.LVCLatency <= 0) {
+		return fmt.Errorf("cpu config %q: decoupled but bad LVC parameters", c.Name)
+	}
+	if c.IntALU <= 0 || c.FPALU <= 0 || c.IntMulDiv <= 0 || c.FPMulDiv <= 0 {
+		return fmt.Errorf("cpu config %q: non-positive FU counts", c.Name)
+	}
+	return nil
+}
+
+// baseTable4 is the fixed part of the Table 4 machine.
+func baseTable4(name string) Config {
+	return Config{
+		Name:       name,
+		IssueWidth: 16,
+		ROBSize:    256,
+		IntALU:     16, FPALU: 16, IntMulDiv: 4, FPMulDiv: 4,
+		MispredictPenalty: 1,
+		LVCLatency:        1,
+	}
+}
+
+// Conventional builds an (N+0) configuration: a single LSQ (128
+// entries) in front of an N-ported L1 with the given hit latency.
+func Conventional(ports, latency int) Config {
+	c := baseTable4(fmt.Sprintf("(%d+0)", ports))
+	if latency != 2 {
+		c.Name = fmt.Sprintf("(%d+0,%dcyc)", ports, latency)
+	}
+	c.LSQSize = 128
+	c.L1Ports = ports
+	c.L1Latency = latency
+	return c
+}
+
+// Decoupled builds an (N+M) configuration: LSQ/LVAQ of 96 entries each
+// (§4.3), an N-ported L1 and an M-ported 1-cycle LVC, with fast
+// forwarding enabled in the LVAQ.
+func Decoupled(l1Ports, lvcPorts int) Config {
+	c := baseTable4(fmt.Sprintf("(%d+%d)", l1Ports, lvcPorts))
+	c.LSQSize = 96
+	c.LVAQSize = 96
+	c.L1Ports = l1Ports
+	c.L1Latency = 2
+	c.LVCPorts = lvcPorts
+	c.FastForward = true
+	return c
+}
+
+// Figure8Configs returns the configurations of the paper's Figure 8 in
+// presentation order: (2+0) baseline, (3+0) at 2 and 3 cycles, (4+0) at
+// 3 cycles, the decoupled (2+2), (2+3), (3+3), and the (16+0)
+// upper bound.
+func Figure8Configs() []Config {
+	return []Config{
+		Conventional(2, 2),
+		Conventional(3, 2),
+		Conventional(3, 3),
+		Conventional(4, 3),
+		Decoupled(2, 2),
+		Decoupled(2, 3),
+		Decoupled(3, 3),
+		Conventional(16, 2),
+	}
+}

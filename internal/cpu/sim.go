@@ -1,0 +1,576 @@
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Result is the outcome of one timing simulation.
+type Result struct {
+	Config Config
+	Name   string // trace name
+
+	Cycles uint64
+	Insts  uint64
+
+	L1Stats  cache.Stats
+	LVCStats cache.Stats
+	L2Stats  cache.Stats
+
+	ARPTMispredicts uint64
+	Forwards        uint64 // store-to-load forwards (both queues)
+	FastForwards    uint64 // LVAQ offset-based forwards
+	VPUsed          uint64 // results supplied by the value predictor
+	StallROB        uint64 // dispatch cycles lost to a full ROB
+	StallQueue      uint64 // dispatch cycles lost to a full LSQ/LVAQ
+}
+
+// IPC reports committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Speedup reports this result's performance relative to a baseline.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Entry states.
+const (
+	stWaiting = iota // operands outstanding
+	stReady          // in the ready queue
+	stIssued         // executing / in the memory pipeline
+	stDone           // result available, retirable
+)
+
+const (
+	qNone = iota
+	qLSQ
+	qLVAQ
+)
+
+// Dependence mask bits: bit 0 is the first source (the address base for
+// memory operations), bit 1 the second (the store data).
+const (
+	depA = 1 << 0
+	depB = 1 << 1
+)
+
+type robEntry struct {
+	ti        int // trace index
+	state     uint8
+	queue     uint8
+	mask      uint8 // outstanding source operands
+	addrDone  bool
+	earlyAddr bool  // LVAQ fast forwarding: address usable from dispatch
+	readyAt   int64 // earliest cycle the cache access may start (recovery)
+	consumers []int64
+}
+
+// event kinds.
+const (
+	evComplete = iota
+	evAddrDone
+)
+
+type event struct {
+	cycle int64
+	seq   int64
+	kind  uint8
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].cycle < h[j].cycle }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type seqHeap []int64
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *seqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type simulator struct {
+	cfg Config
+	tr  *Trace
+	res *Result
+
+	rob      []robEntry
+	headSeq  int64 // oldest in-flight
+	tailSeq  int64 // next to allocate
+	nextDisp int   // next trace index to dispatch
+
+	lastWriter [numDepRegs]int64
+
+	ready  seqHeap
+	events eventHeap
+	now    int64
+
+	// Queue contents in program order (seqs); entries leave at commit.
+	lsq  []int64
+	lvaq []int64
+
+	// Memory entries past address generation, awaiting disambiguation
+	// and a cache port.
+	memPending []int64
+	pendDirty  bool
+
+	l1  *cache.Cache
+	lvc *cache.Cache
+	l2  *cache.Cache
+}
+
+func (s *simulator) slot(seq int64) *robEntry { return &s.rob[seq%int64(len(s.rob))] }
+
+func (s *simulator) inst(seq int64) *TraceInst { return &s.tr.Insts[s.slot(seq).ti] }
+
+// writerOutstanding reports whether the producer at seq has not yet
+// delivered its value.
+func (s *simulator) writerOutstanding(seq int64) bool {
+	if seq < 0 || seq < s.headSeq {
+		return false // retired: value architecturally available
+	}
+	return s.slot(seq).state != stDone
+}
+
+// Simulate runs trace tr on configuration cfg.
+func Simulate(tr *Trace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tr.Insts) == 0 {
+		return nil, fmt.Errorf("cpu: empty trace %q", tr.Name)
+	}
+	s := &simulator{
+		cfg: cfg,
+		tr:  tr,
+		res: &Result{Config: cfg, Name: tr.Name},
+		rob: make([]robEntry, cfg.ROBSize),
+		l1:  cache.MustNew(cache.L1Config(cfg.L1Ports, cfg.L1Latency)),
+		l2:  cache.MustNew(cache.L2Config()),
+	}
+	if cfg.Decoupled() {
+		s.lvc = cache.MustNew(cache.LVCConfig(cfg.LVCPorts))
+	}
+	for i := range s.lastWriter {
+		s.lastWriter[i] = -1
+	}
+
+	total := int64(len(tr.Insts))
+	idle := 0
+	for s.headSeq < total {
+		s.now++
+		c := s.commit()
+		s.processEvents()
+		s.memScan()
+		i := s.issue()
+		d := s.dispatch()
+		if c == 0 && i == 0 && d == 0 && len(s.events) == 0 {
+			idle++
+			if idle > 10_000 {
+				return nil, fmt.Errorf("cpu: simulation wedged at cycle %d (retired %d/%d, pending %d)",
+					s.now, s.headSeq, total, len(s.memPending))
+			}
+		} else {
+			idle = 0
+		}
+	}
+	s.res.Cycles = uint64(s.now)
+	s.res.Insts = uint64(total)
+	s.res.L1Stats = s.l1.Stats()
+	s.res.L2Stats = s.l2.Stats()
+	if s.lvc != nil {
+		s.res.LVCStats = s.lvc.Stats()
+	}
+	return s.res, nil
+}
+
+// commit retires up to the commit width of completed entries from the
+// ROB head.
+func (s *simulator) commit() int {
+	n := 0
+	for n < s.cfg.IssueWidth && s.headSeq < s.tailSeq {
+		e := s.slot(s.headSeq)
+		if e.state != stDone {
+			break
+		}
+		switch e.queue {
+		case qLSQ:
+			s.lsq = popHead(s.lsq, s.headSeq)
+		case qLVAQ:
+			s.lvaq = popHead(s.lvaq, s.headSeq)
+		}
+		s.headSeq++
+		n++
+	}
+	return n
+}
+
+// popHead removes seq from the front of a program-ordered queue.
+func popHead(q []int64, seq int64) []int64 {
+	if len(q) == 0 || q[0] != seq {
+		panic("cpu: memory queue head out of order")
+	}
+	copy(q, q[1:])
+	return q[:len(q)-1]
+}
+
+func (s *simulator) processEvents() {
+	for len(s.events) > 0 && s.events[0].cycle <= s.now {
+		ev := heap.Pop(&s.events).(event)
+		e := s.slot(ev.seq)
+		switch ev.kind {
+		case evComplete:
+			s.finish(ev.seq)
+		case evAddrDone:
+			e.addrDone = true
+			ti := s.inst(ev.seq)
+			// The extended TLB verifies the steering prediction at
+			// address translation; a mismatch starts recovery and the
+			// access is re-steered to the correct pipeline.
+			if s.cfg.Decoupled() && ti.Mispredicted() {
+				s.res.ARPTMispredicts++
+				e.readyAt = s.now + int64(s.cfg.MispredictPenalty)
+			}
+			s.memPending = append(s.memPending, ev.seq)
+			s.pendDirty = true
+		}
+	}
+}
+
+// finish marks an entry done and wakes its consumers.
+func (s *simulator) finish(seq int64) {
+	e := s.slot(seq)
+	e.state = stDone
+	for _, c := range e.consumers {
+		cseq, bit := c>>1, uint8(depA)
+		if c&1 != 0 {
+			bit = depB
+		}
+		if cseq < s.headSeq {
+			continue
+		}
+		ce := s.slot(cseq)
+		ce.mask &^= bit
+		s.maybeWake(cseq, ce)
+	}
+	e.consumers = e.consumers[:0]
+}
+
+// maybeWake moves a waiting entry to the ready queue once its issue
+// condition holds: all operands for ALU operations, the address base
+// for memory operations (a store's data may arrive after its address
+// generation, as in the paper's pipeline).
+func (s *simulator) maybeWake(seq int64, e *robEntry) {
+	if e.state != stWaiting {
+		return
+	}
+	ti := s.inst(seq)
+	ok := e.mask == 0
+	if ti.IsMem() {
+		ok = e.mask&depA == 0
+	}
+	if ok {
+		e.state = stReady
+		heap.Push(&s.ready, seq)
+	}
+}
+
+// memScan walks pending memory operations oldest-first, resolving
+// store-to-load forwarding and granting cache ports.
+func (s *simulator) memScan() {
+	if len(s.memPending) == 0 {
+		return
+	}
+	if s.pendDirty {
+		sort.Slice(s.memPending, func(i, j int) bool { return s.memPending[i] < s.memPending[j] })
+		s.pendDirty = false
+	}
+	l1Ports := s.cfg.L1Ports
+	lvcPorts := s.cfg.LVCPorts
+
+	keep := s.memPending[:0]
+	for _, seq := range s.memPending {
+		e := s.slot(seq)
+		ti := s.inst(seq)
+		if e.readyAt > s.now {
+			keep = append(keep, seq)
+			continue
+		}
+		if !ti.IsLoad() && e.mask&depB != 0 {
+			keep = append(keep, seq) // store data not produced yet
+			continue
+		}
+		toLVC := s.cfg.Decoupled() && ti.Stack()
+
+		if ti.IsLoad() {
+			switch s.resolveLoad(seq, e, ti) {
+			case loadBlocked:
+				keep = append(keep, seq)
+				continue
+			case loadForwarded:
+				s.schedule(evComplete, seq, s.now+1)
+				continue
+			}
+		}
+		if toLVC {
+			if lvcPorts == 0 {
+				keep = append(keep, seq)
+				continue
+			}
+			lvcPorts--
+		} else {
+			if l1Ports == 0 {
+				keep = append(keep, seq)
+				continue
+			}
+			l1Ports--
+		}
+		lat := s.accessLatency(ti.Addr, !ti.IsLoad(), toLVC)
+		if ti.IsLoad() {
+			s.schedule(evComplete, seq, s.now+int64(lat))
+		} else {
+			// Stores complete into the write buffer once they own a
+			// port; the cache content is already updated above.
+			s.finish(seq)
+		}
+	}
+	s.memPending = keep
+}
+
+const (
+	loadProceed = iota
+	loadBlocked
+	loadForwarded
+)
+
+// resolveLoad applies the disambiguation rules of §4.3: a load waits
+// until every older store in its queue has a known address, forwards
+// from the youngest matching older store whose data is ready, and
+// blocks on a matching store whose data is not. With fast forwarding,
+// LVAQ store addresses (frame+offset) count as known from dispatch.
+func (s *simulator) resolveLoad(seq int64, e *robEntry, ti *TraceInst) int {
+	q := s.lsq
+	if e.queue == qLVAQ {
+		q = s.lvaq
+	}
+	word := ti.Addr >> 2
+	var match int64 = -1
+	for _, os := range q {
+		if os >= seq {
+			break
+		}
+		oe := s.slot(os)
+		oi := s.inst(os)
+		if oi.IsLoad() {
+			continue
+		}
+		if !oe.addrDone && !oe.earlyAddr {
+			return loadBlocked
+		}
+		if oi.Addr>>2 == word {
+			match = os
+		}
+	}
+	if match >= 0 {
+		me := s.slot(match)
+		if me.mask&depB != 0 {
+			return loadBlocked // store data not produced yet
+		}
+		s.res.Forwards++
+		if e.queue == qLVAQ && s.cfg.FastForward {
+			s.res.FastForwards++
+		}
+		return loadForwarded
+	}
+	return loadProceed
+}
+
+// accessLatency charges the hierarchy: L1 or LVC first, then the shared
+// L2, then memory.
+func (s *simulator) accessLatency(addr uint32, write, toLVC bool) int {
+	first := s.l1
+	lat := s.cfg.L1Latency
+	if toLVC {
+		first = s.lvc
+		lat = s.cfg.LVCLatency
+	}
+	hit, _ := first.Access(addr, write)
+	if hit {
+		return lat
+	}
+	l2hit, _ := s.l2.Access(addr, write)
+	if l2hit {
+		return lat + LatL2
+	}
+	return lat + LatL2 + LatMem
+}
+
+// issue moves ready entries to the function units, oldest first,
+// bounded by the issue width and per-class FU counts. Memory
+// instructions spend their issue slot on address generation.
+func (s *simulator) issue() int {
+	budget := s.cfg.IssueWidth
+	intALU, fpALU := s.cfg.IntALU, s.cfg.FPALU
+	intMD, fpMD := s.cfg.IntMulDiv, s.cfg.FPMulDiv
+
+	var deferred []int64
+	issued := 0
+	for budget > 0 && len(s.ready) > 0 {
+		seq := heap.Pop(&s.ready).(int64)
+		if seq < s.headSeq {
+			continue
+		}
+		e := s.slot(seq)
+		if e.state != stReady {
+			continue
+		}
+		ti := s.inst(seq)
+		ok := true
+		var lat int
+		switch ti.Class {
+		case isa.ClassIntMul:
+			ok, lat = take(&intMD), LatIntMul
+		case isa.ClassIntDiv:
+			ok, lat = take(&intMD), LatIntDiv
+		case isa.ClassFPALU:
+			ok, lat = take(&fpALU), LatFPALU
+		case isa.ClassFPMul:
+			ok, lat = take(&fpMD), LatFPMul
+		case isa.ClassFPDiv:
+			ok, lat = take(&fpMD), LatFPDiv
+		default:
+			// Integer ALU, branches, jumps, syscalls and memory AGU
+			// share the integer ALU pool.
+			ok, lat = take(&intALU), LatIntALU
+		}
+		if !ok {
+			deferred = append(deferred, seq)
+			continue
+		}
+		budget--
+		issued++
+		e.state = stIssued
+		if ti.IsMem() {
+			s.schedule(evAddrDone, seq, s.now+1)
+			continue
+		}
+		s.schedule(evComplete, seq, s.now+int64(lat))
+	}
+	for _, seq := range deferred {
+		s.slot(seq).state = stReady
+		heap.Push(&s.ready, seq)
+	}
+	return issued
+}
+
+func take(n *int) bool {
+	if *n > 0 {
+		*n--
+		return true
+	}
+	return false
+}
+
+func (s *simulator) schedule(kind uint8, seq, cycle int64) {
+	heap.Push(&s.events, event{cycle: cycle, seq: seq, kind: kind})
+}
+
+// dispatch brings new trace instructions into the ROB (and LSQ/LVAQ),
+// in order, bounded by the decode width and structural space.
+func (s *simulator) dispatch() int {
+	n := 0
+	for n < s.cfg.IssueWidth && s.nextDisp < len(s.tr.Insts) {
+		if s.tailSeq-s.headSeq >= int64(s.cfg.ROBSize) {
+			s.res.StallROB++
+			break
+		}
+		ti := &s.tr.Insts[s.nextDisp]
+		queue := uint8(qNone)
+		if ti.IsMem() {
+			queue = qLSQ
+			if s.cfg.Decoupled() && ti.PredStack() {
+				queue = qLVAQ
+			}
+			if queue == qLSQ && len(s.lsq) >= s.cfg.LSQSize {
+				s.res.StallQueue++
+				break
+			}
+			if queue == qLVAQ && len(s.lvaq) >= s.cfg.LVAQSize {
+				s.res.StallQueue++
+				break
+			}
+		}
+
+		seq := s.tailSeq
+		s.tailSeq++
+		e := s.slot(seq)
+		*e = robEntry{ti: s.nextDisp, queue: queue, consumers: e.consumers[:0]}
+		s.nextDisp++
+		n++
+
+		for bit, src := range []int8{ti.Src1, ti.Src2} {
+			if src == noReg {
+				continue
+			}
+			w := s.lastWriter[src]
+			if w >= 0 && s.writerOutstanding(w) {
+				e.mask |= depA << bit
+				we := s.slot(w)
+				we.consumers = append(we.consumers, seq<<1|int64(bit))
+			}
+		}
+		if ti.Dest != noReg {
+			if ti.Flags&FlagVPHit != 0 {
+				// The stride value predictor supplies the result at
+				// dispatch; consumers need not wait. The producer still
+				// executes to verify.
+				s.lastWriter[ti.Dest] = -1
+				s.res.VPUsed++
+			} else {
+				s.lastWriter[ti.Dest] = seq
+			}
+		}
+		switch queue {
+		case qLSQ:
+			s.lsq = append(s.lsq, seq)
+		case qLVAQ:
+			s.lvaq = append(s.lvaq, seq)
+			if s.cfg.FastForward && !ti.IsLoad() {
+				e.earlyAddr = true
+			}
+		}
+		if queue != qNone && !ti.IsLoad() && ti.Flags&FlagEarlyAddr != 0 {
+			e.earlyAddr = true
+		}
+		s.maybeWake(seq, e)
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+// Package cpu implements the paper's detailed timing simulator: a
+// trace-driven, cycle-level model of the Table 4 machine — a 16-wide
+// out-of-order superscalar with a 256-entry ROB, an LSQ (and, when
+// data-decoupled, an LVAQ), multi-ported L1/LVC caches backed by an L2
+// and memory, per-class function units with MIPS R10000 latencies, a
+// stride value predictor, and ARPT-driven steering with misprediction
+// recovery.
+//
+// The paper's own methodology uses a perfect instruction cache and
+// perfect branch prediction "to assert the maximum pressure on the data
+// memory bandwidth"; under perfect fetch the dynamic instruction stream
+// equals the committed path, which is exactly what a trace-driven model
+// replays. Register data dependences, structural hazards, memory-port
+// contention, store-to-load forwarding and ARPT mispredictions are all
+// modeled cycle by cycle.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Register-id space for dependence tracking: integer registers are
+// 0..31, floating-point registers 32..63.
+const (
+	numDepRegs = 64
+	noReg      = -1
+)
+
+// TraceInst is one dynamic instruction prepared for timing simulation.
+type TraceInst struct {
+	Addr  uint32 // effective address (memory instructions)
+	Index int32  // static instruction index
+	Class isa.Class
+	Src1  int8 // dependence-register ids, noReg when absent
+	Src2  int8
+	Dest  int8
+	Flags uint8
+}
+
+// TraceInst flags.
+const (
+	FlagMem       = 1 << iota // load or store
+	FlagLoad                  // load (valid when FlagMem)
+	FlagStack                 // actual region is stack
+	FlagPredStack             // ARPT/dispatch predicted stack
+	FlagVPHit                 // stride value predictor supplies the result
+	FlagFPMem                 // memory value is floating point
+	FlagEarlyAddr             // address manifest in the addressing mode
+)
+
+// IsMem reports whether the instruction touches memory.
+func (t *TraceInst) IsMem() bool { return t.Flags&FlagMem != 0 }
+
+// IsLoad reports whether the instruction is a load.
+func (t *TraceInst) IsLoad() bool { return t.Flags&FlagLoad != 0 }
+
+// Stack reports whether the access actually fell in the stack region.
+func (t *TraceInst) Stack() bool { return t.Flags&FlagStack != 0 }
+
+// PredStack reports the dispatch-time steering prediction.
+func (t *TraceInst) PredStack() bool { return t.Flags&FlagPredStack != 0 }
+
+// Mispredicted reports an ARPT steering misprediction.
+func (t *TraceInst) Mispredicted() bool {
+	return t.IsMem() && t.Stack() != t.PredStack()
+}
+
+// Trace is a program's dynamic instruction stream with steering
+// predictions and value-prediction outcomes precomputed. Predictor
+// state evolves in fetch order, which the trace preserves, so one trace
+// serves every machine configuration.
+type Trace struct {
+	Name  string
+	Insts []TraceInst
+
+	// PredictorStats is the classification accounting of the steering
+	// classifier used to build the trace.
+	PredictorStats core.ClassifyStats
+}
+
+// TraceOptions configures trace generation.
+type TraceOptions struct {
+	// MaxInsts bounds the functional run (0 = VM default).
+	MaxInsts uint64
+	// Classifier steers memory instructions. Nil uses the paper's
+	// pipeline default (static rules + 32K-entry hybrid ARPT, no
+	// compiler hints).
+	Classifier *core.Classifier
+	// DisableValuePred turns the stride value predictor off (the base
+	// machine model has it on).
+	DisableValuePred bool
+	// PerfectSteering steers every reference to its true region,
+	// bypassing the classifier — the contamination-free upper bound for
+	// steering-policy ablations.
+	PerfectSteering bool
+}
+
+// valuePredictor is the Table 4 stride-based register value predictor.
+type valuePredictor struct {
+	last   [16384]uint32
+	stride [16384]int32
+	conf   [16384]uint8
+	seen   [16384]bool
+}
+
+func (v *valuePredictor) idx(pc uint32) uint32 { return (pc >> 2) & 16383 }
+
+// observe processes one produced register value and reports whether the
+// predictor would have supplied it (confident and correct).
+func (v *valuePredictor) observe(pc uint32, val uint32) bool {
+	i := v.idx(pc)
+	hit := false
+	if v.seen[i] {
+		pred := v.last[i] + uint32(v.stride[i])
+		if v.conf[i] >= 2 && pred == val {
+			hit = true
+		}
+		newStride := int32(val - v.last[i])
+		if newStride == v.stride[i] {
+			if v.conf[i] < 3 {
+				v.conf[i]++
+			}
+		} else {
+			v.conf[i] = 0
+			v.stride[i] = newStride
+		}
+	}
+	v.last[i] = val
+	v.seen[i] = true
+	return hit
+}
+
+// depReg maps an architectural register to a dependence id.
+func depReg(r isa.Register, fp bool) int8 {
+	if fp {
+		return int8(r) + 32
+	}
+	if r == isa.Zero {
+		return noReg // $zero never carries a dependence
+	}
+	return int8(r)
+}
+
+// BuildTrace runs program p functionally and produces its timing trace.
+func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
+	m, err := vm.New(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	limit := opts.MaxInsts
+	if limit == 0 {
+		limit = vm.DefaultMaxInsts
+	}
+	m.MaxInsts = limit + 1 // the loop below truncates before the VM faults
+	cls := opts.Classifier
+	if cls == nil {
+		cfg := core.DefaultPipelineConfig()
+		table, err := core.NewARPT(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cls = &core.Classifier{Scheme: Scheme1BitHybridPipeline, Table: table}
+	}
+
+	tr := &Trace{Name: p.Name}
+	var vp valuePredictor
+	var ctx core.Context
+
+	observe := func(ev vm.Event) {
+		in := ev.Inst
+		ti := TraceInst{
+			Index: int32(ev.Index),
+			Class: in.Classify(),
+			Src1:  noReg, Src2: noReg, Dest: noReg,
+		}
+
+		srcs := make([]int8, 0, 4)
+		for _, r := range in.Sources() {
+			if d := depReg(r, false); d != noReg {
+				srcs = append(srcs, d)
+			}
+		}
+		for _, r := range in.FPSources() {
+			srcs = append(srcs, depReg(r, true))
+		}
+		if len(srcs) > 0 {
+			ti.Src1 = srcs[0]
+		}
+		if len(srcs) > 1 {
+			ti.Src2 = srcs[1]
+		}
+		if d, ok := in.Dest(); ok {
+			ti.Dest = depReg(d, false)
+		} else if d, ok := in.FPDest(); ok {
+			ti.Dest = depReg(d, true)
+		}
+
+		if in.IsMem() {
+			ti.Flags |= FlagMem
+			if in.IsLoad() {
+				ti.Flags |= FlagLoad
+			}
+			if in.IsFPMem() {
+				ti.Flags |= FlagFPMem
+			}
+			ti.Addr = ev.MemAddr
+			if _, covered := core.StaticPredict(in); covered {
+				// $sp/$fp/$gp/constant addressing: the effective address
+				// is computable at dispatch in any machine (the base
+				// register is architecturally stable), so disambiguation
+				// need not wait for the AGU.
+				ti.Flags |= FlagEarlyAddr
+			}
+			actual := core.ActualOf(ev.Region)
+			if actual == core.PredictStack {
+				ti.Flags |= FlagStack
+			}
+			if opts.PerfectSteering {
+				if actual == core.PredictStack {
+					ti.Flags |= FlagPredStack
+				}
+				cls.Stats.Total++
+				cls.Stats.Correct++
+			} else {
+				ctx.CID = m.Reg(isa.RA)
+				pred := cls.Classify(ev.Index, ev.PC, in, ctx, actual)
+				if pred == core.PredictStack {
+					ti.Flags |= FlagPredStack
+				}
+			}
+		}
+		if in.IsBranch() {
+			ctx.UpdateGBH(ev.Taken)
+		}
+
+		if !opts.DisableValuePred && ti.Dest != noReg && ti.Dest < 32 {
+			// The stride predictor covers the integer register stream
+			// (the paper: "for the register values").
+			if vp.observe(ev.PC, m.Reg(isa.Register(ti.Dest))) {
+				ti.Flags |= FlagVPHit
+			}
+		}
+
+		tr.Insts = append(tr.Insts, ti)
+	}
+	for !m.Halted() && m.Seq() < limit {
+		ev, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("cpu: trace generation: %w", err)
+		}
+		observe(ev)
+	}
+	tr.PredictorStats = cls.Stats
+	return tr, nil
+}
+
+// Scheme1BitHybridPipeline names the steering classifier configuration
+// used in traces (for reporting only).
+const Scheme1BitHybridPipeline = core.Scheme1BitHybrid

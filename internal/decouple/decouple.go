@@ -1,0 +1,172 @@
+// Package decouple models the data-decoupling design space of §4: how
+// memory instructions are steered into the LSQ or LVAQ, and which
+// mechanisms (fast forwarding, recovery policy) the dual memory
+// pipeline enables. It builds the steering classifiers used by the
+// timing simulator and provides the ablation drivers comparing steering
+// policies — the paper's hardware ARPT against compiler-informed,
+// profile-oracle, and perfect steering.
+package decouple
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+// Policy selects how dispatch decides stack vs non-stack.
+type Policy int
+
+// Steering policies.
+const (
+	// PolicyARPT is the paper's hardware mechanism: addressing-mode
+	// rules plus the 32K-entry hybrid-context ARPT (§4.2-4.3). Runs
+	// existing binaries unmodified.
+	PolicyARPT Policy = iota
+	// PolicyCompiler adds the MiniC Figure 6 static hints in front of
+	// the ARPT (tagged instructions bypass the table).
+	PolicyCompiler
+	// PolicyOracle adds the §3.5.2 profile-based hints (the paper's
+	// idealized compiler information).
+	PolicyOracle
+	// PolicyStaticOnly uses only the addressing-mode rules; uncovered
+	// references default to non-stack (no table at all).
+	PolicyStaticOnly
+	// PolicyPerfect steers every reference to its true region — the
+	// contamination-free upper bound.
+	PolicyPerfect
+)
+
+var policyNames = map[Policy]string{
+	PolicyARPT:       "arpt",
+	PolicyCompiler:   "arpt+compiler",
+	PolicyOracle:     "arpt+oracle",
+	PolicyStaticOnly: "static-only",
+	PolicyPerfect:    "perfect",
+}
+
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// AllPolicies lists the steering policies in ablation order.
+var AllPolicies = []Policy{
+	PolicyStaticOnly, PolicyARPT, PolicyCompiler, PolicyOracle, PolicyPerfect,
+}
+
+// Classifier builds the core classifier implementing a policy for
+// program p. PolicyOracle requires a profile pr (it is ignored
+// otherwise); PolicyPerfect returns nil: callers enable perfect
+// steering in the trace options instead.
+func Classifier(policy Policy, p *prog.Program, pr *profile.Profile) (*core.Classifier, error) {
+	switch policy {
+	case PolicyARPT, PolicyCompiler, PolicyOracle:
+		table, err := core.NewARPT(core.DefaultPipelineConfig())
+		if err != nil {
+			return nil, err
+		}
+		c := &core.Classifier{Scheme: core.Scheme1BitHybrid, Table: table}
+		if policy == PolicyCompiler {
+			c.Hints = p.HintAt
+		}
+		if policy == PolicyOracle {
+			if pr == nil {
+				return nil, fmt.Errorf("decouple: oracle policy requires a profile")
+			}
+			c.Hints = pr.Oracle()
+		}
+		return c, nil
+	case PolicyStaticOnly:
+		return &core.Classifier{Scheme: core.SchemeStatic}, nil
+	case PolicyPerfect:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("decouple: unknown policy %v", policy)
+}
+
+// TraceOptions renders a policy into cpu trace options.
+func TraceOptions(policy Policy, p *prog.Program, pr *profile.Profile) (cpu.TraceOptions, error) {
+	if policy == PolicyPerfect {
+		return cpu.TraceOptions{PerfectSteering: true}, nil
+	}
+	cls, err := Classifier(policy, p, pr)
+	if err != nil {
+		return cpu.TraceOptions{}, err
+	}
+	return cpu.TraceOptions{Classifier: cls}, nil
+}
+
+// PolicyResult is one cell of the steering-policy ablation.
+type PolicyResult struct {
+	Policy      Policy
+	Cycles      uint64
+	IPC         float64
+	Mispredicts uint64
+	Accuracy    float64 // steering accuracy over the trace, percent
+}
+
+// ComparePolicies runs program p through the (3+3) configuration under
+// every steering policy and reports the results. maxInsts truncates the
+// trace when positive.
+func ComparePolicies(p *prog.Program, pr *profile.Profile, maxInsts uint64) ([]PolicyResult, error) {
+	var out []PolicyResult
+	cfg := cpu.Decoupled(3, 3)
+	for _, pol := range AllPolicies {
+		opts, err := TraceOptions(pol, p, pr)
+		if err != nil {
+			return nil, err
+		}
+		opts.MaxInsts = maxInsts
+		tr, err := cpu.BuildTrace(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cpu.Simulate(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PolicyResult{
+			Policy:      pol,
+			Cycles:      res.Cycles,
+			IPC:         res.IPC(),
+			Mispredicts: res.ARPTMispredicts,
+			Accuracy:    tr.PredictorStats.Accuracy(),
+		})
+	}
+	return out, nil
+}
+
+// FastForwardResult is one cell of the fast-forwarding ablation.
+type FastForwardResult struct {
+	FastForward  bool
+	Cycles       uint64
+	IPC          float64
+	FastForwards uint64
+}
+
+// CompareFastForward runs one trace through (3+3) with and without the
+// LVAQ's offset-based fast forwarding (§4.2's "more specialized
+// handling of each partitioned stream").
+func CompareFastForward(tr *cpu.Trace) ([]FastForwardResult, error) {
+	var out []FastForwardResult
+	for _, ff := range []bool{true, false} {
+		cfg := cpu.Decoupled(3, 3)
+		cfg.FastForward = ff
+		res, err := cpu.Simulate(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FastForwardResult{
+			FastForward:  ff,
+			Cycles:       res.Cycles,
+			IPC:          res.IPC(),
+			FastForwards: res.FastForwards,
+		})
+	}
+	return out, nil
+}

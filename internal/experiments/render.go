@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/region"
+)
+
+// RenderTable1 prints E1 in the paper's Table 1 layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Dynamic instruction count and load/store mix\n")
+	fmt.Fprintf(&b, "%-14s %12s %8s %8s\n", "Benchmark", "Inst. count", "L%", "S%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %7.0f%% %7.0f%%\n", r.Name, r.Insts, r.LoadPct, r.StorePct)
+	}
+	return b.String()
+}
+
+// RenderFigure2 prints E2 as the per-class percentage table behind the
+// paper's stacked bars.
+func RenderFigure2(rows []Figure2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2. Static memory instructions by accessed region set (%%)\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, set := range region.AllClasses {
+		fmt.Fprintf(&b, "%7s", set.Class())
+	}
+	fmt.Fprintf(&b, "%8s %8s\n", "multiS%", "multiD%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for _, set := range region.AllClasses {
+			fmt.Fprintf(&b, "%7.1f", r.StaticPct[set.Class()])
+		}
+		fmt.Fprintf(&b, "%8.1f %8.1f\n", r.MultiStaticPct, r.MultiDynPct)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints E3 in the paper's Table 2 layout.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Accesses in the last 32/64 instructions: mean (stddev)\n")
+	fmt.Fprintf(&b, "%-14s | %-29s | %-29s\n", "", "Window = 32", "Window = 64")
+	fmt.Fprintf(&b, "%-14s | %9s %9s %9s | %9s %9s %9s\n",
+		"Benchmark", "Data", "Heap", "Stack", "Data", "Heap", "Stack")
+	cell := func(c Table2Cell) string {
+		return fmt.Sprintf("%4.2f(%4.2f)", c.Mean, c.StdDev)
+	}
+	all := append(append([]Table2Row{}, rows...), Table2Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s | %11s %11s %11s | %11s %11s %11s\n", r.Name,
+			cell(r.W32[region.Data]), cell(r.W32[region.Heap]), cell(r.W32[region.Stack]),
+			cell(r.W64[region.Data]), cell(r.W64[region.Heap]), cell(r.W64[region.Stack]))
+	}
+	return b.String()
+}
+
+// RenderFigure4 prints E4 per scheme.
+func RenderFigure4(rows []Figure4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4. Correctly classified dynamic references (%%)\n")
+	fmt.Fprintf(&b, "%-14s %8s |", "Benchmark", "static%")
+	for _, s := range core.AllSchemes {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	fmt.Fprintln(&b)
+	all := append(append([]Figure4Row{}, rows...), Figure4Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s %7.1f%% |", r.Name, r.StaticCoveredPct)
+		for _, s := range core.AllSchemes {
+			fmt.Fprintf(&b, "%12.3f", r.AccuracyPct[s.String()])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints E5 in the paper's Table 3 layout, with the
+// percentage growth over the no-context table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Entries occupied in an unlimited ARPT\n")
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %14s\n", "Benchmark", "STATIC", "w/ GBH", "w/ CID", "w/ HYBRID")
+	grow := func(n, base int) string {
+		if base == 0 {
+			return fmt.Sprintf("%d", n)
+		}
+		return fmt.Sprintf("%d (%+d%%)", n, (n-base)*100/base)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %14s %14s %14s\n", r.Name, r.Static,
+			grow(r.GBH, r.Static), grow(r.CID, r.Static), grow(r.Hybrid, r.Static))
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints E6: accuracy vs table size, for each hint mode.
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5. 1BIT-HYBRID accuracy (%%) vs ARPT size and compiler information\n")
+	sizeName := func(s int) string {
+		if s == 0 {
+			return "unlim"
+		}
+		return fmt.Sprintf("%dK", s/1024)
+	}
+	fmt.Fprintf(&b, "%-14s %-9s", "Benchmark", "hints")
+	for _, s := range Figure5Sizes {
+		fmt.Fprintf(&b, "%9s", sizeName(s))
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		for _, mode := range []HintMode{HintsOff, HintsOracle, HintsCompiler} {
+			fmt.Fprintf(&b, "%-14s %-9s", r.Name, mode)
+			for _, s := range Figure5Sizes {
+				fmt.Fprintf(&b, "%9.3f", r.AccuracyPct[s][mode])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints E7 as relative performance per configuration.
+func RenderFigure8(rows []Figure8Row, configs []cpu.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8. Performance relative to the (2+0) baseline\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, cfg := range configs {
+		fmt.Fprintf(&b, "%12s", cfg.Name)
+	}
+	fmt.Fprintln(&b)
+	all := append(append([]Figure8Row{}, rows...), Figure8Average(rows, configs))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for _, cfg := range configs {
+			fmt.Fprintf(&b, "%12.3f", r.Speedup[cfg.Name])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "\nIPC per configuration\n%-14s", "Benchmark")
+	for _, cfg := range configs {
+		fmt.Fprintf(&b, "%12s", cfg.Name)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for _, cfg := range configs {
+			fmt.Fprintf(&b, "%12.2f", r.IPC[cfg.Name])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderLVC prints E8.
+func RenderLVC(rows []LVCRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stack-cache (4 KB direct-mapped LVC) hit rate, per §3.3\n")
+	fmt.Fprintf(&b, "%-14s %12s %10s\n", "Benchmark", "stack refs", "hit rate")
+	var sum float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %9.3f%%\n", r.Name, r.StackRefs, 100*r.HitRate)
+		sum += r.HitRate
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-14s %12s %9.3f%%\n", "Average", "", 100*sum/float64(len(rows)))
+	}
+	return b.String()
+}
+
+// RenderAblation prints E9.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: 1-bit vs 2-bit prediction accuracy (%%), footnote 8\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s %12s\n", "Benchmark", "1BIT", "2BIT", "1BIT-HYB", "2BIT-HYB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10.3f %10.3f %12.3f %12.3f\n",
+			r.Name, r.OneBit, r.TwoBit, r.OneHybrid, r.TwoHybrid)
+	}
+	return b.String()
+}
+
+// RenderContextSweep prints E10 grouped by workload.
+func RenderContextSweep(rows []ContextRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: hybrid context width sweep (accuracy %%)\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %10s\n", "Benchmark", "GBH", "CID", "accuracy")
+	sorted := append([]ContextRow{}, rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		if sorted[i].GBHBits != sorted[j].GBHBits {
+			return sorted[i].GBHBits < sorted[j].GBHBits
+		}
+		return sorted[i].CIDBits < sorted[j].CIDBits
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-14s %8d %8d %10.3f\n", r.Name, r.GBHBits, r.CIDBits, r.AccuracyPct)
+	}
+	return b.String()
+}
+
+// RenderPenaltySweep prints E11.
+func RenderPenaltySweep(rows []PenaltyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: (3+3) speedup vs ARPT misprediction penalty\n")
+	fmt.Fprintf(&b, "%-14s %8s %10s %12s\n", "Benchmark", "penalty", "speedup", "mispredicts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %10.3f %12d\n", r.Name, r.Penalty, r.Speedup, r.Mispredicts)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+// Package experiments implements the drivers that regenerate every
+// table and figure of the paper's evaluation (the E1-E11 index in
+// DESIGN.md). Each experiment returns structured rows; the render
+// functions print them in the paper's layout so results can be read
+// side by side with the original.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Runner holds the shared setup for a batch of experiments.
+type Runner struct {
+	// Workloads selects the programs (default: all twelve).
+	Workloads []*workload.Workload
+	// Scale overrides the per-workload default scale when positive.
+	Scale int
+	// MaxInsts truncates functional runs and traces when positive,
+	// useful for quick runs and benchmarks.
+	MaxInsts uint64
+	// Log receives progress lines (nil for silence).
+	Log io.Writer
+
+	mu       sync.Mutex
+	programs map[string]*prog.Program
+	profiles map[string]*profile.Profile
+}
+
+// NewRunner returns a Runner over all twelve workloads.
+func NewRunner() *Runner {
+	return &Runner{Workloads: workload.All()}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Program compiles (and memoizes) one workload.
+func (r *Runner) Program(w *workload.Workload) (*prog.Program, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.programs == nil {
+		r.programs = make(map[string]*prog.Program)
+	}
+	if p, ok := r.programs[w.Name]; ok {
+		return p, nil
+	}
+	p, err := w.Compile(r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	r.programs[w.Name] = p
+	return p, nil
+}
+
+// Profile runs (and memoizes) the region profile of one workload. The
+// profile backs Table 1, Figure 2, Table 2 and the §3.5.2 oracle hints.
+func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
+	p, err := r.Program(w)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.profiles == nil {
+		r.profiles = make(map[string]*profile.Profile)
+	}
+	if pr, ok := r.profiles[w.Name]; ok {
+		r.mu.Unlock()
+		return pr, nil
+	}
+	r.mu.Unlock()
+
+	r.logf("profiling %s ...", w.Name)
+	pr, err := profile.Run(p, r.MaxInsts, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	r.mu.Lock()
+	r.profiles[w.Name] = pr
+	r.mu.Unlock()
+	return pr, nil
+}
+
+// forEach runs f over the runner's workloads, collecting results in
+// order.
+func forEach[T any](r *Runner, f func(w *workload.Workload) (T, error)) ([]T, error) {
+	out := make([]T, 0, len(r.Workloads))
+	for _, w := range r.Workloads {
+		v, err := f(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/decouple"
+	"repro/internal/workload"
+)
+
+// SteeringRow is one cell of the E12 steering-policy ablation: the
+// (3+3) machine driven by different dispatch-steering policies.
+type SteeringRow struct {
+	Name    string
+	Results []decouple.PolicyResult
+}
+
+// SteeringPolicies runs E12 over the runner's workloads.
+func (r *Runner) SteeringPolicies() ([]SteeringRow, error) {
+	return forEach(r, func(w *workload.Workload) (SteeringRow, error) {
+		p, err := r.Program(w)
+		if err != nil {
+			return SteeringRow{}, err
+		}
+		pr, err := r.Profile(w)
+		if err != nil {
+			return SteeringRow{}, err
+		}
+		r.logf("steering ablation %s ...", w.Name)
+		results, err := decouple.ComparePolicies(p, pr, r.MaxInsts)
+		if err != nil {
+			return SteeringRow{}, err
+		}
+		return SteeringRow{Name: w.Name, Results: results}, nil
+	})
+}
+
+// RenderSteering prints E12: cycles of each policy relative to perfect
+// steering.
+func RenderSteering(rows []SteeringRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: (3+3) steering policy (cycles relative to perfect steering)\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, p := range decouple.AllPolicies {
+		fmt.Fprintf(&b, "%15s", p)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range rows {
+		var perfect uint64
+		for _, res := range row.Results {
+			if res.Policy == decouple.PolicyPerfect {
+				perfect = res.Cycles
+			}
+		}
+		fmt.Fprintf(&b, "%-14s", row.Name)
+		for _, res := range row.Results {
+			rel := float64(res.Cycles) / float64(perfect)
+			fmt.Fprintf(&b, "%15.3f", rel)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FFRow is one row of the E13 fast-forwarding ablation.
+type FFRow struct {
+	Name         string
+	SpeedupFF    float64 // cycles(without) / cycles(with)
+	FastForwards uint64
+}
+
+// FastForwardAblation runs E13: (3+3) with and without LVAQ fast
+// forwarding.
+func (r *Runner) FastForwardAblation() ([]FFRow, error) {
+	return forEach(r, func(w *workload.Workload) (FFRow, error) {
+		p, err := r.Program(w)
+		if err != nil {
+			return FFRow{}, err
+		}
+		r.logf("fast-forward ablation %s ...", w.Name)
+		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		if err != nil {
+			return FFRow{}, err
+		}
+		results, err := decouple.CompareFastForward(tr)
+		if err != nil {
+			return FFRow{}, err
+		}
+		with, without := results[0], results[1]
+		return FFRow{
+			Name:         w.Name,
+			SpeedupFF:    float64(without.Cycles) / float64(with.Cycles),
+			FastForwards: with.FastForwards,
+		}, nil
+	})
+}
+
+// RenderFastForward prints E13.
+func RenderFastForward(rows []FFRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: LVAQ fast forwarding on the (3+3) machine\n")
+	fmt.Fprintf(&b, "%-14s %12s %14s\n", "Benchmark", "speedup", "fast forwards")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.3f %14d\n", r.Name, r.SpeedupFF, r.FastForwards)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// Figure8Row reproduces one group of Figure 8 bars: performance of each
+// machine configuration relative to the (2+0) baseline.
+type Figure8Row struct {
+	Name string
+	// Speedup maps configuration name to cycles(2+0)/cycles(config).
+	Speedup map[string]float64
+	// IPC maps configuration name to instructions per cycle.
+	IPC map[string]float64
+	// Mispredicts maps configuration name to ARPT steering misses.
+	Mispredicts map[string]uint64
+	// LVCHitRate is the LVC hit rate in the (3+3) configuration.
+	LVCHitRate float64
+}
+
+// Figure8 runs E7: every Figure 8 configuration over every workload.
+// The first configuration in cpu.Figure8Configs — (2+0) — is the
+// baseline.
+func (r *Runner) Figure8() ([]Figure8Row, error) {
+	return r.FigureWithConfigs(cpu.Figure8Configs())
+}
+
+// FigureWithConfigs runs the timing study over an arbitrary
+// configuration list; the first entry is the speedup baseline.
+func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("experiments: no configurations")
+	}
+	return forEach(r, func(w *workload.Workload) (Figure8Row, error) {
+		p, err := r.Program(w)
+		if err != nil {
+			return Figure8Row{}, err
+		}
+		r.logf("tracing %s ...", w.Name)
+		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		if err != nil {
+			return Figure8Row{}, err
+		}
+		row := Figure8Row{
+			Name:        w.Name,
+			Speedup:     make(map[string]float64, len(configs)),
+			IPC:         make(map[string]float64, len(configs)),
+			Mispredicts: make(map[string]uint64, len(configs)),
+		}
+		var base *cpu.Result
+		for _, cfg := range configs {
+			r.logf("  %s %s ...", w.Name, cfg.Name)
+			res, err := cpu.Simulate(tr, cfg)
+			if err != nil {
+				return Figure8Row{}, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
+			}
+			if base == nil {
+				base = res
+			}
+			row.Speedup[cfg.Name] = res.Speedup(base)
+			row.IPC[cfg.Name] = res.IPC()
+			row.Mispredicts[cfg.Name] = res.ARPTMispredicts
+			if cfg.Name == "(3+3)" {
+				row.LVCHitRate = res.LVCStats.HitRate()
+			}
+		}
+		return row, nil
+	})
+}
+
+// Figure8Average computes the per-configuration geometric-mean-free
+// arithmetic average the paper quotes ("improves the performance by
+// 33% ... on average").
+func Figure8Average(rows []Figure8Row, configs []cpu.Config) Figure8Row {
+	avg := Figure8Row{Name: "Average", Speedup: map[string]float64{}, IPC: map[string]float64{}}
+	if len(rows) == 0 {
+		return avg
+	}
+	for _, row := range rows {
+		for _, cfg := range configs {
+			avg.Speedup[cfg.Name] += row.Speedup[cfg.Name] / float64(len(rows))
+			avg.IPC[cfg.Name] += row.IPC[cfg.Name] / float64(len(rows))
+		}
+	}
+	return avg
+}
+
+// PenaltyRow is one cell of E11: sensitivity of the (3+3) configuration
+// to the ARPT misprediction recovery penalty.
+type PenaltyRow struct {
+	Name        string
+	Penalty     int
+	Speedup     float64 // vs (2+0)
+	Mispredicts uint64
+}
+
+// PenaltySweep runs E11 over the given penalty values.
+func (r *Runner) PenaltySweep(penalties []int) ([]PenaltyRow, error) {
+	var rows []PenaltyRow
+	for _, w := range r.Workloads {
+		p, err := r.Program(w)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		if err != nil {
+			return nil, err
+		}
+		base, err := cpu.Simulate(tr, cpu.Conventional(2, 2))
+		if err != nil {
+			return nil, err
+		}
+		for _, pen := range penalties {
+			cfg := cpu.Decoupled(3, 3)
+			cfg.MispredictPenalty = pen
+			res, err := cpu.Simulate(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PenaltyRow{
+				Name: w.Name, Penalty: pen,
+				Speedup:     res.Speedup(base),
+				Mispredicts: res.ARPTMispredicts,
+			})
+		}
+	}
+	return rows, nil
+}

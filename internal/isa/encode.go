@@ -1,0 +1,192 @@
+package isa
+
+import "fmt"
+
+// Binary layout. Three formats share a 6-bit primary opcode in the top
+// bits:
+//
+//	I-format:  op(6) | rd(5) | rs(5) | imm(16, signed)
+//	R-format:  op(6) | rd(5) | rs(5) | rt(5) | funct(11)
+//	J-format:  op(6) | target(26, word index)
+//
+// OpReg and OpFP use the R format; J and JAL use the J format; everything
+// else uses the I format (unused fields are zero).
+const (
+	opShift = 26
+	rdShift = 21
+	rsShift = 16
+	rtShift = 11
+
+	immMask    = 0xFFFF
+	functMask  = 0x7FF
+	targetMask = 0x03FFFFFF
+)
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// ErrBadEncoding is returned (wrapped) by Decode for undecodable words.
+var ErrBadEncoding = fmt.Errorf("isa: bad instruction encoding")
+
+// Encode packs an instruction into its 32-bit binary form. It returns an
+// error if a field does not fit (immediate out of 16-bit range, jump
+// target out of 26-bit range, or function code out of 11-bit range).
+func Encode(in Inst) (uint32, error) {
+	if in.Op >= numOps {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	w := uint32(in.Op) << opShift
+	switch in.Op {
+	case OpReg, OpFP:
+		if uint32(in.Funct) > functMask {
+			return 0, fmt.Errorf("isa: encode: funct %d out of range", in.Funct)
+		}
+		w |= uint32(in.Rd&31) << rdShift
+		w |= uint32(in.Rs&31) << rsShift
+		w |= uint32(in.Rt&31) << rtShift
+		w |= uint32(in.Funct)
+	case OpJ, OpJAL:
+		if in.Imm < 0 || uint32(in.Imm) > targetMask {
+			return 0, fmt.Errorf("isa: encode: jump target %#x out of range", in.Imm)
+		}
+		w |= uint32(in.Imm) & targetMask
+	default:
+		if in.Imm < -32768 || in.Imm > 32767 {
+			return 0, fmt.Errorf("isa: encode: immediate %d out of 16-bit range", in.Imm)
+		}
+		w |= uint32(in.Rd&31) << rdShift
+		w |= uint32(in.Rs&31) << rsShift
+		w |= uint32(in.Imm) & immMask
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known to be well-formed; it
+// panics on error and is intended for compiler/assembler internals and
+// tests.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an instruction.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> opShift)
+	if op >= numOps {
+		return Inst{}, fmt.Errorf("%w: opcode %d in %#08x", ErrBadEncoding, op, w)
+	}
+	var in Inst
+	in.Op = op
+	switch op {
+	case OpReg, OpFP:
+		in.Rd = Register(w >> rdShift & 31)
+		in.Rs = Register(w >> rsShift & 31)
+		in.Rt = Register(w >> rtShift & 31)
+		in.Funct = Funct(w & functMask)
+		if op == OpReg && in.Funct > FnSLTU {
+			return Inst{}, fmt.Errorf("%w: int funct %d", ErrBadEncoding, in.Funct)
+		}
+		if op == OpFP && in.Funct > FnMTC1 {
+			return Inst{}, fmt.Errorf("%w: fp funct %d", ErrBadEncoding, in.Funct)
+		}
+	case OpJ, OpJAL:
+		in.Imm = int32(w & targetMask)
+	default:
+		in.Rd = Register(w >> rdShift & 31)
+		in.Rs = Register(w >> rsShift & 31)
+		in.Imm = int32(int16(w & immMask)) // sign-extend
+	}
+	return in, nil
+}
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpLB: "lb", OpLBU: "lbu", OpLH: "lh", OpLHU: "lhu",
+	OpLW: "lw", OpLWC1: "l.s", OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpSWC1: "s.s", OpADDI: "addi", OpANDI: "andi", OpORI: "ori",
+	OpXORI: "xori", OpSLTI: "slti", OpSLLI: "slli", OpSRLI: "srli",
+	OpSRAI: "srai", OpLUI: "lui", OpBEQ: "beq", OpBNE: "bne",
+	OpBLEZ: "blez", OpBGTZ: "bgtz", OpBLTZ: "bltz", OpBGEZ: "bgez",
+	OpJ: "j", OpJAL: "jal", OpJR: "jr", OpJALR: "jalr",
+	OpSYSCALL: "syscall",
+}
+
+var intFnNames = map[Funct]string{
+	FnADD: "add", FnSUB: "sub", FnMUL: "mul", FnMULH: "mulh",
+	FnDIV: "div", FnREM: "rem", FnAND: "and", FnOR: "or", FnXOR: "xor",
+	FnNOR: "nor", FnSLL: "sll", FnSRL: "srl", FnSRA: "sra",
+	FnSLT: "slt", FnSLTU: "sltu",
+}
+
+var fpFnNames = map[Funct]string{
+	FnFADD: "add.s", FnFSUB: "sub.s", FnFMUL: "mul.s", FnFDIV: "div.s",
+	FnFNEG: "neg.s", FnFABS: "abs.s", FnFSQRT: "sqrt.s",
+	FnCEQ: "c.eq.s", FnCLT: "c.lt.s", FnCLE: "c.le.s",
+	FnCVTSW: "cvt.s.w", FnCVTWS: "cvt.w.s", FnMFC1: "mfc1", FnMTC1: "mtc1",
+}
+
+// Mnemonic reports the assembler mnemonic for the instruction.
+func (i Inst) Mnemonic() string {
+	switch i.Op {
+	case OpReg:
+		if n, ok := intFnNames[i.Funct]; ok {
+			return n
+		}
+	case OpFP:
+		if n, ok := fpFnNames[i.Funct]; ok {
+			return n
+		}
+	default:
+		if n, ok := opNames[i.Op]; ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("op(%d,%d)", i.Op, i.Funct)
+}
+
+func fpName(r Register) string { return fmt.Sprintf("$f%d", uint8(r)) }
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	m := i.Mnemonic()
+	switch i.Op {
+	case OpNop, OpSYSCALL:
+		return m
+	case OpReg:
+		return fmt.Sprintf("%s %s, %s, %s", m, i.Rd, i.Rs, i.Rt)
+	case OpFP:
+		switch i.Funct {
+		case FnFNEG, FnFABS, FnFSQRT:
+			return fmt.Sprintf("%s %s, %s", m, fpName(i.Rd), fpName(i.Rs))
+		case FnCEQ, FnCLT, FnCLE:
+			return fmt.Sprintf("%s %s, %s, %s", m, i.Rd, fpName(i.Rs), fpName(i.Rt))
+		case FnCVTSW, FnMTC1:
+			return fmt.Sprintf("%s %s, %s", m, fpName(i.Rd), i.Rs)
+		case FnCVTWS, FnMFC1:
+			return fmt.Sprintf("%s %s, %s", m, i.Rd, fpName(i.Rs))
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", m, fpName(i.Rd), fpName(i.Rs), fpName(i.Rt))
+		}
+	case OpLWC1, OpSWC1:
+		return fmt.Sprintf("%s %s, %d(%s)", m, fpName(i.Rd), i.Imm, i.Rs)
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", m, i.Rd, i.Imm, i.Rs)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLTI, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rd, i.Rs, i.Imm)
+	case OpLUI:
+		return fmt.Sprintf("%s %s, %d", m, i.Rd, i.Imm)
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s, %s, %d", m, i.Rs, i.Rd, i.Imm)
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return fmt.Sprintf("%s %s, %d", m, i.Rs, i.Imm)
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s %#x", m, uint32(i.Imm)*InstBytes)
+	case OpJR:
+		return fmt.Sprintf("%s %s", m, i.Rs)
+	case OpJALR:
+		return fmt.Sprintf("%s %s, %s", m, i.Rd, i.Rs)
+	}
+	return m
+}

@@ -1,0 +1,159 @@
+// Package mem implements the sparse byte-addressable memory backing both
+// simulators. Memory is allocated in fixed-size pages on first touch, so
+// a 4 GB address space with a data segment at 0x10000000 and a stack at
+// 0x7FFFF000 costs only what the program actually touches.
+//
+// All multi-byte accesses are little-endian. Alignment is enforced:
+// RISA, like MIPS, faults on misaligned halfword/word accesses, and the
+// simulators surface that as an error rather than silently rotating
+// bytes.
+package mem
+
+import "fmt"
+
+// PageBits is log2 of the page size. 4 KB pages match the TLB model.
+const PageBits = 12
+
+// PageSize is the memory page size in bytes.
+const PageSize = 1 << PageBits
+
+const offMask = PageSize - 1
+
+// AccessError describes a faulting memory access.
+type AccessError struct {
+	Addr uint32
+	Size int
+	Why  string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: %s at %#08x (size %d)", e.Why, e.Addr, e.Size)
+}
+
+// Memory is a sparse paged memory. The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+
+	// last-page cache: the VM touches the same stack/data pages
+	// repeatedly, so a one-entry cache removes most map lookups.
+	lastNum  uint32
+	lastPage *[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+// Pages reports how many distinct pages have been touched.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Footprint reports the total bytes of allocated pages.
+func (m *Memory) Footprint() int { return len(m.pages) * PageSize }
+
+func (m *Memory) page(addr uint32) *[PageSize]byte {
+	num := addr >> PageBits
+	if m.lastPage != nil && m.lastNum == num {
+		return m.lastPage
+	}
+	p, ok := m.pages[num]
+	if !ok {
+		if m.pages == nil {
+			m.pages = make(map[uint32]*[PageSize]byte)
+		}
+		p = new([PageSize]byte)
+		m.pages[num] = p
+	}
+	m.lastNum, m.lastPage = num, p
+	return p
+}
+
+// ReadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	return m.page(addr)[addr&offMask]
+}
+
+// WriteByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr)[addr&offMask] = v
+}
+
+func misaligned(addr uint32, size int) error {
+	return &AccessError{Addr: addr, Size: size, Why: "misaligned access"}
+}
+
+// ReadHalf reads a little-endian 16-bit value. addr must be 2-aligned.
+func (m *Memory) ReadHalf(addr uint32) (uint16, error) {
+	if addr&1 != 0 {
+		return 0, misaligned(addr, 2)
+	}
+	p := m.page(addr)
+	o := addr & offMask
+	return uint16(p[o]) | uint16(p[o+1])<<8, nil
+}
+
+// WriteHalf writes a little-endian 16-bit value. addr must be 2-aligned.
+func (m *Memory) WriteHalf(addr uint32, v uint16) error {
+	if addr&1 != 0 {
+		return misaligned(addr, 2)
+	}
+	p := m.page(addr)
+	o := addr & offMask
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	return nil
+}
+
+// ReadWord reads a little-endian 32-bit value. addr must be 4-aligned.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, misaligned(addr, 4)
+	}
+	p := m.page(addr)
+	o := addr & offMask
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+}
+
+// WriteWord writes a little-endian 32-bit value. addr must be 4-aligned.
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	if addr&3 != 0 {
+		return misaligned(addr, 4)
+	}
+	p := m.page(addr)
+	o := addr & offMask
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint32(i))
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+uint32(i), v)
+	}
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (to bound damage from an unterminated string).
+func (m *Memory) ReadCString(addr uint32, max int) string {
+	var b []byte
+	for i := 0; i < max; i++ {
+		c := m.LoadByte(addr + uint32(i))
+		if c == 0 {
+			break
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFreshMemory(t *testing.T) {
+	m := New()
+	if m.LoadByte(0x12345678) != 0 {
+		t.Error("fresh memory not zero")
+	}
+	if v, err := m.ReadWord(0x1000_0000); err != nil || v != 0 {
+		t.Errorf("fresh word = %d, %v", v, err)
+	}
+}
+
+func TestWordRoundTripLittleEndian(t *testing.T) {
+	m := New()
+	if err := m.WriteWord(0x1000, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	if m.LoadByte(0x1000) != 0x44 || m.LoadByte(0x1003) != 0x11 {
+		t.Error("not little-endian")
+	}
+	v, err := m.ReadWord(0x1000)
+	if err != nil || v != 0x11223344 {
+		t.Errorf("ReadWord = %#x, %v", v, err)
+	}
+}
+
+func TestHalfRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.WriteHalf(0x2002, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadHalf(0x2002)
+	if err != nil || v != 0xBEEF {
+		t.Errorf("ReadHalf = %#x, %v", v, err)
+	}
+}
+
+func TestMisalignmentFaults(t *testing.T) {
+	m := New()
+	if _, err := m.ReadWord(0x1002); err == nil {
+		t.Error("misaligned word read succeeded")
+	}
+	if err := m.WriteWord(0x1001, 1); err == nil {
+		t.Error("misaligned word write succeeded")
+	}
+	if _, err := m.ReadHalf(0x1001); err == nil {
+		t.Error("misaligned half read succeeded")
+	}
+	var ae *AccessError
+	err := m.WriteHalf(0x1003, 1)
+	if !asAccess(err, &ae) || ae.Addr != 0x1003 {
+		t.Errorf("error detail: %v", err)
+	}
+}
+
+func asAccess(err error, out **AccessError) bool {
+	ae, ok := err.(*AccessError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+func TestCrossPageBytes(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2)
+	data := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(addr, data)
+	if got := m.ReadBytes(addr, 5); !bytes.Equal(got, data) {
+		t.Errorf("cross-page bytes = %v", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x4000, []byte("hello\x00world"))
+	if s := m.ReadCString(0x4000, 64); s != "hello" {
+		t.Errorf("cstring = %q", s)
+	}
+	if s := m.ReadCString(0x4000, 3); s != "hel" {
+		t.Errorf("bounded cstring = %q", s)
+	}
+}
+
+func TestFootprintSparse(t *testing.T) {
+	m := New()
+	m.StoreByte(0, 1)
+	m.StoreByte(0x7FFF_0000, 1)
+	if m.Footprint() != 2*PageSize {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}
+
+// Property: word write/read round-trips at any aligned address.
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New()
+	f := func(addr, v uint32) bool {
+		addr &^= 3
+		if err := m.WriteWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.ReadWord(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writes to one location never disturb another location.
+func TestWriteIsolationProperty(t *testing.T) {
+	f := func(a, b uint32, va, vb byte) bool {
+		if a == b {
+			return true
+		}
+		m := New()
+		m.StoreByte(a, va)
+		m.StoreByte(b, vb)
+		return m.LoadByte(a) == va && m.LoadByte(b) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package minicc
+
+import "fmt"
+
+// Type is a MiniC type. MiniC has int (32-bit signed), float (float32),
+// pointers, and fixed-size arrays of int/float/pointer.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // element type for Ptr and Array
+	Len  int   // array length for Array
+}
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeFloat
+	TypePtr
+	TypeArray
+)
+
+var (
+	tyVoid  = &Type{Kind: TypeVoid}
+	tyInt   = &Type{Kind: TypeInt}
+	tyFloat = &Type{Kind: TypeFloat}
+)
+
+func ptrTo(t *Type) *Type { return &Type{Kind: TypePtr, Elem: t} }
+func arrayOf(t *Type, n int) *Type {
+	return &Type{Kind: TypeArray, Elem: t, Len: n}
+}
+
+// Size reports the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt, TypeFloat, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Elem.Size() * t.Len
+	}
+	return 0
+}
+
+// IsScalar reports whether the type fits in one register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeFloat || t.Kind == TypePtr
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind || t.Len != o.Len {
+		return false
+	}
+	if t.Elem == nil && o.Elem == nil {
+		return true
+	}
+	return t.Elem.Equal(o.Elem)
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Storage says where a variable lives — the compile-time counterpart of
+// the paper's access regions.
+type Storage int
+
+// Variable storage classes.
+const (
+	StorGlobal Storage = iota // static data region
+	StorLocal                 // stack frame
+	StorParam                 // incoming parameter (stack frame home)
+)
+
+// Sym is a declared variable.
+type Sym struct {
+	Name    string
+	Type    *Type
+	Stor    Storage
+	Line    int
+	Index   int  // declaration order within its scope owner
+	IsAddrT bool // address taken somewhere (forces stack home for locals)
+
+	// Codegen fields.
+	Offset int  // frame offset (locals/params) or data offset (globals)
+	InReg  bool // promoted to a callee-saved register
+	Reg    int  // s-register index when InReg
+}
+
+// Expr is an expression node.
+type Expr struct {
+	Kind ExprKind
+	Line int
+
+	Type *Type // set by the checker
+
+	// Literals.
+	Ival int64
+	Fval float64
+	Str  string
+
+	// Identifiers.
+	Sym *Sym
+
+	// Operators.
+	Op   string
+	L, R *Expr
+
+	// Calls.
+	Callee string
+	Fn     *Func // resolved user function (nil for builtins)
+	Args   []*Expr
+
+	// Casts.
+	CastTo *Type
+}
+
+// ExprKind discriminates Expr.
+type ExprKind int
+
+// Expression kinds.
+const (
+	ExprIntLit ExprKind = iota
+	ExprFloatLit
+	ExprStrLit
+	ExprIdent
+	ExprUnary  // Op in {-, !, ~, *, &}; operand in L
+	ExprBinary // Op arithmetic/relational/logical; operands L, R
+	ExprAssign // Op in {=, +=, -=, ...}; L is lvalue
+	ExprIndex  // L[R]
+	ExprCall
+	ExprCast // (CastTo) L
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	Decl *Sym  // declared variable for StmtDecl
+	Init *Expr // initializer (StmtDecl) or init expr (StmtFor uses InitStmt)
+	Expr *Expr // condition or expression
+
+	InitStmt *Stmt // for-loop init
+	Post     *Expr // for-loop post expression
+
+	Body []*Stmt // block body / loop body / then-branch
+	Else []*Stmt // else-branch
+}
+
+// StmtKind discriminates Stmt.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StmtDecl StmtKind = iota
+	StmtExpr
+	StmtIf
+	StmtWhile
+	StmtFor
+	StmtReturn
+	StmtBreak
+	StmtContinue
+	StmtBlock
+)
+
+// Func is a function definition.
+type Func struct {
+	Name    string
+	Ret     *Type
+	Params  []*Sym
+	Body    []*Stmt
+	Line    int
+	Locals  []*Sym // every local declared anywhere in the body, in order
+	IsProto bool   // declaration without body (not supported; kept false)
+}
+
+// Unit is a parsed+checked compilation unit.
+type Unit struct {
+	File    string
+	Globals []*Sym
+	// GlobalInit holds constant initializers for scalar globals (by
+	// symbol name); arrays are zero-initialized.
+	GlobalInit map[string]*Expr
+	Funcs      []*Func
+	FuncByName map[string]*Func
+	// Strings interned from string literals, in first-use order.
+	Strings []string
+}

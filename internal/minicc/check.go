@@ -1,0 +1,596 @@
+package minicc
+
+import "fmt"
+
+// checker resolves calls, assigns types bottom-up, inserts implicit
+// int<->float conversions as cast nodes, validates lvalues, and marks
+// address-taken symbols (which forces their stack homes, exactly the
+// property the paper's example uses: "a is a local variable whose
+// address is taken ... the reference to a becomes a stack access").
+type checker struct {
+	unit *Unit
+	fn   *Func
+	strs map[string]int
+	loop int
+}
+
+type builtin struct {
+	params []*Type
+	ret    *Type
+}
+
+var builtins = map[string]builtin{
+	"malloc":      {params: []*Type{tyInt}, ret: ptrTo(tyInt)},
+	"exit":        {params: []*Type{tyInt}, ret: tyVoid},
+	"print_int":   {params: []*Type{tyInt}, ret: tyVoid},
+	"print_float": {params: []*Type{tyFloat}, ret: tyVoid},
+	"print_char":  {params: []*Type{tyInt}, ret: tyVoid},
+	"print_str":   {params: nil, ret: tyVoid}, // special-cased: literal arg
+	"sqrtf":       {params: []*Type{tyFloat}, ret: tyFloat},
+	"fabsf":       {params: []*Type{tyFloat}, ret: tyFloat},
+}
+
+func check(u *Unit) error {
+	c := &checker{unit: u, strs: make(map[string]int)}
+	// Global initializer types.
+	for name, init := range u.GlobalInit {
+		var sym *Sym
+		for _, g := range u.Globals {
+			if g.Name == name {
+				sym = g
+				break
+			}
+		}
+		e, err := c.expr(init)
+		if err != nil {
+			return err
+		}
+		e, err = c.convert(e, sym.Type, sym.Line)
+		if err != nil {
+			return err
+		}
+		u.GlobalInit[name] = e
+	}
+	for _, fn := range u.Funcs {
+		c.fn = fn
+		if err := c.stmts(fn.Body); err != nil {
+			return err
+		}
+	}
+	if _, ok := u.FuncByName["main"]; !ok {
+		return &CompileError{File: u.File, Line: 1, Msg: "no main function"}
+	}
+	return nil
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	return &CompileError{File: c.unit.File, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) stmts(ss []*Stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtDecl:
+		if s.Init != nil {
+			if s.Decl.Type.Kind == TypeArray {
+				return c.errf(s.Line, "array %q cannot have an initializer", s.Decl.Name)
+			}
+			e, err := c.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			e, err = c.convert(e, s.Decl.Type, s.Line)
+			if err != nil {
+				return err
+			}
+			s.Init = e
+		}
+		return nil
+	case StmtExpr:
+		e, err := c.expr(s.Expr)
+		if err != nil {
+			return err
+		}
+		s.Expr = e
+		return nil
+	case StmtIf, StmtWhile:
+		e, err := c.cond(s.Expr)
+		if err != nil {
+			return err
+		}
+		s.Expr = e
+		if s.Kind == StmtWhile {
+			c.loop++
+			defer func() { c.loop-- }()
+		}
+		if err := c.stmts(s.Body); err != nil {
+			return err
+		}
+		return c.stmts(s.Else)
+	case StmtFor:
+		if s.InitStmt != nil {
+			if err := c.stmt(s.InitStmt); err != nil {
+				return err
+			}
+		}
+		if s.Expr != nil {
+			e, err := c.cond(s.Expr)
+			if err != nil {
+				return err
+			}
+			s.Expr = e
+		}
+		if s.Post != nil {
+			e, err := c.expr(s.Post)
+			if err != nil {
+				return err
+			}
+			s.Post = e
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.stmts(s.Body)
+	case StmtReturn:
+		if c.fn.Ret.Kind == TypeVoid {
+			if s.Expr != nil {
+				return c.errf(s.Line, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if s.Expr == nil {
+			return c.errf(s.Line, "function %q must return %s", c.fn.Name, c.fn.Ret)
+		}
+		e, err := c.expr(s.Expr)
+		if err != nil {
+			return err
+		}
+		e, err = c.convert(e, c.fn.Ret, s.Line)
+		if err != nil {
+			return err
+		}
+		s.Expr = e
+		return nil
+	case StmtBreak, StmtContinue:
+		if c.loop == 0 {
+			return c.errf(s.Line, "break/continue outside a loop")
+		}
+		return nil
+	case StmtBlock:
+		return c.stmts(s.Body)
+	}
+	return c.errf(s.Line, "internal: unknown statement kind %d", s.Kind)
+}
+
+// cond type-checks a condition: int or pointer (non-zero means true).
+func (c *checker) cond(e *Expr) (*Expr, error) {
+	e, err := c.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	t := decayType(e.Type)
+	if t.Kind == TypeFloat {
+		return nil, c.errf(e.Line, "float condition; compare explicitly")
+	}
+	if t.Kind != TypeInt && t.Kind != TypePtr {
+		return nil, c.errf(e.Line, "condition has type %s", e.Type)
+	}
+	return e, nil
+}
+
+// decayType converts an array type to a pointer to its element.
+func decayType(t *Type) *Type {
+	if t != nil && t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// convert coerces e to want, inserting an implicit cast when needed.
+func (c *checker) convert(e *Expr, want *Type, line int) (*Expr, error) {
+	have := decayType(e.Type)
+	if have.Equal(want) {
+		return e, nil
+	}
+	switch {
+	case have.Kind == TypeInt && want.Kind == TypeFloat,
+		have.Kind == TypeFloat && want.Kind == TypeInt:
+		return &Expr{Kind: ExprCast, CastTo: want, L: e, Type: want, Line: line}, nil
+	case have.Kind == TypePtr && want.Kind == TypePtr:
+		// Only identical pointer types convert implicitly, except that
+		// malloc's int* converts to any pointer (MiniC's void*).
+		if e.Kind == ExprCall && e.Callee == "malloc" {
+			return &Expr{Kind: ExprCast, CastTo: want, L: e, Type: want, Line: line}, nil
+		}
+	case have.Kind == TypeInt && want.Kind == TypePtr:
+		if e.Kind == ExprIntLit && e.Ival == 0 {
+			return &Expr{Kind: ExprCast, CastTo: want, L: e, Type: want, Line: line}, nil
+		}
+	}
+	return nil, c.errf(line, "cannot convert %s to %s", e.Type, want)
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprIdent:
+		return e.Sym.Type.Kind != TypeArray // arrays are not assignable
+	case ExprIndex:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (c *checker) expr(e *Expr) (*Expr, error) {
+	switch e.Kind {
+	case ExprIntLit:
+		e.Type = tyInt
+		return e, nil
+	case ExprFloatLit:
+		e.Type = tyFloat
+		return e, nil
+	case ExprStrLit:
+		idx, ok := c.strs[e.Str]
+		if !ok {
+			idx = len(c.unit.Strings)
+			c.strs[e.Str] = idx
+			c.unit.Strings = append(c.unit.Strings, e.Str)
+		}
+		e.Ival = int64(idx)
+		e.Type = ptrTo(tyInt)
+		return e, nil
+	case ExprIdent:
+		e.Type = e.Sym.Type
+		return e, nil
+	case ExprUnary:
+		return c.unary(e)
+	case ExprBinary:
+		return c.binary(e)
+	case ExprAssign:
+		return c.assign(e)
+	case ExprIndex:
+		return c.index(e)
+	case ExprCall:
+		return c.call(e)
+	case ExprCast:
+		l, err := c.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		e.L = l
+		from, to := decayType(l.Type), e.CastTo
+		okCast := (from.Kind == TypeInt || from.Kind == TypeFloat || from.Kind == TypePtr) &&
+			(to.Kind == TypeInt || to.Kind == TypeFloat || to.Kind == TypePtr)
+		if !okCast || (from.Kind == TypeFloat && to.Kind == TypePtr) ||
+			(from.Kind == TypePtr && to.Kind == TypeFloat) {
+			return nil, c.errf(e.Line, "cannot cast %s to %s", l.Type, to)
+		}
+		e.Type = to
+		return e, nil
+	}
+	return nil, c.errf(e.Line, "internal: unknown expression kind %d", e.Kind)
+}
+
+// fold evaluates constant integer/float expressions at compile time —
+// the folding any optimizing compiler performs, and what keeps constant
+// array indices foldable into displacement addressing.
+func fold(e *Expr) *Expr {
+	switch e.Kind {
+	case ExprUnary:
+		l := e.L
+		if l.Kind == ExprIntLit {
+			switch e.Op {
+			case "-":
+				return &Expr{Kind: ExprIntLit, Ival: -l.Ival, Type: tyInt, Line: e.Line}
+			case "~":
+				return &Expr{Kind: ExprIntLit, Ival: ^l.Ival, Type: tyInt, Line: e.Line}
+			case "!":
+				v := int64(0)
+				if l.Ival == 0 {
+					v = 1
+				}
+				return &Expr{Kind: ExprIntLit, Ival: v, Type: tyInt, Line: e.Line}
+			}
+		}
+		if l.Kind == ExprFloatLit && e.Op == "-" {
+			return &Expr{Kind: ExprFloatLit, Fval: -l.Fval, Type: tyFloat, Line: e.Line}
+		}
+	case ExprBinary:
+		l, r := e.L, e.R
+		if l.Kind == ExprIntLit && r.Kind == ExprIntLit {
+			a, b := l.Ival, r.Ival
+			var v int64
+			switch e.Op {
+			case "+":
+				v = a + b
+			case "-":
+				v = a - b
+			case "*":
+				v = a * b
+			case "/":
+				if b == 0 {
+					return e
+				}
+				v = a / b
+			case "%":
+				if b == 0 {
+					return e
+				}
+				v = a % b
+			case "&":
+				v = a & b
+			case "|":
+				v = a | b
+			case "^":
+				v = a ^ b
+			case "<<":
+				v = int64(int32(a) << (uint(b) & 31))
+			case ">>":
+				v = int64(int32(a) >> (uint(b) & 31))
+			default:
+				return e
+			}
+			return &Expr{Kind: ExprIntLit, Ival: int64(int32(v)), Type: tyInt, Line: e.Line}
+		}
+	}
+	return e
+}
+
+func (c *checker) unary(e *Expr) (*Expr, error) {
+	l, err := c.expr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	e.L = l
+	switch e.Op {
+	case "-":
+		t := decayType(l.Type)
+		if t.Kind != TypeInt && t.Kind != TypeFloat {
+			return nil, c.errf(e.Line, "unary - on %s", l.Type)
+		}
+		e.Type = t
+	case "!", "~":
+		if decayType(l.Type).Kind != TypeInt {
+			return nil, c.errf(e.Line, "unary %s on %s", e.Op, l.Type)
+		}
+		e.Type = tyInt
+	case "*":
+		t := decayType(l.Type)
+		if t.Kind != TypePtr {
+			return nil, c.errf(e.Line, "dereference of non-pointer %s", l.Type)
+		}
+		e.Type = t.Elem
+	case "&":
+		if l.Kind == ExprIdent && l.Sym.Type.Kind == TypeArray {
+			// &arr is the array's address: same as arr decayed.
+			e.Type = ptrTo(l.Sym.Type.Elem)
+		} else {
+			if !isLvalue(l) {
+				return nil, c.errf(e.Line, "cannot take address of this expression")
+			}
+			e.Type = ptrTo(l.Type)
+		}
+		if l.Kind == ExprIdent {
+			l.Sym.IsAddrT = true
+		}
+	default:
+		return nil, c.errf(e.Line, "internal: unary op %q", e.Op)
+	}
+	return fold(e), nil
+}
+
+func (c *checker) binary(e *Expr) (*Expr, error) {
+	l, err := c.expr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.expr(e.R)
+	if err != nil {
+		return nil, err
+	}
+	e.L, e.R = l, r
+	lt, rt := decayType(l.Type), decayType(r.Type)
+
+	switch e.Op {
+	case "+", "-":
+		// Pointer arithmetic.
+		if lt.Kind == TypePtr && rt.Kind == TypeInt {
+			e.Type = lt
+			return e, nil
+		}
+		if e.Op == "+" && lt.Kind == TypeInt && rt.Kind == TypePtr {
+			e.Type = rt
+			return e, nil
+		}
+		if e.Op == "-" && lt.Kind == TypePtr && rt.Kind == TypePtr {
+			if !lt.Elem.Equal(rt.Elem) {
+				return nil, c.errf(e.Line, "pointer subtraction of %s and %s", lt, rt)
+			}
+			e.Type = tyInt
+			return e, nil
+		}
+		fallthrough
+	case "*", "/":
+		if lt.Kind == TypeFloat || rt.Kind == TypeFloat {
+			if e.L, err = c.convert(l, tyFloat, e.Line); err != nil {
+				return nil, err
+			}
+			if e.R, err = c.convert(r, tyFloat, e.Line); err != nil {
+				return nil, err
+			}
+			e.Type = tyFloat
+			return e, nil
+		}
+		if lt.Kind != TypeInt || rt.Kind != TypeInt {
+			return nil, c.errf(e.Line, "operator %s on %s and %s", e.Op, l.Type, r.Type)
+		}
+		e.Type = tyInt
+		return fold(e), nil
+
+	case "%", "<<", ">>", "&", "|", "^":
+		if lt.Kind != TypeInt || rt.Kind != TypeInt {
+			return nil, c.errf(e.Line, "operator %s needs int operands, got %s and %s",
+				e.Op, l.Type, r.Type)
+		}
+		e.Type = tyInt
+		return fold(e), nil
+
+	case "<", "<=", ">", ">=", "==", "!=":
+		if lt.Kind == TypePtr && rt.Kind == TypePtr {
+			e.Type = tyInt
+			return e, nil
+		}
+		if lt.Kind == TypePtr && r.Kind == ExprIntLit && r.Ival == 0 ||
+			rt.Kind == TypePtr && l.Kind == ExprIntLit && l.Ival == 0 {
+			e.Type = tyInt
+			return e, nil
+		}
+		if lt.Kind == TypeFloat || rt.Kind == TypeFloat {
+			if e.L, err = c.convert(l, tyFloat, e.Line); err != nil {
+				return nil, err
+			}
+			if e.R, err = c.convert(r, tyFloat, e.Line); err != nil {
+				return nil, err
+			}
+			e.Type = tyInt
+			return e, nil
+		}
+		if lt.Kind != TypeInt || rt.Kind != TypeInt {
+			return nil, c.errf(e.Line, "comparison of %s and %s", l.Type, r.Type)
+		}
+		e.Type = tyInt
+		return e, nil
+
+	case "&&", "||":
+		for _, t := range []*Type{lt, rt} {
+			if t.Kind != TypeInt && t.Kind != TypePtr {
+				return nil, c.errf(e.Line, "operator %s on %s", e.Op, t)
+			}
+		}
+		e.Type = tyInt
+		return e, nil
+	}
+	return nil, c.errf(e.Line, "internal: binary op %q", e.Op)
+}
+
+func (c *checker) assign(e *Expr) (*Expr, error) {
+	l, err := c.expr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	if !isLvalue(l) {
+		return nil, c.errf(e.Line, "assignment to non-lvalue")
+	}
+	r, err := c.expr(e.R)
+	if err != nil {
+		return nil, err
+	}
+	e.L = l
+	if e.Op != "=" {
+		// Compound assignment: type-check the implied binary op.
+		binOp := e.Op[:len(e.Op)-1]
+		bin := &Expr{Kind: ExprBinary, Op: binOp, L: l, R: r, Line: e.Line}
+		bin, err = c.binary(bin)
+		if err != nil {
+			return nil, err
+		}
+		r = bin
+		e.Op = "="
+	}
+	r, err = c.convert(r, l.Type, e.Line)
+	if err != nil {
+		return nil, err
+	}
+	e.R = r
+	e.Type = l.Type
+	return e, nil
+}
+
+func (c *checker) index(e *Expr) (*Expr, error) {
+	l, err := c.expr(e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.expr(e.R)
+	if err != nil {
+		return nil, err
+	}
+	e.L, e.R = l, r
+	base := decayType(l.Type)
+	if base.Kind != TypePtr {
+		return nil, c.errf(e.Line, "indexing non-array %s", l.Type)
+	}
+	if decayType(r.Type).Kind != TypeInt {
+		return nil, c.errf(e.Line, "array index has type %s", r.Type)
+	}
+	e.Type = base.Elem
+	return e, nil
+}
+
+func (c *checker) call(e *Expr) (*Expr, error) {
+	if e.Callee == "print_str" {
+		if len(e.Args) != 1 || e.Args[0].Kind != ExprStrLit {
+			return nil, c.errf(e.Line, "print_str takes one string literal")
+		}
+		a, err := c.expr(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		e.Args[0] = a
+		e.Type = tyVoid
+		return e, nil
+	}
+	if b, ok := builtins[e.Callee]; ok {
+		if len(e.Args) != len(b.params) {
+			return nil, c.errf(e.Line, "%s takes %d argument(s), got %d",
+				e.Callee, len(b.params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			a, err := c.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			a, err = c.convert(a, b.params[i], e.Line)
+			if err != nil {
+				return nil, err
+			}
+			e.Args[i] = a
+		}
+		e.Type = b.ret
+		return e, nil
+	}
+	fn, ok := c.unit.FuncByName[e.Callee]
+	if !ok {
+		// The callee may be defined later in the file; the driver runs
+		// the checker only after the whole unit is parsed, so this is a
+		// genuine unknown.
+		return nil, c.errf(e.Line, "call to undefined function %q", e.Callee)
+	}
+	if len(e.Args) != len(fn.Params) {
+		return nil, c.errf(e.Line, "%s takes %d argument(s), got %d",
+			e.Callee, len(fn.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		a, err := c.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		a, err = c.convert(a, fn.Params[i].Type, e.Line)
+		if err != nil {
+			return nil, err
+		}
+		e.Args[i] = a
+	}
+	e.Fn = fn
+	e.Type = fn.Ret
+	return e, nil
+}

@@ -1,0 +1,670 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Compile compiles MiniC source to a linked RISA program, running the
+// parser, checker, points-to analysis, and code generator.
+func Compile(file, src string) (*prog.Program, error) {
+	text, err := CompileToAsm(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(file, text)
+	if err != nil {
+		return nil, fmt.Errorf("minicc: internal: generated assembly rejected: %w", err)
+	}
+	return p, nil
+}
+
+// CompileToAsm compiles MiniC source to RISA assembly text. Every
+// emitted memory instruction carries a ;@stack / ;@nonstack / ;@unknown
+// compiler hint per the Figure 6 analysis.
+func CompileToAsm(file, src string) (string, error) {
+	unit, err := parse(file, src)
+	if err != nil {
+		return "", err
+	}
+	if err := check(unit); err != nil {
+		return "", err
+	}
+	g := &codegen{unit: unit, pt: analyzePointers(unit)}
+	return g.generate()
+}
+
+// Calling convention constants.
+const (
+	maxRegArgs = 4 // arguments passed in $a0..$a3
+	// numSpill is the per-frame spill area for temporaries live across
+	// calls, in slots. Slots are assigned positionally at each call
+	// site; expressions never hold more than a handful of temporaries
+	// across a call, so six slots keep frames small (which is also what
+	// keeps stack footprints friendly to a 4 KB stack cache).
+	numSpill = 6
+)
+
+// codegen emits assembly for one unit.
+type codegen struct {
+	unit *Unit
+	pt   *pointsTo
+	b    strings.Builder
+
+	labelN int
+
+	fn       *Func
+	frame    int // frame size in bytes
+	savedS   []isa.Register
+	spillBot int // fp-relative offset of spill slot 0
+	retLabel string
+
+	intFree []isa.Register
+	fpFree  []isa.Register
+	intLive []isa.Register
+	fpLive  []isa.Register
+
+	breakL []string
+	contL  []string
+}
+
+// val is a value held in a register during expression evaluation.
+type val struct {
+	reg isa.Register
+	fp  bool
+}
+
+var intPool = []isa.Register{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7}
+
+// FP temp pool: $f4..$f11 ($f0 is the conventional return scratch).
+var fpPool = []isa.Register{4, 5, 6, 7, 8, 9, 10, 11}
+
+// Callee-saved promotion pool. Beyond the MIPS s-registers, this
+// compiler's private convention treats $k0, $k1 and $v1 as callee-saved
+// too (nothing else uses them), giving eleven promotable scalars per
+// function.
+var sRegs = []isa.Register{
+	isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7,
+	isa.K0, isa.K1, isa.V1,
+}
+
+func (g *codegen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *codegen) emitLabel(l string) {
+	g.b.WriteString(l + ":\n")
+}
+
+func (g *codegen) label() string {
+	g.labelN++
+	return fmt.Sprintf(".L%d", g.labelN)
+}
+
+func (g *codegen) errf(line int, format string, args ...any) error {
+	return &CompileError{File: g.unit.File, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *codegen) allocInt(line int) (val, error) {
+	if len(g.intFree) == 0 {
+		return val{}, g.errf(line, "expression too complex (out of integer temporaries)")
+	}
+	r := g.intFree[len(g.intFree)-1]
+	g.intFree = g.intFree[:len(g.intFree)-1]
+	g.intLive = append(g.intLive, r)
+	return val{reg: r}, nil
+}
+
+func (g *codegen) allocFP(line int) (val, error) {
+	if len(g.fpFree) == 0 {
+		return val{}, g.errf(line, "expression too complex (out of fp temporaries)")
+	}
+	r := g.fpFree[len(g.fpFree)-1]
+	g.fpFree = g.fpFree[:len(g.fpFree)-1]
+	g.fpLive = append(g.fpLive, r)
+	return val{reg: r, fp: true}, nil
+}
+
+// free returns a temporary to its pool. Values living in s-registers
+// (promoted variables) or other non-pool registers are left alone.
+func (g *codegen) free(v val) {
+	if v.fp {
+		for i, r := range g.fpLive {
+			if r == v.reg {
+				g.fpLive = append(g.fpLive[:i], g.fpLive[i+1:]...)
+				g.fpFree = append(g.fpFree, v.reg)
+				return
+			}
+		}
+		return
+	}
+	for i, r := range g.intLive {
+		if r == v.reg {
+			g.intLive = append(g.intLive[:i], g.intLive[i+1:]...)
+			g.intFree = append(g.intFree, v.reg)
+			return
+		}
+	}
+}
+
+// generate emits the whole unit.
+func (g *codegen) generate() (string, error) {
+	g.layoutGlobals()
+	g.emitData()
+	g.b.WriteString(".text\n")
+	for _, fn := range g.unit.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	return g.b.String(), nil
+}
+
+// --- global data layout ---
+
+// layoutGlobals assigns data-segment offsets: scalars first (so they all
+// land inside the $gp window), then arrays in declaration order.
+func (g *codegen) layoutGlobals() {
+	off := 0
+	for _, s := range g.unit.Globals {
+		if s.Type.Kind != TypeArray {
+			s.Offset = off
+			off += 4
+		}
+	}
+	for _, s := range g.unit.Globals {
+		if s.Type.Kind == TypeArray {
+			s.Offset = off
+			off += s.Type.Size()
+		}
+	}
+}
+
+func (g *codegen) emitData() {
+	g.b.WriteString(".data\n")
+	emitOne := func(s *Sym) {
+		g.emitLabel("g_" + s.Name)
+		if s.Type.Kind == TypeArray {
+			g.emitf(".space %d", s.Type.Size())
+			return
+		}
+		init := g.unit.GlobalInit[s.Name]
+		switch {
+		case init == nil && s.Type.Kind == TypeFloat:
+			g.emitf(".float 0")
+		case init == nil:
+			g.emitf(".word 0")
+		case s.Type.Kind == TypeFloat:
+			g.emitf(".float %g", constFloat(init))
+		default:
+			g.emitf(".word %d", constInt(init))
+		}
+	}
+	for _, s := range g.unit.Globals {
+		if s.Type.Kind != TypeArray {
+			emitOne(s)
+		}
+	}
+	for _, s := range g.unit.Globals {
+		if s.Type.Kind == TypeArray {
+			emitOne(s)
+		}
+	}
+	for i, str := range g.unit.Strings {
+		g.emitLabel(fmt.Sprintf("str_%d", i))
+		g.emitf(".asciiz %q", str)
+	}
+}
+
+func constInt(e *Expr) int64 {
+	for e.Kind == ExprCast {
+		e = e.L
+	}
+	if e.Kind == ExprFloatLit {
+		return int64(e.Fval)
+	}
+	return e.Ival
+}
+
+func constFloat(e *Expr) float64 {
+	for e.Kind == ExprCast {
+		e = e.L
+	}
+	if e.Kind == ExprIntLit {
+		return float64(e.Ival)
+	}
+	return e.Fval
+}
+
+// gpOffset reports the $gp-relative displacement of a global, and
+// whether it fits the signed 16-bit window.
+func gpOffset(s *Sym) (int32, bool) {
+	off := int64(s.Offset) - 0x8000
+	return int32(off), off >= -32768 && off <= 32767
+}
+
+// --- function generation ---
+
+// assignFrame lays out the stack frame and promotes register-friendly
+// scalars into callee-saved registers. Returns the local-area size.
+func (g *codegen) assignFrame(fn *Func) int {
+	g.savedS = nil
+	next := 0
+	promote := func(s *Sym) bool {
+		if next >= len(sRegs) || s.IsAddrT || s.Type.Kind == TypeArray ||
+			s.Type.Kind == TypeFloat {
+			return false
+		}
+		s.InReg = true
+		s.Reg = int(sRegs[next])
+		g.savedS = append(g.savedS, sRegs[next])
+		next++
+		return true
+	}
+	for _, p := range fn.Params {
+		promote(p)
+	}
+	for _, l := range fn.Locals {
+		promote(l)
+	}
+
+	// Stack homes. Offsets are fp-relative and negative; the area below
+	// -8 - 4*len(savedS) belongs to locals.
+	off := -8 - 4*len(g.savedS)
+	home := func(s *Sym) {
+		off -= s.Type.Size()
+		s.Offset = off
+	}
+	for i, p := range fn.Params {
+		if i >= maxRegArgs {
+			// Incoming slot above fp; promoted params load from here in
+			// the prologue, unpromoted ones use it as their home.
+			p.Offset = 4 * (i - maxRegArgs)
+			continue
+		}
+		if !p.InReg {
+			home(p)
+		}
+	}
+	for _, l := range fn.Locals {
+		if !l.InReg {
+			home(l)
+		}
+	}
+	return -off - 8 - 4*len(g.savedS)
+}
+
+// maxOutArgs reports the outgoing stack-argument bytes any call in the
+// body needs.
+func maxOutArgs(fn *Func) int {
+	max := 0
+	walkStmts(fn.Body, func(e *Expr) {
+		if e.Kind == ExprCall && len(e.Args) > maxRegArgs {
+			if n := len(e.Args) - maxRegArgs; n > max {
+				max = n
+			}
+		}
+	})
+	return max * 4
+}
+
+func (g *codegen) genFunc(fn *Func) error {
+	g.fn = fn
+	g.intFree = append(g.intFree[:0], intPool...)
+	g.fpFree = append(g.fpFree[:0], fpPool...)
+	g.intLive, g.fpLive = g.intLive[:0], g.fpLive[:0]
+	g.breakL, g.contL = nil, nil
+
+	localBytes := g.assignFrame(fn)
+	outBytes := maxOutArgs(fn)
+	spillBytes := numSpill * 4
+	frame := 8 + 4*len(g.savedS) + localBytes + spillBytes + outBytes
+	frame = (frame + 7) &^ 7
+	g.frame = frame
+	// Spill slot 0 sits just above the outgoing-args area.
+	g.spillBot = -frame + outBytes
+	g.retLabel = fmt.Sprintf(".Lret_%s", fn.Name)
+
+	g.b.WriteString("\n")
+	g.emitLabel(fn.Name)
+	g.emitf("addi $sp, $sp, %d", -frame)
+	g.emitf("sw $ra, %d($sp)   ;@stack", frame-4)
+	g.emitf("sw $fp, %d($sp)   ;@stack", frame-8)
+	g.emitf("addi $fp, $sp, %d", frame)
+	for i, s := range g.savedS {
+		g.emitf("sw %s, %d($fp)   ;@stack", s, -12-4*i)
+	}
+	// Park incoming arguments in their homes.
+	for i, p := range fn.Params {
+		switch {
+		case p.InReg && i < maxRegArgs:
+			g.emitf("move %s, %s", isa.Register(p.Reg), isa.Register(int(isa.A0)+i))
+		case p.InReg:
+			g.emitf("lw %s, %d($fp)   ;@stack", isa.Register(p.Reg), p.Offset)
+		case i < maxRegArgs:
+			g.emitf("sw %s, %d($fp)   ;@stack", isa.Register(int(isa.A0)+i), p.Offset)
+			// Stack-passed, stack-homed params live in their incoming slot.
+		}
+	}
+
+	if err := g.genStmts(fn.Body); err != nil {
+		return err
+	}
+
+	// Fall-through return (void functions, or C-style missing return).
+	g.emitLabel(g.retLabel)
+	for i, s := range g.savedS {
+		g.emitf("lw %s, %d($fp)   ;@stack", s, -12-4*i)
+	}
+	g.emitf("lw $ra, -4($fp)   ;@stack")
+	g.emitf("lw $t8, -8($fp)   ;@stack")
+	g.emitf("move $sp, $fp")
+	g.emitf("move $fp, $t8")
+	g.emitf("jr $ra")
+	return nil
+}
+
+// --- statements ---
+
+func (g *codegen) genStmts(ss []*Stmt) error {
+	for _, s := range ss {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtDecl:
+		if s.Init == nil {
+			return nil
+		}
+		v, err := g.genExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		g.storeVar(s.Decl, v, s.Line)
+		g.free(v)
+		return nil
+
+	case StmtExpr:
+		v, err := g.genExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		g.free(v)
+		return nil
+
+	case StmtIf:
+		elseL, endL := g.label(), g.label()
+		if err := g.genBranchFalse(s.Expr, elseL); err != nil {
+			return err
+		}
+		if err := g.genStmts(s.Body); err != nil {
+			return err
+		}
+		if len(s.Else) > 0 {
+			g.emitf("b %s", endL)
+		}
+		g.emitLabel(elseL)
+		if len(s.Else) > 0 {
+			if err := g.genStmts(s.Else); err != nil {
+				return err
+			}
+			g.emitLabel(endL)
+		}
+		return nil
+
+	case StmtWhile:
+		top, end := g.label(), g.label()
+		g.emitLabel(top)
+		if err := g.genBranchFalse(s.Expr, end); err != nil {
+			return err
+		}
+		g.breakL = append(g.breakL, end)
+		g.contL = append(g.contL, top)
+		err := g.genStmts(s.Body)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		if err != nil {
+			return err
+		}
+		g.emitf("b %s", top)
+		g.emitLabel(end)
+		return nil
+
+	case StmtFor:
+		if s.InitStmt != nil {
+			if err := g.genStmt(s.InitStmt); err != nil {
+				return err
+			}
+		}
+		top, cont, end := g.label(), g.label(), g.label()
+		g.emitLabel(top)
+		if s.Expr != nil {
+			if err := g.genBranchFalse(s.Expr, end); err != nil {
+				return err
+			}
+		}
+		g.breakL = append(g.breakL, end)
+		g.contL = append(g.contL, cont)
+		err := g.genStmts(s.Body)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		if err != nil {
+			return err
+		}
+		g.emitLabel(cont)
+		if s.Post != nil {
+			v, err := g.genExpr(s.Post)
+			if err != nil {
+				return err
+			}
+			g.free(v)
+		}
+		g.emitf("b %s", top)
+		g.emitLabel(end)
+		return nil
+
+	case StmtReturn:
+		if s.Expr != nil {
+			v, err := g.genExpr(s.Expr)
+			if err != nil {
+				return err
+			}
+			if v.fp {
+				g.emitf("mfc1 $v0, $f%d", v.reg)
+			} else if v.reg != isa.V0 {
+				g.emitf("move $v0, %s", v.reg)
+			}
+			g.free(v)
+		}
+		g.emitf("b %s", g.retLabel)
+		return nil
+
+	case StmtBreak:
+		g.emitf("b %s", g.breakL[len(g.breakL)-1])
+		return nil
+	case StmtContinue:
+		g.emitf("b %s", g.contL[len(g.contL)-1])
+		return nil
+	case StmtBlock:
+		return g.genStmts(s.Body)
+	}
+	return g.errf(s.Line, "internal: statement kind %d", s.Kind)
+}
+
+// genBranchFalse evaluates a condition and branches to label when it is
+// zero.
+func (g *codegen) genBranchFalse(cond *Expr, label string) error {
+	v, err := g.genExpr(cond)
+	if err != nil {
+		return err
+	}
+	g.emitf("beqz %s, %s", v.reg, label)
+	g.free(v)
+	return nil
+}
+
+// --- variable access ---
+
+// loadVar produces the value of a scalar variable.
+func (g *codegen) loadVar(s *Sym, line int) (val, error) {
+	if s.InReg {
+		return val{reg: isa.Register(s.Reg)}, nil
+	}
+	fp := s.Type.Kind == TypeFloat
+	var v val
+	var err error
+	if fp {
+		v, err = g.allocFP(line)
+	} else {
+		v, err = g.allocInt(line)
+	}
+	if err != nil {
+		return val{}, err
+	}
+	op := "lw"
+	dst := v.reg.String()
+	if fp {
+		op = "l.s"
+		dst = fmt.Sprintf("$f%d", v.reg)
+	}
+	switch s.Stor {
+	case StorGlobal:
+		if off, ok := gpOffset(s); ok {
+			g.emitf("%s %s, %d($gp)   ;@nonstack", op, dst, off)
+		} else {
+			g.emitf("%s %s, g_%s   ;@nonstack", op, dst, s.Name)
+		}
+	default:
+		g.emitf("%s %s, %d($fp)   ;@stack", op, dst, s.Offset)
+	}
+	return v, nil
+}
+
+// storeVar stores v into a scalar variable (v keeps its register).
+func (g *codegen) storeVar(s *Sym, v val, line int) {
+	if s.InReg {
+		if v.fp {
+			g.emitf("cvt.w.s %s, $f%d", isa.Register(s.Reg), v.reg)
+		} else if isa.Register(s.Reg) != v.reg {
+			g.emitf("move %s, %s", isa.Register(s.Reg), v.reg)
+		}
+		return
+	}
+	op, src := "sw", v.reg.String()
+	if v.fp {
+		op, src = "s.s", fmt.Sprintf("$f%d", v.reg)
+	}
+	switch s.Stor {
+	case StorGlobal:
+		if off, ok := gpOffset(s); ok {
+			g.emitf("%s %s, %d($gp)   ;@nonstack", op, src, off)
+		} else {
+			g.emitf("%s %s, g_%s   ;@nonstack", op, src, s.Name)
+		}
+	default:
+		g.emitf("%s %s, %d($fp)   ;@stack", op, src, s.Offset)
+	}
+}
+
+// genAddr computes the address of an lvalue (or array/global base) as a
+// base register plus a constant displacement — the form every RISA load
+// and store consumes directly — and reports the Figure 6 hint for
+// accesses through it. Constant array indices fold into the
+// displacement (the strength reduction any optimizing compiler
+// performs), and stack/global bases come back as $fp/$gp so the
+// addressing mode manifests the region, exactly as compiled SPEC code
+// does.
+func (g *codegen) genAddr(e *Expr) (val, int32, string, error) {
+	switch e.Kind {
+	case ExprIdent:
+		s := e.Sym
+		switch s.Stor {
+		case StorGlobal:
+			if off, ok := gpOffset(s); ok {
+				return val{reg: isa.GP}, off, "nonstack", nil
+			}
+			v, err := g.allocInt(e.Line)
+			if err != nil {
+				return val{}, 0, "", err
+			}
+			g.emitf("la %s, g_%s", v.reg, s.Name)
+			return v, 0, "nonstack", nil
+		default:
+			return val{reg: isa.FP}, int32(s.Offset), "stack", nil
+		}
+
+	case ExprUnary:
+		if e.Op != "*" {
+			break
+		}
+		hint := hintOf(g.pt.addrClass(e.L))
+		v, err := g.genExpr(e.L)
+		if err != nil {
+			return val{}, 0, "", err
+		}
+		return v, 0, hint, nil
+
+	case ExprIndex:
+		var base val
+		var disp int32
+		var hint string
+		var err error
+		if e.L.Kind == ExprIdent && e.L.Sym.Type.Kind == TypeArray {
+			base, disp, hint, err = g.genAddr(e.L)
+		} else {
+			hint = hintOf(g.pt.addrClass(e.L))
+			base, err = g.genExpr(e.L)
+		}
+		if err != nil {
+			return val{}, 0, "", err
+		}
+		if e.R.Kind == ExprIntLit {
+			nd := int64(disp) + 4*e.R.Ival
+			if nd >= -32000 && nd <= 32000 {
+				return base, int32(nd), hint, nil
+			}
+		}
+		idx, err := g.genExpr(e.R)
+		if err != nil {
+			return val{}, 0, "", err
+		}
+		// The scale-and-add below mutates idx in place, so it must not
+		// alias a promoted variable's home register.
+		idx, err = g.ownInt(idx, e.Line)
+		if err != nil {
+			return val{}, 0, "", err
+		}
+		g.emitf("slli %s, %s, 2", idx.reg, idx.reg)
+		g.emitf("add %s, %s, %s", idx.reg, base.reg, idx.reg)
+		g.free(base)
+		return idx, disp, hint, nil
+
+	case ExprCast:
+		return g.genAddr(e.L)
+	}
+	return val{}, 0, "", g.errf(e.Line, "internal: genAddr on expression kind %d", e.Kind)
+}
+
+// materialize turns a (base, displacement) address into a plain value
+// register, for address-of expressions and array decay.
+func (g *codegen) materialize(base val, disp int32, line int) (val, error) {
+	if disp == 0 && g.owned(base) {
+		return base, nil
+	}
+	v, err := g.allocInt(line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("addi %s, %s, %d", v.reg, base.reg, disp)
+	g.free(base)
+	return v, nil
+}

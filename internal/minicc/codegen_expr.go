@@ -1,0 +1,585 @@
+package minicc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// owned reports whether v's register is a pool temporary this codegen
+// allocated (as opposed to a promoted variable's s-register).
+func (g *codegen) owned(v val) bool {
+	live := g.intLive
+	if v.fp {
+		live = g.fpLive
+	}
+	for _, r := range live {
+		if r == v.reg {
+			return true
+		}
+	}
+	return false
+}
+
+// ownInt guarantees v is a mutable integer temporary, copying it into a
+// fresh one when it aliases a variable's home register.
+func (g *codegen) ownInt(v val, line int) (val, error) {
+	if g.owned(v) {
+		return v, nil
+	}
+	nv, err := g.allocInt(line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("move %s, %s", nv.reg, v.reg)
+	return nv, nil
+}
+
+func fpName(r isa.Register) string { return fmt.Sprintf("$f%d", r) }
+
+// genExpr evaluates e into a register.
+func (g *codegen) genExpr(e *Expr) (val, error) {
+	switch e.Kind {
+	case ExprIntLit:
+		v, err := g.allocInt(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("li %s, %d", v.reg, int32(e.Ival))
+		return v, nil
+
+	case ExprFloatLit:
+		v, err := g.allocFP(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("li.s %s, %g", fpName(v.reg), e.Fval)
+		return v, nil
+
+	case ExprStrLit:
+		v, err := g.allocInt(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("la %s, str_%d", v.reg, e.Ival)
+		return v, nil
+
+	case ExprIdent:
+		if e.Sym.Type.Kind == TypeArray {
+			base, disp, _, err := g.genAddr(e)
+			if err != nil {
+				return val{}, err
+			}
+			return g.materialize(base, disp, e.Line)
+		}
+		return g.loadVar(e.Sym, e.Line)
+
+	case ExprUnary:
+		return g.genUnary(e)
+	case ExprBinary:
+		return g.genBinary(e)
+	case ExprAssign:
+		return g.genAssign(e)
+	case ExprIndex:
+		addr, disp, hint, err := g.genAddr(e)
+		if err != nil {
+			return val{}, err
+		}
+		return g.genLoad(addr, disp, e.Type, hint, e.Line)
+	case ExprCall:
+		return g.genCall(e)
+	case ExprCast:
+		return g.genCast(e)
+	}
+	return val{}, g.errf(e.Line, "internal: genExpr kind %d", e.Kind)
+}
+
+// genLoad loads a scalar of type t from base+disp (consuming the base
+// register when it is a temporary).
+func (g *codegen) genLoad(addr val, disp int32, t *Type, hint string, line int) (val, error) {
+	if t.Kind == TypeFloat {
+		v, err := g.allocFP(line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("l.s %s, %d(%s)   ;@%s", fpName(v.reg), disp, addr.reg, hint)
+		g.free(addr)
+		return v, nil
+	}
+	v, err := g.allocInt(line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("lw %s, %d(%s)   ;@%s", v.reg, disp, addr.reg, hint)
+	g.free(addr)
+	return v, nil
+}
+
+func (g *codegen) genUnary(e *Expr) (val, error) {
+	switch e.Op {
+	case "&":
+		base, disp, _, err := g.genAddr(e.L)
+		if err != nil {
+			return val{}, err
+		}
+		return g.materialize(base, disp, e.Line)
+	case "*":
+		addr, disp, hint, err := g.genAddr(e)
+		if err != nil {
+			return val{}, err
+		}
+		return g.genLoad(addr, disp, e.Type, hint, e.Line)
+	}
+
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	if e.Type.Kind == TypeFloat {
+		v, err := g.allocFP(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("neg.s %s, %s", fpName(v.reg), fpName(l.reg))
+		g.free(l)
+		return v, nil
+	}
+	v, err := g.allocInt(e.Line)
+	if err != nil {
+		return val{}, err
+	}
+	switch e.Op {
+	case "-":
+		g.emitf("neg %s, %s", v.reg, l.reg)
+	case "~":
+		g.emitf("nor %s, %s, $zero", v.reg, l.reg)
+	case "!":
+		g.emitf("sltu %s, $zero, %s", v.reg, l.reg) // v = (l != 0)
+		g.emitf("xori %s, %s, 1", v.reg, v.reg)
+	}
+	g.free(l)
+	return v, nil
+}
+
+var intBinOp = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+	"&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra",
+}
+
+var fpBinOp = map[string]string{
+	"+": "add.s", "-": "sub.s", "*": "mul.s", "/": "div.s",
+}
+
+func (g *codegen) genBinary(e *Expr) (val, error) {
+	switch e.Op {
+	case "&&", "||":
+		return g.genLogical(e)
+	case "<", "<=", ">", ">=", "==", "!=":
+		return g.genCompare(e)
+	}
+
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	r, err := g.genExpr(e.R)
+	if err != nil {
+		return val{}, err
+	}
+
+	// Float arithmetic.
+	if e.Type.Kind == TypeFloat {
+		v, err := g.allocFP(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("%s %s, %s, %s", fpBinOp[e.Op], fpName(v.reg), fpName(l.reg), fpName(r.reg))
+		g.free(l)
+		g.free(r)
+		return v, nil
+	}
+
+	lt, rt := decayType(e.L.Type), decayType(e.R.Type)
+
+	// Pointer arithmetic: scale the integer operand by the element size
+	// (always 4 in MiniC).
+	if e.Op == "+" || e.Op == "-" {
+		switch {
+		case lt.Kind == TypePtr && rt.Kind == TypeInt:
+			r, err = g.ownInt(r, e.Line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitf("slli %s, %s, 2", r.reg, r.reg)
+		case lt.Kind == TypeInt && rt.Kind == TypePtr:
+			l, err = g.ownInt(l, e.Line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitf("slli %s, %s, 2", l.reg, l.reg)
+		}
+	}
+
+	v, err := g.allocInt(e.Line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("%s %s, %s, %s", intBinOp[e.Op], v.reg, l.reg, r.reg)
+	// Pointer difference: convert bytes to elements.
+	if e.Op == "-" && lt.Kind == TypePtr && rt.Kind == TypePtr {
+		g.emitf("srai %s, %s, 2", v.reg, v.reg)
+	}
+	g.free(l)
+	g.free(r)
+	return v, nil
+}
+
+// genCompare lowers relational operators to slt/sltu/xor sequences (or
+// c.*.s for floats), producing 0/1 in an integer register.
+func (g *codegen) genCompare(e *Expr) (val, error) {
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	r, err := g.genExpr(e.R)
+	if err != nil {
+		return val{}, err
+	}
+	v, err := g.allocInt(e.Line)
+	if err != nil {
+		return val{}, err
+	}
+
+	if l.fp {
+		op, swap, negate := "", false, false
+		switch e.Op {
+		case "==":
+			op = "c.eq.s"
+		case "!=":
+			op, negate = "c.eq.s", true
+		case "<":
+			op = "c.lt.s"
+		case "<=":
+			op = "c.le.s"
+		case ">":
+			op, swap = "c.lt.s", true
+		case ">=":
+			op, swap = "c.le.s", true
+		}
+		a, b := l, r
+		if swap {
+			a, b = r, l
+		}
+		g.emitf("%s %s, %s, %s", op, v.reg, fpName(a.reg), fpName(b.reg))
+		if negate {
+			g.emitf("xori %s, %s, 1", v.reg, v.reg)
+		}
+		g.free(l)
+		g.free(r)
+		return v, nil
+	}
+
+	// Pointers compare unsigned; ints signed.
+	slt := "slt"
+	if decayType(e.L.Type).Kind == TypePtr || decayType(e.R.Type).Kind == TypePtr {
+		slt = "sltu"
+	}
+	switch e.Op {
+	case "<":
+		g.emitf("%s %s, %s, %s", slt, v.reg, l.reg, r.reg)
+	case ">":
+		g.emitf("%s %s, %s, %s", slt, v.reg, r.reg, l.reg)
+	case ">=":
+		g.emitf("%s %s, %s, %s", slt, v.reg, l.reg, r.reg)
+		g.emitf("xori %s, %s, 1", v.reg, v.reg)
+	case "<=":
+		g.emitf("%s %s, %s, %s", slt, v.reg, r.reg, l.reg)
+		g.emitf("xori %s, %s, 1", v.reg, v.reg)
+	case "==":
+		g.emitf("xor %s, %s, %s", v.reg, l.reg, r.reg)
+		g.emitf("sltu %s, $zero, %s", v.reg, v.reg)
+		g.emitf("xori %s, %s, 1", v.reg, v.reg)
+	case "!=":
+		g.emitf("xor %s, %s, %s", v.reg, l.reg, r.reg)
+		g.emitf("sltu %s, $zero, %s", v.reg, v.reg)
+	}
+	g.free(l)
+	g.free(r)
+	return v, nil
+}
+
+// genLogical emits short-circuit && and ||, producing 0/1.
+func (g *codegen) genLogical(e *Expr) (val, error) {
+	v, err := g.allocInt(e.Line)
+	if err != nil {
+		return val{}, err
+	}
+	short, end := g.label(), g.label()
+
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	if e.Op == "&&" {
+		g.emitf("beqz %s, %s", l.reg, short)
+	} else {
+		g.emitf("bnez %s, %s", l.reg, short)
+	}
+	g.free(l)
+
+	r, err := g.genExpr(e.R)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("sltu %s, $zero, %s", v.reg, r.reg) // normalize to 0/1
+	g.free(r)
+	g.emitf("b %s", end)
+
+	g.emitLabel(short)
+	if e.Op == "&&" {
+		g.emitf("li %s, 0", v.reg)
+	} else {
+		g.emitf("li %s, 1", v.reg)
+	}
+	g.emitLabel(end)
+	return v, nil
+}
+
+func (g *codegen) genAssign(e *Expr) (val, error) {
+	// Simple scalar variable target.
+	if e.L.Kind == ExprIdent && e.L.Sym.Type.IsScalar() {
+		v, err := g.genExpr(e.R)
+		if err != nil {
+			return val{}, err
+		}
+		g.storeVar(e.L.Sym, v, e.Line)
+		return v, nil
+	}
+	addr, disp, hint, err := g.genAddr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	v, err := g.genExpr(e.R)
+	if err != nil {
+		return val{}, err
+	}
+	if v.fp {
+		g.emitf("s.s %s, %d(%s)   ;@%s", fpName(v.reg), disp, addr.reg, hint)
+	} else {
+		g.emitf("sw %s, %d(%s)   ;@%s", v.reg, disp, addr.reg, hint)
+	}
+	g.free(addr)
+	return v, nil
+}
+
+func (g *codegen) genCast(e *Expr) (val, error) {
+	l, err := g.genExpr(e.L)
+	if err != nil {
+		return val{}, err
+	}
+	from := decayType(e.L.Type)
+	to := e.CastTo
+	switch {
+	case from.Kind == TypeInt && to.Kind == TypeFloat:
+		v, err := g.allocFP(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("cvt.s.w %s, %s", fpName(v.reg), l.reg)
+		g.free(l)
+		return v, nil
+	case from.Kind == TypeFloat && to.Kind == TypeInt:
+		v, err := g.allocInt(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitf("cvt.w.s %s, %s", v.reg, fpName(l.reg))
+		g.free(l)
+		return v, nil
+	default:
+		// Pointer<->pointer and int<->pointer casts are bit-identical.
+		return l, nil
+	}
+}
+
+// --- calls ---
+
+// spillRec pairs a spilled temporary with its positional frame slot.
+type spillRec struct {
+	v    val
+	slot int
+}
+
+// spillLive saves every live temporary to a positional frame slot
+// before a call and returns the records to reload afterwards. The
+// registers stay "allocated" the whole time; only their values take a
+// round trip. Nested calls re-spill to the same slot indices, which is
+// safe because the live set only grows inward.
+func (g *codegen) spillLive() ([]spillRec, error) {
+	if len(g.intLive)+len(g.fpLive) > numSpill {
+		return nil, g.errf(0, "expression holds %d temporaries across a call (max %d)",
+			len(g.intLive)+len(g.fpLive), numSpill)
+	}
+	var saved []spillRec
+	slot := 0
+	for _, r := range g.intLive {
+		off := g.spillBot + 4*slot
+		g.emitf("sw %s, %d($fp)   ;@stack", r, off)
+		saved = append(saved, spillRec{val{reg: r}, slot})
+		slot++
+	}
+	for _, r := range g.fpLive {
+		off := g.spillBot + 4*slot
+		g.emitf("s.s %s, %d($fp)   ;@stack", fpName(r), off)
+		saved = append(saved, spillRec{val{reg: r, fp: true}, slot})
+		slot++
+	}
+	return saved, nil
+}
+
+func (g *codegen) reload(saved []spillRec) {
+	for _, rec := range saved {
+		off := g.spillBot + 4*rec.slot
+		if rec.v.fp {
+			g.emitf("l.s %s, %d($fp)   ;@stack", fpName(rec.v.reg), off)
+		} else {
+			g.emitf("lw %s, %d($fp)   ;@stack", rec.v.reg, off)
+		}
+	}
+}
+
+func (g *codegen) genCall(e *Expr) (val, error) {
+	switch e.Callee {
+	case "malloc":
+		return g.genMalloc(e)
+	case "exit":
+		return g.genSyscall(e, 10)
+	case "print_int":
+		return g.genSyscall(e, 1)
+	case "print_float":
+		return g.genSyscall(e, 2)
+	case "print_char":
+		return g.genSyscall(e, 11)
+	case "print_str":
+		return g.genSyscall(e, 4)
+	case "sqrtf", "fabsf":
+		l, err := g.genExpr(e.Args[0])
+		if err != nil {
+			return val{}, err
+		}
+		v, err := g.allocFP(e.Line)
+		if err != nil {
+			return val{}, err
+		}
+		op := "sqrt.s"
+		if e.Callee == "fabsf" {
+			op = "abs.s"
+		}
+		g.emitf("%s %s, %s", op, fpName(v.reg), fpName(l.reg))
+		g.free(l)
+		return v, nil
+	}
+
+	// User function call. Save live temporaries, evaluate all arguments
+	// into temps, place them per the convention, then jump.
+	saved, err := g.spillLive()
+	if err != nil {
+		return val{}, err
+	}
+	args := make([]val, len(e.Args))
+	for i, a := range e.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return val{}, err
+		}
+		args[i] = v
+	}
+	for i, a := range args {
+		if i < maxRegArgs {
+			dst := isa.Register(int(isa.A0) + i)
+			if a.fp {
+				g.emitf("mfc1 %s, %s", dst, fpName(a.reg))
+			} else {
+				g.emitf("move %s, %s", dst, a.reg)
+			}
+		} else {
+			off := 4 * (i - maxRegArgs)
+			if a.fp {
+				g.emitf("s.s %s, %d($sp)   ;@stack", fpName(a.reg), off)
+			} else {
+				g.emitf("sw %s, %d($sp)   ;@stack", a.reg, off)
+			}
+		}
+		g.free(a)
+	}
+	g.emitf("jal %s", e.Fn.Name)
+
+	var result val
+	if e.Type.Kind != TypeVoid {
+		var err error
+		if e.Type.Kind == TypeFloat {
+			result, err = g.allocFP(e.Line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitf("mtc1 %s, $v0", fpName(result.reg))
+		} else {
+			result, err = g.allocInt(e.Line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitf("move %s, $v0", result.reg)
+		}
+	}
+	g.reload(saved)
+	if e.Type.Kind == TypeVoid {
+		// Hand back a harmless placeholder the caller can free.
+		return val{reg: isa.Zero}, nil
+	}
+	return result, nil
+}
+
+// genMalloc inlines the allocator: round the size up to a word multiple
+// and sbrk it.
+func (g *codegen) genMalloc(e *Expr) (val, error) {
+	size, err := g.genExpr(e.Args[0])
+	if err != nil {
+		return val{}, err
+	}
+	size, err = g.ownInt(size, e.Line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("addi %s, %s, 3", size.reg, size.reg)
+	g.emitf("srli %s, %s, 2", size.reg, size.reg)
+	g.emitf("slli %s, %s, 2", size.reg, size.reg)
+	g.emitf("move $a0, %s", size.reg)
+	g.emitf("li $v0, 9")
+	g.emitf("syscall")
+	g.free(size)
+	v, err := g.allocInt(e.Line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emitf("move %s, $v0", v.reg)
+	return v, nil
+}
+
+// genSyscall emits a one-argument print/exit syscall.
+func (g *codegen) genSyscall(e *Expr, code int) (val, error) {
+	if len(e.Args) > 0 {
+		a, err := g.genExpr(e.Args[0])
+		if err != nil {
+			return val{}, err
+		}
+		if a.fp {
+			g.emitf("mfc1 $a0, %s", fpName(a.reg))
+		} else {
+			g.emitf("move $a0, %s", a.reg)
+		}
+		g.free(a)
+	}
+	g.emitf("li $v0, %d", code)
+	g.emitf("syscall")
+	return val{reg: isa.Zero}, nil
+}

@@ -1,0 +1,211 @@
+package minicc
+
+// Expression parsing: standard C precedence via precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true,
+	"%=": true, "&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+// parseExpr parses a full expression (assignment level).
+func (p *parser) parseExpr() (*Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct && assignOps[t.text] {
+		p.advance()
+		rhs, err := p.parseAssign() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprAssign, Op: t.text, L: lhs, R: rhs, Line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (*Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: ExprBinary, Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&":
+			p.advance()
+			operand, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprUnary, Op: t.text, L: operand, Line: t.line}, nil
+		case "++", "--":
+			// Prefix increment: sugar for x += 1; value is the new value.
+			p.advance()
+			operand, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			op := "+="
+			if t.text == "--" {
+				op = "-="
+			}
+			one := &Expr{Kind: ExprIntLit, Ival: 1, Line: t.line}
+			return &Expr{Kind: ExprAssign, Op: op, L: operand, R: one, Line: t.line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.peek().kind == tokKeyword &&
+				(p.peek().text == "int" || p.peek().text == "float" || p.peek().text == "void") {
+				p.advance() // '('
+				ty, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				operand, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &Expr{Kind: ExprCast, CastTo: ty, L: operand, Line: t.line}, nil
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprIndex, L: e, R: idx, Line: t.line}
+		case p.isPunct("++") || p.isPunct("--"):
+			// Postfix increment: same sugar as prefix (documented
+			// divergence: the value is the updated value).
+			p.advance()
+			op := "+="
+			if t.text == "--" {
+				op = "-="
+			}
+			one := &Expr{Kind: ExprIntLit, Ival: 1, Line: t.line}
+			e = &Expr{Kind: ExprAssign, Op: op, L: e, R: one, Line: t.line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit, tokCharLit:
+		p.advance()
+		return &Expr{Kind: ExprIntLit, Ival: t.ival, Line: t.line}, nil
+	case tokFloatLit:
+		p.advance()
+		return &Expr{Kind: ExprFloatLit, Fval: t.fval, Line: t.line}, nil
+	case tokStrLit:
+		p.advance()
+		return &Expr{Kind: ExprStrLit, Str: t.str, Line: t.line}, nil
+	case tokKeyword:
+		if t.text == "sizeof" {
+			p.advance()
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprIntLit, Ival: int64(ty.Size()), Line: t.line}, nil
+		}
+	case tokIdent:
+		p.advance()
+		if p.accept("(") {
+			call := &Expr{Kind: ExprCall, Callee: t.text, Line: t.line}
+			if !p.accept(")") {
+				for {
+					arg, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		sym := p.lookup(t.text)
+		if sym == nil {
+			return nil, p.errf(t, "undeclared identifier %q", t.text)
+		}
+		return &Expr{Kind: ExprIdent, Sym: sym, Line: t.line}, nil
+	}
+	if p.accept("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "unexpected token %q in expression", t.String())
+}

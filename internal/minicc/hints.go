@@ -1,0 +1,304 @@
+package minicc
+
+// Region-hint analysis: a faithful implementation of the paper's
+// Figure 6 classify_mem algorithm. For every pointer variable we compute
+// a flow-insensitive points-to class over all assignments reaching it
+// (its UD-chain, collapsed):
+//
+//	if is_local_var  -> stack
+//	if is_static_var -> non-stack
+//	pointer deref: join over defs; function parameters and unanalyzable
+//	defs are unknown; mixing stack and non-stack defs is unknown.
+//
+// The codegen consults these classes when emitting loads and stores and
+// attaches the resulting stack/nonstack/unknown hint to each memory
+// instruction.
+
+// ptClass is the points-to lattice: bottom < {stack, nonstack} < unknown.
+type ptClass uint8
+
+const (
+	ptBottom ptClass = iota
+	ptStack
+	ptNonStack
+	ptUnknown
+)
+
+func (a ptClass) join(b ptClass) ptClass {
+	if a == ptBottom {
+		return b
+	}
+	if b == ptBottom {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return ptUnknown
+}
+
+func (c ptClass) String() string {
+	switch c {
+	case ptBottom:
+		return "bottom"
+	case ptStack:
+		return "stack"
+	case ptNonStack:
+		return "nonstack"
+	}
+	return "unknown"
+}
+
+// pointsTo holds the per-variable points-to classes for a unit.
+type pointsTo struct {
+	class map[*Sym]ptClass
+}
+
+// analyzePointers runs the fixpoint. Pointer-typed parameters are
+// unknown by definition (Figure 6's is_function_param case); pointer
+// globals and locals take the join of their assigned values.
+func analyzePointers(u *Unit) *pointsTo {
+	pt := &pointsTo{class: make(map[*Sym]ptClass)}
+
+	// Seed: parameters are unknown.
+	for _, fn := range u.Funcs {
+		for _, p := range fn.Params {
+			if p.Type.Kind == TypePtr {
+				pt.class[p] = ptUnknown
+			}
+		}
+	}
+
+	// Iterate to a fixpoint; the lattice has height 2 so this is quick.
+	for {
+		changed := false
+		for _, fn := range u.Funcs {
+			walkStmts(fn.Body, func(e *Expr) {
+				if e.Kind != ExprAssign {
+					return
+				}
+				l := e.L
+				if l.Kind != ExprIdent || l.Sym.Type.Kind != TypePtr {
+					return
+				}
+				if pt.class[l.Sym] == ptUnknown {
+					return // already at top
+				}
+				cls := pt.valueClass(e.R)
+				nc := pt.class[l.Sym].join(cls)
+				if nc != pt.class[l.Sym] {
+					pt.class[l.Sym] = nc
+					changed = true
+				}
+			})
+			// Declaration initializers are assignments too.
+			walkDecls(fn.Body, func(s *Stmt) {
+				if s.Decl.Type.Kind != TypePtr || s.Init == nil {
+					return
+				}
+				if pt.class[s.Decl] == ptUnknown {
+					return
+				}
+				cls := pt.valueClass(s.Init)
+				nc := pt.class[s.Decl].join(cls)
+				if nc != pt.class[s.Decl] {
+					pt.class[s.Decl] = nc
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			return pt
+		}
+	}
+}
+
+// valueClass classifies the region a pointer-valued expression can
+// point to.
+func (pt *pointsTo) valueClass(e *Expr) ptClass {
+	switch e.Kind {
+	case ExprCall:
+		if e.Callee == "malloc" {
+			return ptNonStack // heap
+		}
+		return ptUnknown // other calls are not analyzed (Fig. 6 has none)
+	case ExprCast:
+		return pt.valueClass(e.L)
+	case ExprIdent:
+		switch e.Sym.Type.Kind {
+		case TypeArray:
+			return storageClass(e.Sym)
+		case TypePtr:
+			return pt.class[e.Sym]
+		}
+		return ptUnknown
+	case ExprUnary:
+		if e.Op == "&" {
+			return addrOfClass(e.L)
+		}
+		if e.Op == "*" {
+			return ptUnknown // pointer loaded from memory: not tracked
+		}
+		return ptUnknown
+	case ExprBinary:
+		// Pointer arithmetic preserves the region.
+		lc, rc := pt.valueClass(e.L), pt.valueClass(e.R)
+		if isPtrType(e.L.Type) {
+			return lc
+		}
+		if isPtrType(e.R.Type) {
+			return rc
+		}
+		return ptUnknown
+	case ExprIntLit:
+		return ptBottom // NULL constrains nothing
+	case ExprIndex:
+		return ptUnknown // pointer value loaded from an array
+	case ExprStrLit:
+		return ptNonStack
+	}
+	return ptUnknown
+}
+
+func isPtrType(t *Type) bool {
+	return t != nil && (t.Kind == TypePtr || t.Kind == TypeArray)
+}
+
+// addrOfClass classifies &lvalue by the storage of the object.
+func addrOfClass(l *Expr) ptClass {
+	switch l.Kind {
+	case ExprIdent:
+		return storageClass(l.Sym)
+	case ExprIndex:
+		if l.L.Kind == ExprIdent {
+			switch l.L.Sym.Type.Kind {
+			case TypeArray:
+				return storageClass(l.L.Sym)
+			case TypePtr:
+				return ptUnknown // class of the pointer, resolved at use
+			}
+		}
+		return ptUnknown
+	case ExprUnary:
+		if l.Op == "*" {
+			return ptUnknown
+		}
+	}
+	return ptUnknown
+}
+
+// storageClass maps a variable's storage to a points-to class.
+func storageClass(s *Sym) ptClass {
+	switch s.Stor {
+	case StorGlobal:
+		return ptNonStack
+	case StorLocal, StorParam:
+		return ptStack
+	}
+	return ptUnknown
+}
+
+// addrClass classifies the address computed by an address expression at
+// a memory access site, using the points-to classes. This is what the
+// codegen consults for deref and index accesses.
+func (pt *pointsTo) addrClass(e *Expr) ptClass {
+	switch e.Kind {
+	case ExprIdent:
+		switch e.Sym.Type.Kind {
+		case TypeArray:
+			return storageClass(e.Sym)
+		case TypePtr:
+			c := pt.class[e.Sym]
+			if c == ptBottom {
+				return ptUnknown
+			}
+			return c
+		}
+		return ptUnknown
+	case ExprCast:
+		return pt.addrClass(e.L)
+	case ExprCall:
+		if e.Callee == "malloc" {
+			return ptNonStack
+		}
+		return ptUnknown
+	case ExprUnary:
+		if e.Op == "&" {
+			return addrOfClass(e.L)
+		}
+		return ptUnknown
+	case ExprBinary:
+		if isPtrType(e.L.Type) {
+			return pt.addrClass(e.L)
+		}
+		if isPtrType(e.R.Type) {
+			return pt.addrClass(e.R)
+		}
+		return ptUnknown
+	case ExprStrLit:
+		return ptNonStack
+	case ExprAssign:
+		return pt.addrClass(e.R)
+	}
+	return ptUnknown
+}
+
+// hintOf renders a points-to class as the assembler hint tag.
+func hintOf(c ptClass) string {
+	switch c {
+	case ptStack:
+		return "stack"
+	case ptNonStack:
+		return "nonstack"
+	}
+	return "unknown"
+}
+
+// walkStmts applies f to every expression in the statement tree.
+func walkStmts(ss []*Stmt, f func(*Expr)) {
+	for _, s := range ss {
+		if s == nil {
+			continue
+		}
+		for _, e := range []*Expr{s.Init, s.Expr, s.Post} {
+			if e != nil {
+				walkExpr(e, f)
+			}
+		}
+		if s.InitStmt != nil {
+			walkStmts([]*Stmt{s.InitStmt}, f)
+		}
+		walkStmts(s.Body, f)
+		walkStmts(s.Else, f)
+	}
+}
+
+// walkDecls applies f to every declaration statement in the tree.
+func walkDecls(ss []*Stmt, f func(*Stmt)) {
+	for _, s := range ss {
+		if s == nil {
+			continue
+		}
+		if s.Kind == StmtDecl {
+			f(s)
+		}
+		if s.InitStmt != nil {
+			walkDecls([]*Stmt{s.InitStmt}, f)
+		}
+		walkDecls(s.Body, f)
+		walkDecls(s.Else, f)
+	}
+}
+
+// walkExpr applies f to e and all subexpressions.
+func walkExpr(e *Expr, f func(*Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	walkExpr(e.L, f)
+	walkExpr(e.R, f)
+	for _, a := range e.Args {
+		walkExpr(a, f)
+	}
+}

@@ -1,0 +1,269 @@
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// lexer turns MiniC source into tokens. It is a straightforward
+// hand-written scanner; MiniC has no preprocessor.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &CompileError{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf(line, col, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-char punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ",", ";",
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{kind: k, text: text, line: line, col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		isFloat := false
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && isHex(l.peekByte()) {
+				l.advance()
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+			if l.peekByte() == '.' && isDigit(l.peek2()) {
+				isFloat = true
+				l.advance()
+				for l.pos < len(l.src) && isDigit(l.peekByte()) {
+					l.advance()
+				}
+			}
+			if l.peekByte() == 'e' || l.peekByte() == 'E' {
+				save := l.pos
+				l.advance()
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+				if isDigit(l.peekByte()) {
+					isFloat = true
+					for l.pos < len(l.src) && isDigit(l.peekByte()) {
+						l.advance()
+					}
+				} else {
+					l.pos = save
+				}
+			}
+			if l.peekByte() == 'f' && isFloat {
+				l.advance()
+			}
+		}
+		text := strings.TrimSuffix(l.src[start:l.pos], "f")
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, l.errf(line, col, "bad float literal %q", text)
+			}
+			return token{kind: tokFloatLit, fval: f, line: line, col: col}, nil
+		}
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf(line, col, "bad integer literal %q", text)
+		}
+		return token{kind: tokIntLit, ival: v, line: line, col: col}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, l.errf(line, col, "unterminated escape")
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '0':
+					sb.WriteByte(0)
+				case '\\', '"', '\'':
+					sb.WriteByte(e)
+				default:
+					return token{}, l.errf(line, col, "bad escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+		return token{kind: tokStrLit, str: sb.String(), line: line, col: col}, nil
+
+	case c == '\'':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(line, col, "unterminated char literal")
+		}
+		var v byte
+		cc := l.advance()
+		if cc == '\\' {
+			e := l.advance()
+			switch e {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\', '\'', '"':
+				v = e
+			default:
+				return token{}, l.errf(line, col, "bad escape \\%c", e)
+			}
+		} else {
+			v = cc
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return token{}, l.errf(line, col, "unterminated char literal")
+		}
+		return token{kind: tokCharLit, ival: int64(v), line: line, col: col}, nil
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: p, line: line, col: col}, nil
+		}
+	}
+	return token{}, l.errf(line, col, "unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole source (including the trailing EOF token).
+func lexAll(file, src string) ([]token, error) {
+	l := newLexer(file, src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

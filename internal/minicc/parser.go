@@ -1,0 +1,520 @@
+package minicc
+
+import "fmt"
+
+// parser builds the AST. Variable scoping is resolved during parsing
+// (declare-before-use, block scoped); types and function calls are
+// resolved by the checker afterwards, so functions may be used before
+// their definitions.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+
+	unit   *Unit
+	scopes []map[string]*Sym
+	fn     *Func // function being parsed
+}
+
+func parse(file, src string) (*Unit, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		file: file,
+		toks: toks,
+		unit: &Unit{
+			File:       file,
+			GlobalInit: make(map[string]*Expr),
+			FuncByName: make(map[string]*Func),
+		},
+	}
+	p.pushScope()
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	return p.unit, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &CompileError{File: p.file, Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf(p.cur(), "expected %q, found %q", s, p.cur().String())
+	}
+	return nil
+}
+
+func (p *parser) pushScope() {
+	p.scopes = append(p.scopes, make(map[string]*Sym))
+}
+
+func (p *parser) popScope() {
+	p.scopes = p.scopes[:len(p.scopes)-1]
+}
+
+func (p *parser) declare(s *Sym, t token) error {
+	top := p.scopes[len(p.scopes)-1]
+	if _, dup := top[s.Name]; dup {
+		return p.errf(t, "redeclaration of %q", s.Name)
+	}
+	top[s.Name] = s
+	return nil
+}
+
+func (p *parser) lookup(name string) *Sym {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// typeStart reports whether the current token starts a type.
+func (p *parser) typeStart() bool {
+	return p.isKeyword("int") || p.isKeyword("float") || p.isKeyword("void")
+}
+
+// parseBaseType parses "int", "float" or "void" plus pointer stars.
+func (p *parser) parseBaseType() (*Type, error) {
+	t := p.cur()
+	var ty *Type
+	switch {
+	case p.accept("int"):
+		ty = tyInt
+	case p.accept("float"):
+		ty = tyFloat
+	case p.accept("void"):
+		ty = tyVoid
+	default:
+		return nil, p.errf(t, "expected type, found %q", t.String())
+	}
+	for p.accept("*") {
+		ty = ptrTo(ty)
+	}
+	return ty, nil
+}
+
+func (p *parser) parseUnit() error {
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		ty, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		nameTok := p.cur()
+		if nameTok.kind != tokIdent {
+			return p.errf(nameTok, "expected name, found %q", nameTok.String())
+		}
+		p.advance()
+		if p.isPunct("(") {
+			if err := p.parseFunc(ty, nameTok); err != nil {
+				return err
+			}
+			continue
+		}
+		// Global variable(s): type name [ '[' N ']' ] [= const] {, ...} ;
+		for {
+			gty := ty
+			if p.accept("[") {
+				n := p.cur()
+				if n.kind != tokIntLit || n.ival <= 0 {
+					return p.errf(n, "array length must be a positive integer literal")
+				}
+				p.advance()
+				if err := p.expect("]"); err != nil {
+					return err
+				}
+				gty = arrayOf(ty, int(n.ival))
+			}
+			if gty.Kind == TypeVoid {
+				return p.errf(t, "variable %q has void type", nameTok.text)
+			}
+			sym := &Sym{Name: nameTok.text, Type: gty, Stor: StorGlobal, Line: nameTok.line}
+			if err := p.declare(sym, nameTok); err != nil {
+				return err
+			}
+			sym.Index = len(p.unit.Globals)
+			p.unit.Globals = append(p.unit.Globals, sym)
+			if p.accept("=") {
+				init, err := p.parseConstExpr()
+				if err != nil {
+					return err
+				}
+				if gty.Kind == TypeArray {
+					return p.errf(nameTok, "array initializers are not supported")
+				}
+				p.unit.GlobalInit[sym.Name] = init
+			}
+			if p.accept(",") {
+				nameTok = p.cur()
+				if nameTok.kind != tokIdent {
+					return p.errf(nameTok, "expected name after ','")
+				}
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseConstExpr parses the restricted constant expressions allowed in
+// global initializers: [-] int/float literal.
+func (p *parser) parseConstExpr() (*Expr, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit, tokCharLit:
+		p.advance()
+		v := t.ival
+		if neg {
+			v = -v
+		}
+		return &Expr{Kind: ExprIntLit, Ival: v, Line: t.line}, nil
+	case tokFloatLit:
+		p.advance()
+		v := t.fval
+		if neg {
+			v = -v
+		}
+		return &Expr{Kind: ExprFloatLit, Fval: v, Line: t.line}, nil
+	}
+	return nil, p.errf(t, "global initializer must be a literal")
+}
+
+func (p *parser) parseFunc(ret *Type, nameTok token) error {
+	if _, dup := p.unit.FuncByName[nameTok.text]; dup {
+		return p.errf(nameTok, "redefinition of function %q", nameTok.text)
+	}
+	fn := &Func{Name: nameTok.text, Ret: ret, Line: nameTok.line}
+	p.fn = fn
+	p.pushScope()
+	defer func() { p.popScope(); p.fn = nil }()
+
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	if !p.accept(")") {
+		// "void" alone means no parameters.
+		if p.isKeyword("void") && p.peek().kind == tokPunct && p.peek().text == ")" {
+			p.advance()
+		} else {
+			for {
+				pt := p.cur()
+				ty, err := p.parseBaseType()
+				if err != nil {
+					return err
+				}
+				if ty.Kind == TypeVoid {
+					return p.errf(pt, "parameter has void type")
+				}
+				nt := p.cur()
+				if nt.kind != tokIdent {
+					return p.errf(nt, "expected parameter name")
+				}
+				p.advance()
+				sym := &Sym{Name: nt.text, Type: ty, Stor: StorParam,
+					Line: nt.line, Index: len(fn.Params)}
+				if err := p.declare(sym, nt); err != nil {
+					return err
+				}
+				fn.Params = append(fn.Params, sym)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	if len(fn.Params) > 8 {
+		return p.errf(nameTok, "function %q has %d parameters (max 8)", fn.Name, len(fn.Params))
+	}
+
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	body, err := p.parseBlockBody()
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	p.unit.Funcs = append(p.unit.Funcs, fn)
+	p.unit.FuncByName[fn.Name] = fn
+	return nil
+}
+
+// parseBlockBody parses statements until the matching '}'.
+func (p *parser) parseBlockBody() ([]*Stmt, error) {
+	var out []*Stmt
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf(p.cur(), "unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.typeStart():
+		return p.parseDecl()
+
+	case p.accept("{"):
+		p.pushScope()
+		body, err := p.parseBlockBody()
+		p.popScope()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtBlock, Line: t.line, Body: body}, nil
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		thenS, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		var elseS []*Stmt
+		if p.accept("else") {
+			elseS, err = p.parseStmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Stmt{Kind: StmtIf, Line: t.line, Expr: cond, Body: thenS, Else: elseS}, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtWhile, Line: t.line, Expr: cond, Body: body}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		p.pushScope()
+		defer p.popScope()
+		var initStmt *Stmt
+		if !p.accept(";") {
+			var err error
+			if p.typeStart() {
+				initStmt, err = p.parseDecl() // consumes ';'
+			} else {
+				var e *Expr
+				e, err = p.parseExpr()
+				if err == nil {
+					initStmt = &Stmt{Kind: StmtExpr, Line: t.line, Expr: e}
+					err = p.expect(";")
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cond *Expr
+		if !p.isPunct(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post *Expr
+		if !p.isPunct(")") {
+			var err error
+			post, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtFor, Line: t.line, InitStmt: initStmt,
+			Expr: cond, Post: post, Body: body}, nil
+
+	case p.accept("return"):
+		var e *Expr
+		if !p.isPunct(";") {
+			var err error
+			e, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtReturn, Line: t.line, Expr: e}, nil
+
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtBreak, Line: t.line}, nil
+
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtContinue, Line: t.line}, nil
+
+	case p.accept(";"):
+		return nil, nil
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtExpr, Line: t.line, Expr: e}, nil
+	}
+}
+
+// parseStmtAsBlock parses one statement (or block) as a statement list.
+func (p *parser) parseStmtAsBlock() ([]*Stmt, error) {
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	if s.Kind == StmtBlock {
+		return s.Body, nil
+	}
+	return []*Stmt{s}, nil
+}
+
+// parseDecl parses a local declaration "type name [N] [= expr] ;" and
+// registers the symbol in the current scope and the function.
+func (p *parser) parseDecl() (*Stmt, error) {
+	t := p.cur()
+	ty, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	nt := p.cur()
+	if nt.kind != tokIdent {
+		return nil, p.errf(nt, "expected variable name")
+	}
+	p.advance()
+	if p.accept("[") {
+		n := p.cur()
+		if n.kind != tokIntLit || n.ival <= 0 {
+			return nil, p.errf(n, "array length must be a positive integer literal")
+		}
+		p.advance()
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		ty = arrayOf(ty, int(n.ival))
+	}
+	if ty.Kind == TypeVoid {
+		return nil, p.errf(t, "variable %q has void type", nt.text)
+	}
+	sym := &Sym{Name: nt.text, Type: ty, Stor: StorLocal, Line: nt.line}
+	if err := p.declare(sym, nt); err != nil {
+		return nil, err
+	}
+	if p.fn == nil {
+		return nil, p.errf(nt, "local declaration outside a function")
+	}
+	sym.Index = len(p.fn.Locals)
+	p.fn.Locals = append(p.fn.Locals, sym)
+
+	st := &Stmt{Kind: StmtDecl, Line: t.line, Decl: sym}
+	if p.accept("=") {
+		init, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,75 @@
+// Package minicc implements a compiler for MiniC, a small C subset, to
+// RISA assembly. The paper's workloads are written in MiniC (standing in
+// for the EGCS-compiled SPEC95 sources), and the compiler implements the
+// paper's Figure 6 classify_mem region analysis: every emitted load and
+// store carries a stack / non-stack / unknown hint derived from a simple
+// flow-insensitive points-to analysis, which feeds the §3.5.2
+// compiler-hints experiment.
+//
+// MiniC supports: int, float, pointers, fixed-size global and local
+// arrays, global and local scalars, functions with up to 8 parameters,
+// recursion, if/else, while, for, break/continue, return, C expression
+// syntax with the usual precedence, address-of, dereference, array
+// indexing, pointer arithmetic, and the builtins malloc, exit,
+// print_int, print_float, print_char, print_str, and sqrtf.
+package minicc
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokStrLit
+	tokCharLit
+	tokPunct   // operators and punctuation, identified by text
+	tokKeyword // language keywords, identified by text
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "sizeof": true,
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string  // identifier text, punctuation, or keyword
+	ival int64   // value for tokIntLit / tokCharLit
+	fval float64 // value for tokFloatLit
+	str  string  // decoded value for tokStrLit
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokIntLit:
+		return fmt.Sprintf("%d", t.ival)
+	case tokFloatLit:
+		return fmt.Sprintf("%g", t.fval)
+	case tokStrLit:
+		return fmt.Sprintf("%q", t.str)
+	default:
+		return t.text
+	}
+}
+
+// CompileError is a diagnostic with source position.
+type CompileError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}

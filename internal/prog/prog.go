@@ -1,0 +1,186 @@
+// Package prog defines the linked program image produced by the
+// assembler and consumed by the simulators: a text segment of encoded
+// instructions, an initialized data segment, a symbol table, and the
+// address-space layout constants shared by the whole toolchain.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+// Address-space layout, SimpleScalar-PISA style. The global pointer sits
+// 32 KB into the data segment so that signed 16-bit displacements reach
+// the first 64 KB of static data, which is what makes the paper's
+// "$gp-based access => non-stack" heuristic productive.
+const (
+	TextBase  uint32 = 0x0040_0000
+	DataBase  uint32 = 0x1000_0000
+	GPValue   uint32 = DataBase + 0x8000
+	StackTop  uint32 = 0x7FFF_F000
+	StackSize uint32 = 0x0010_0000 // 1 MB of legal stack growth
+)
+
+// Symbol is one label with its resolved address.
+type Symbol struct {
+	Name string
+	Addr uint32
+}
+
+// SourcePos locates an instruction in its assembly source, for
+// diagnostics and for carrying MiniC compiler hints through to the
+// predictor study.
+type SourcePos struct {
+	File string
+	Line int
+}
+
+// Hint is a per-instruction compiler region hint (paper §3.5.2). The
+// zero value means "no hint".
+type Hint uint8
+
+// Compiler hints attached to memory instructions.
+const (
+	HintNone     Hint = iota // compiler said nothing
+	HintStack                // compiler proved: stack access
+	HintNonStack             // compiler proved: non-stack access
+	HintUnknown              // compiler analyzed but could not tell
+)
+
+func (h Hint) String() string {
+	switch h {
+	case HintNone:
+		return "none"
+	case HintStack:
+		return "stack"
+	case HintNonStack:
+		return "nonstack"
+	case HintUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("hint(%d)", uint8(h))
+}
+
+// Program is a fully linked RISA program image.
+type Program struct {
+	Name  string
+	Text  []isa.Inst  // decoded text segment, one entry per word
+	Words []uint32    // encoded text segment (same order)
+	Data  []byte      // initialized data segment, loaded at DataBase
+	Entry uint32      // entry point address
+	Syms  []Symbol    // sorted by address
+	Pos   []SourcePos // per-instruction source position (may be empty)
+	Hints []Hint      // per-instruction compiler hints (may be empty)
+
+	symByName map[string]uint32
+}
+
+// PC2Index converts a text address to an instruction index.
+func (p *Program) PC2Index(pc uint32) (int, bool) {
+	if pc < TextBase || (pc-TextBase)%isa.InstBytes != 0 {
+		return 0, false
+	}
+	i := int((pc - TextBase) / isa.InstBytes)
+	if i >= len(p.Text) {
+		return 0, false
+	}
+	return i, true
+}
+
+// Index2PC converts an instruction index to its text address.
+func (p *Program) Index2PC(i int) uint32 {
+	return TextBase + uint32(i)*isa.InstBytes
+}
+
+// Lookup resolves a symbol name to its address.
+func (p *Program) Lookup(name string) (uint32, bool) {
+	if p.symByName == nil {
+		p.symByName = make(map[string]uint32, len(p.Syms))
+		for _, s := range p.Syms {
+			p.symByName[s.Name] = s.Addr
+		}
+	}
+	a, ok := p.symByName[name]
+	return a, ok
+}
+
+// HintAt reports the compiler hint for the instruction at index i
+// (HintNone when the program carries no hints).
+func (p *Program) HintAt(i int) Hint {
+	if i < 0 || i >= len(p.Hints) {
+		return HintNone
+	}
+	return p.Hints[i]
+}
+
+// PosAt reports the source position for the instruction at index i.
+func (p *Program) PosAt(i int) SourcePos {
+	if i < 0 || i >= len(p.Pos) {
+		return SourcePos{}
+	}
+	return p.Pos[i]
+}
+
+// InitialLayout returns the region layout at program start: the heap
+// begins at the page-aligned end of static data and is empty; the full
+// stack window is classified as stack.
+func (p *Program) InitialLayout() region.Layout {
+	heapBase := DataBase + uint32(len(p.Data))
+	heapBase = (heapBase + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	return region.Layout{
+		TextBase:   TextBase,
+		DataBase:   DataBase,
+		HeapBase:   heapBase,
+		Brk:        heapBase,
+		StackTop:   StackTop,
+		StackFloor: StackTop - StackSize,
+	}
+}
+
+// LoadInto writes the text and data segments into m and returns the
+// initial layout.
+func (p *Program) LoadInto(m *mem.Memory) (region.Layout, error) {
+	for i, w := range p.Words {
+		if err := m.WriteWord(p.Index2PC(i), w); err != nil {
+			return region.Layout{}, fmt.Errorf("prog: loading text: %w", err)
+		}
+	}
+	m.WriteBytes(DataBase, p.Data)
+	return p.InitialLayout(), nil
+}
+
+// Validate performs structural checks: entry in range, parallel slices
+// consistent, encodings decodable. The assembler and compiler call it
+// before handing a program to a simulator.
+func (p *Program) Validate() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("prog %q: empty text segment", p.Name)
+	}
+	if len(p.Words) != len(p.Text) {
+		return fmt.Errorf("prog %q: %d decoded vs %d encoded instructions",
+			p.Name, len(p.Text), len(p.Words))
+	}
+	if _, ok := p.PC2Index(p.Entry); !ok {
+		return fmt.Errorf("prog %q: entry %#x outside text", p.Name, p.Entry)
+	}
+	if len(p.Pos) != 0 && len(p.Pos) != len(p.Text) {
+		return fmt.Errorf("prog %q: %d positions vs %d instructions", p.Name, len(p.Pos), len(p.Text))
+	}
+	if len(p.Hints) != 0 && len(p.Hints) != len(p.Text) {
+		return fmt.Errorf("prog %q: %d hints vs %d instructions", p.Name, len(p.Hints), len(p.Text))
+	}
+	for i, w := range p.Words {
+		d, err := isa.Decode(w)
+		if err != nil {
+			return fmt.Errorf("prog %q: instruction %d: %w", p.Name, i, err)
+		}
+		if d != p.Text[i] {
+			return fmt.Errorf("prog %q: instruction %d: decoded %v != stored %v",
+				p.Name, i, d, p.Text[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// tiny builds a minimal valid program: two instructions and 8 data
+// bytes.
+func tiny(t *testing.T) *Program {
+	t.Helper()
+	insts := []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.V0, Rs: isa.Zero, Imm: 7},
+		{Op: isa.OpJR, Rs: isa.RA},
+	}
+	p := &Program{
+		Name:  "tiny",
+		Text:  insts,
+		Data:  []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Entry: TextBase,
+		Syms: []Symbol{
+			{Name: "main", Addr: TextBase},
+			{Name: "blob", Addr: DataBase + 4},
+		},
+	}
+	p.Words = make([]uint32, len(insts))
+	for i, in := range insts {
+		p.Words[i] = isa.MustEncode(in)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("tiny program invalid: %v", err)
+	}
+	return p
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	p := tiny(t)
+	for i := range p.Text {
+		pc := p.Index2PC(i)
+		j, ok := p.PC2Index(pc)
+		if !ok || j != i {
+			t.Errorf("index %d -> pc %#x -> (%d,%v)", i, pc, j, ok)
+		}
+	}
+	if _, ok := p.PC2Index(TextBase - 4); ok {
+		t.Error("pc below text accepted")
+	}
+	if _, ok := p.PC2Index(TextBase + 2); ok {
+		t.Error("misaligned pc accepted")
+	}
+	if _, ok := p.PC2Index(p.Index2PC(len(p.Text))); ok {
+		t.Error("pc past text accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p := tiny(t)
+	if a, ok := p.Lookup("blob"); !ok || a != DataBase+4 {
+		t.Errorf("blob = %#x, %v", a, ok)
+	}
+	if _, ok := p.Lookup("nope"); ok {
+		t.Error("bogus symbol resolved")
+	}
+}
+
+func TestInitialLayout(t *testing.T) {
+	p := tiny(t)
+	l := p.InitialLayout()
+	if l.DataBase != DataBase || l.StackTop != StackTop {
+		t.Errorf("layout bases: %+v", l)
+	}
+	if l.HeapBase < DataBase+uint32(len(p.Data)) {
+		t.Error("heap overlaps data")
+	}
+	if l.HeapBase%mem.PageSize != 0 {
+		t.Error("heap base not page aligned")
+	}
+	if l.Brk != l.HeapBase {
+		t.Error("initial heap not empty")
+	}
+	if l.StackFloor != StackTop-StackSize {
+		t.Error("stack floor")
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	p := tiny(t)
+	m := mem.New()
+	if _, err := p.LoadInto(m); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadWord(TextBase)
+	if err != nil || w != p.Words[0] {
+		t.Errorf("text[0] = %#x, %v", w, err)
+	}
+	if got := m.LoadByte(DataBase + 2); got != 3 {
+		t.Errorf("data byte = %d", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(p *Program)
+		wantSub string
+	}{
+		{"empty text", func(p *Program) { p.Text = nil; p.Words = nil }, "empty text"},
+		{"length mismatch", func(p *Program) { p.Words = p.Words[:1] }, "encoded"},
+		{"bad entry", func(p *Program) { p.Entry = 0x1234 }, "entry"},
+		{"pos mismatch", func(p *Program) { p.Pos = make([]SourcePos, 1) }, "positions"},
+		{"hint mismatch", func(p *Program) { p.Hints = make([]Hint, 1) }, "hints"},
+		{"stale encoding", func(p *Program) { p.Words[0] ^= 1 << 16 }, "decoded"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := tiny(t)
+			c.mutate(p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Validate = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestHintAndPosAccessors(t *testing.T) {
+	p := tiny(t)
+	p.Hints = []Hint{HintStack, HintNone}
+	p.Pos = []SourcePos{{File: "a.s", Line: 3}, {File: "a.s", Line: 4}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HintAt(0) != HintStack || p.HintAt(1) != HintNone {
+		t.Error("HintAt")
+	}
+	if p.HintAt(-1) != HintNone || p.HintAt(99) != HintNone {
+		t.Error("HintAt out of range")
+	}
+	if p.PosAt(1).Line != 4 || p.PosAt(99).Line != 0 {
+		t.Error("PosAt")
+	}
+}
+
+func TestHintStrings(t *testing.T) {
+	want := map[Hint]string{
+		HintNone: "none", HintStack: "stack",
+		HintNonStack: "nonstack", HintUnknown: "unknown",
+	}
+	for h, s := range want {
+		if h.String() != s {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), s)
+		}
+	}
+}

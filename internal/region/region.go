@@ -1,0 +1,143 @@
+// Package region defines the memory-region model at the heart of the
+// paper: a program's address space is partitioned into data, heap, and
+// stack regions, every memory access falls in exactly one of them, and a
+// static memory instruction is characterized by the *set* of regions it
+// touches over a run (the paper's Figure 2 classes).
+package region
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region identifies one of the three data memory regions. The paper's
+// predictor collapses Data and Heap into "non-stack"; see IsStack.
+type Region uint8
+
+// The three regions.
+const (
+	Data Region = iota
+	Heap
+	Stack
+	numRegions
+)
+
+// Count is the number of regions.
+const Count = int(numRegions)
+
+func (r Region) String() string {
+	switch r {
+	case Data:
+		return "data"
+	case Heap:
+		return "heap"
+	case Stack:
+		return "stack"
+	}
+	return fmt.Sprintf("region(%d)", uint8(r))
+}
+
+// IsStack reports whether the region is the stack. The binary
+// stack/non-stack split is the one the ARPT predicts.
+func (r Region) IsStack() bool { return r == Stack }
+
+// Set is a bitset of regions, characterizing which regions a static
+// memory instruction has accessed at run time.
+type Set uint8
+
+// Add returns the set with r added.
+func (s Set) Add(r Region) Set { return s | 1<<r }
+
+// Has reports whether r is in the set.
+func (s Set) Has(r Region) bool { return s&(1<<r) != 0 }
+
+// Len reports the number of regions in the set.
+func (s Set) Len() int {
+	n := 0
+	for r := Data; r < numRegions; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Single reports whether exactly one region is in the set — the access
+// region locality property.
+func (s Set) Single() bool { return s.Len() == 1 }
+
+// Class renders the set in the paper's Figure 2 notation: "D", "H", "S",
+// "D/H", "D/S", "H/S", "D/H/S", or "-" for the empty set.
+func (s Set) Class() string {
+	if s == 0 {
+		return "-"
+	}
+	var parts []string
+	if s.Has(Data) {
+		parts = append(parts, "D")
+	}
+	if s.Has(Heap) {
+		parts = append(parts, "H")
+	}
+	if s.Has(Stack) {
+		parts = append(parts, "S")
+	}
+	return strings.Join(parts, "/")
+}
+
+func (s Set) String() string { return s.Class() }
+
+// AllClasses lists the seven non-empty Figure 2 classes in the paper's
+// presentation order.
+var AllClasses = []Set{
+	Set(0).Add(Data),
+	Set(0).Add(Heap),
+	Set(0).Add(Stack),
+	Set(0).Add(Data).Add(Heap),
+	Set(0).Add(Data).Add(Stack),
+	Set(0).Add(Heap).Add(Stack),
+	Set(0).Add(Data).Add(Heap).Add(Stack),
+}
+
+// Layout captures the segment boundaries a run-time system establishes.
+// DataBase..HeapBase is the static data segment; HeapBase..Brk the heap
+// (grown by sbrk); addresses at or above StackFloor are stack. The
+// paper's TLB stores the same information as one bit per page.
+type Layout struct {
+	TextBase   uint32 // start of the text segment
+	DataBase   uint32 // start of static data
+	HeapBase   uint32 // start of the heap (end of static data)
+	Brk        uint32 // current heap break (exclusive)
+	StackTop   uint32 // highest stack address (exclusive)
+	StackFloor uint32 // lowest address ever considered stack
+}
+
+// Classify reports which region addr belongs to. Addresses between the
+// heap break and the stack floor (untouched territory) classify as heap:
+// a real run-time system grows the heap into that space, and treating it
+// as heap keeps the classification total.
+func (l Layout) Classify(addr uint32) Region {
+	if addr >= l.StackFloor {
+		return Stack
+	}
+	if addr < l.HeapBase {
+		return Data
+	}
+	return Heap
+}
+
+// ValidData reports whether addr falls in the static data segment.
+func (l Layout) ValidData(addr uint32) bool {
+	return addr >= l.DataBase && addr < l.HeapBase
+}
+
+// ValidHeap reports whether addr falls below the current break in the
+// heap segment.
+func (l Layout) ValidHeap(addr uint32) bool {
+	return addr >= l.HeapBase && addr < l.Brk
+}
+
+// ValidStack reports whether addr falls in the stack segment.
+func (l Layout) ValidStack(addr uint32) bool {
+	return addr >= l.StackFloor && addr < l.StackTop
+}

@@ -1,0 +1,116 @@
+package region
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func layout() Layout {
+	return Layout{
+		TextBase:   0x0040_0000,
+		DataBase:   0x1000_0000,
+		HeapBase:   0x1001_0000,
+		Brk:        0x1002_0000,
+		StackTop:   0x7FFF_F000,
+		StackFloor: 0x7FEF_F000,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	l := layout()
+	cases := []struct {
+		addr uint32
+		want Region
+	}{
+		{0x1000_0000, Data},
+		{0x1000_FFFF, Data},
+		{0x1001_0000, Heap},
+		{0x1001_FFFC, Heap},
+		{0x2000_0000, Heap}, // untouched territory classifies as heap
+		{0x7FEF_F000, Stack},
+		{0x7FFF_EFFC, Stack},
+		{0x0000_0000, Data}, // below data base still "data" side of the split
+	}
+	for _, c := range cases {
+		if got := l.Classify(c.addr); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestValidators(t *testing.T) {
+	l := layout()
+	if !l.ValidData(0x1000_0004) || l.ValidData(0x1001_0000) {
+		t.Error("ValidData boundaries")
+	}
+	if !l.ValidHeap(0x1001_0000) || l.ValidHeap(l.Brk) {
+		t.Error("ValidHeap boundaries")
+	}
+	if !l.ValidStack(l.StackFloor) || l.ValidStack(l.StackTop) {
+		t.Error("ValidStack boundaries")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Single() {
+		t.Error("empty set")
+	}
+	s = s.Add(Data)
+	if !s.Single() || s.Class() != "D" {
+		t.Errorf("D set: %v", s)
+	}
+	s = s.Add(Stack)
+	if s.Single() || s.Class() != "D/S" {
+		t.Errorf("D/S set: %v", s)
+	}
+	s = s.Add(Heap)
+	if s.Class() != "D/H/S" || s.Len() != 3 {
+		t.Errorf("full set: %v", s)
+	}
+	if !s.Has(Heap) || !s.Has(Data) || !s.Has(Stack) {
+		t.Error("Has after adds")
+	}
+	// Adding twice is idempotent.
+	if s.Add(Heap) != s {
+		t.Error("Add not idempotent")
+	}
+}
+
+func TestAllClassesDistinct(t *testing.T) {
+	if len(AllClasses) != 7 {
+		t.Fatalf("AllClasses = %d entries, want 7", len(AllClasses))
+	}
+	seen := map[Set]bool{}
+	for _, s := range AllClasses {
+		if s == 0 || seen[s] {
+			t.Errorf("class %v empty or duplicated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIsStack(t *testing.T) {
+	if !Stack.IsStack() || Data.IsStack() || Heap.IsStack() {
+		t.Error("IsStack misclassifies")
+	}
+}
+
+// Property: classification is a total partition — every address maps to
+// exactly one region, and stack iff >= StackFloor.
+func TestClassifyPartitionProperty(t *testing.T) {
+	l := layout()
+	f := func(addr uint32) bool {
+		r := l.Classify(addr)
+		if addr >= l.StackFloor {
+			return r == Stack
+		}
+		if addr < l.HeapBase {
+			return r == Data
+		}
+		return r == Heap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package stats provides the small statistics toolkit used throughout the
+// simulator: counters, running mean/standard deviation accumulators,
+// integer histograms, and the sliding-window accumulator that backs the
+// paper's Table 2 (per-region access counts over the last 32/64
+// instructions).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates a stream of float64 observations and reports count,
+// mean, variance and standard deviation using Welford's online algorithm,
+// which is numerically stable for the long streams the profiler produces.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddN records the same observation n times.
+func (r *Running) AddN(x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		r.Add(x)
+	}
+}
+
+// N reports the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean reports the arithmetic mean of the observations (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance reports the population variance of the observations.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev reports the population standard deviation of the observations.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge folds other into r, as if every observation fed to other had been
+// fed to r as well.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n := r.n + other.n
+	d := other.mean - r.mean
+	mean := r.mean + d*float64(other.n)/float64(n)
+	m2 := r.m2 + other.m2 + d*d*float64(r.n)*float64(other.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f", r.n, r.Mean(), r.StdDev())
+}
+
+// Hist is a sparse integer histogram.
+type Hist struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{counts: make(map[int]uint64)} }
+
+// Add increments the bucket for v.
+func (h *Hist) Add(v int) { h.counts[v]++; h.total++ }
+
+// Count reports the number of observations equal to v.
+func (h *Hist) Count(v int) uint64 { return h.counts[v] }
+
+// Total reports the total number of observations.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Mean reports the mean of the observed values.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// StdDev reports the population standard deviation of the observed values.
+func (h *Hist) StdDev() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	m := h.Mean()
+	var sq float64
+	for v, c := range h.counts {
+		d := float64(v) - m
+		sq += d * d * float64(c)
+	}
+	return math.Sqrt(sq / float64(h.total))
+}
+
+// Buckets returns the observed values in ascending order.
+func (h *Hist) Buckets() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+func (h *Hist) String() string {
+	var b strings.Builder
+	for _, v := range h.Buckets() {
+		fmt.Fprintf(&b, "%d:%d ", v, h.counts[v])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Window counts how many of the last Size events were "hits" (e.g. memory
+// accesses to one region within the last 32 retired instructions). Every
+// Step(hit) both advances the window one event and reports the current
+// hit population, which the caller typically feeds into a Running.
+type Window struct {
+	size  int
+	ring  []bool
+	pos   int
+	count int
+	warm  int
+}
+
+// NewWindow returns a sliding window over the last size events.
+// It panics if size is not positive.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic(fmt.Sprintf("stats: invalid window size %d", size))
+	}
+	return &Window{size: size, ring: make([]bool, size)}
+}
+
+// Size reports the window length.
+func (w *Window) Size() int { return w.size }
+
+// Step pushes one event (hit or miss) into the window and returns the
+// number of hits among the last Size events.
+func (w *Window) Step(hit bool) int {
+	if w.ring[w.pos] {
+		w.count--
+	}
+	w.ring[w.pos] = hit
+	if hit {
+		w.count++
+	}
+	w.pos = (w.pos + 1) % w.size
+	if w.warm < w.size {
+		w.warm++
+	}
+	return w.count
+}
+
+// Count reports the current number of hits in the window.
+func (w *Window) Count() int { return w.count }
+
+// Warm reports true once Size events have been observed, i.e. once the
+// window content is meaningful. The Table 2 profiler only samples warm
+// windows so start-up transients do not bias the distribution.
+func (w *Window) Warm() bool { return w.warm >= w.size }
+
+// Ratio is a convenience pair of counters reporting hits/total.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Add records one trial.
+func (r *Ratio) Add(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value reports hits/total in [0,1]; 0 when empty.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Percent reports the ratio as a percentage.
+func (r *Ratio) Percent() float64 { return r.Value() * 100 }
+
+func (r *Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Hits, r.Total, r.Percent())
+}

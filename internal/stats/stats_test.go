@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g", r.Mean())
+	}
+	if math.Abs(r.StdDev()-2) > 1e-12 {
+		t.Errorf("stddev = %g", r.StdDev())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.StdDev() != 0 || r.N() != 0 {
+		t.Errorf("empty accumulator not zero: %v", &r)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	var a, b, all Running
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for i, x := range xs {
+		all.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.StdDev()-all.StdDev()) > 1e-9 {
+		t.Errorf("merge: got (%g,%g), want (%g,%g)", a.Mean(), a.StdDev(), all.Mean(), all.StdDev())
+	}
+}
+
+// Property: Running agrees with the two-pass formulas.
+func TestRunningMatchesTwoPass(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			// Constrain to sane magnitudes to avoid float blowup noise.
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				continue
+			}
+			r.Add(x)
+			sum += x
+		}
+		if r.N() == 0 {
+			return true
+		}
+		mean := sum / float64(r.N())
+		ok = ok && math.Abs(r.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist()
+	for _, v := range []int{1, 2, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Errorf("hist counts wrong: %v", h)
+	}
+	if math.Abs(h.Mean()-14.0/6) > 1e-12 {
+		t.Errorf("mean = %g", h.Mean())
+	}
+	if got := h.Buckets(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("buckets = %v", got)
+	}
+}
+
+func TestWindowCounts(t *testing.T) {
+	w := NewWindow(4)
+	seq := []bool{true, false, true, true, false, false, false, false}
+	want := []int{1, 1, 2, 3, 2, 2, 1, 0}
+	for i, hit := range seq {
+		if got := w.Step(hit); got != want[i] {
+			t.Errorf("step %d: count = %d, want %d", i, got, want[i])
+		}
+	}
+	if !w.Warm() {
+		t.Error("window should be warm after size steps")
+	}
+}
+
+func TestWindowWarmup(t *testing.T) {
+	w := NewWindow(3)
+	w.Step(true)
+	w.Step(true)
+	if w.Warm() {
+		t.Error("warm too early")
+	}
+	w.Step(false)
+	if !w.Warm() {
+		t.Error("not warm after 3 steps")
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: window count is always in [0, size] and equals the number
+// of true values among the last `size` inputs.
+func TestWindowCountProperty(t *testing.T) {
+	f := func(bits []bool) bool {
+		const size = 8
+		w := NewWindow(size)
+		for i, b := range bits {
+			got := w.Step(b)
+			lo := i - size + 1
+			if lo < 0 {
+				lo = 0
+			}
+			want := 0
+			for _, x := range bits[lo : i+1] {
+				if x {
+					want++
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio")
+	}
+	r.Add(true)
+	r.Add(true)
+	r.Add(false)
+	if math.Abs(r.Percent()-66.666) > 0.01 {
+		t.Errorf("percent = %g", r.Percent())
+	}
+}

@@ -1,0 +1,82 @@
+// Package tlb models the translation look-aside buffer extension of
+// §4.2: every entry carries one extra bit saying whether the translated
+// page belongs to the stack. The memory-access stage consults this bit
+// to verify the ARPT's prediction; a mismatch triggers the recovery
+// path. Address translation itself is identity (the simulators run
+// physically addressed), so the TLB's interesting outputs are the
+// stack bit and hit/miss statistics.
+package tlb
+
+import (
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+type entry struct {
+	page  uint32
+	stack bool
+	used  uint64
+	valid bool
+}
+
+// TLB is a fully associative, LRU-replaced translation buffer with a
+// per-page stack bit.
+type TLB struct {
+	entries []entry
+	layout  region.Layout
+	clock   uint64
+	stats   Stats
+}
+
+// DefaultEntries matches a typical late-90s data TLB.
+const DefaultEntries = 64
+
+// New builds a TLB over the given layout snapshot.
+func New(entries int, layout region.Layout) *TLB {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	return &TLB{entries: make([]entry, entries), layout: layout}
+}
+
+// SetLayout updates the layout (the heap break moves as the program
+// sbrks; the stack boundary is fixed, so cached stack bits stay valid).
+func (t *TLB) SetLayout(l region.Layout) { t.layout = l }
+
+// Lookup translates addr and returns whether the page is a stack page
+// and whether the lookup hit the TLB. On a miss the entry is filled
+// from the layout (the run-time system "page table").
+func (t *TLB) Lookup(addr uint32) (stack, hit bool) {
+	t.clock++
+	t.stats.Accesses++
+	page := addr >> mem.PageBits
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			t.stats.Hits++
+			e.used = t.clock
+			return e.stack, true
+		}
+		if !t.entries[victim].valid {
+			continue
+		}
+		if !e.valid || e.used < t.entries[victim].used {
+			victim = i
+		}
+	}
+	t.stats.Misses++
+	stack = t.layout.Classify(addr).IsStack()
+	t.entries[victim] = entry{page: page, stack: stack, used: t.clock, valid: true}
+	return stack, false
+}
+
+// Stats reports accumulated statistics.
+func (t *TLB) Stats() Stats { return t.stats }

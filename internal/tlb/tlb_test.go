@@ -1,0 +1,74 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+func layout() region.Layout {
+	return region.Layout{
+		DataBase: 0x1000_0000, HeapBase: 0x1001_0000, Brk: 0x1002_0000,
+		StackTop: 0x7FFF_F000, StackFloor: 0x7FEF_F000,
+	}
+}
+
+func TestStackBit(t *testing.T) {
+	tb := New(4, layout())
+	if stack, _ := tb.Lookup(0x7FFF_0000); !stack {
+		t.Error("stack page not flagged")
+	}
+	if stack, _ := tb.Lookup(0x1000_0100); stack {
+		t.Error("data page flagged as stack")
+	}
+	if stack, _ := tb.Lookup(0x1001_0100); stack {
+		t.Error("heap page flagged as stack")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	tb := New(4, layout())
+	if _, hit := tb.Lookup(0x1000_0000); hit {
+		t.Error("cold lookup hit")
+	}
+	if _, hit := tb.Lookup(0x1000_0004); !hit {
+		t.Error("same-page lookup missed")
+	}
+	st := tb.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tb := New(2, layout())
+	a, b, c := uint32(0x1000_0000), uint32(0x1000_1000), uint32(0x1000_2000)
+	tb.Lookup(a)
+	tb.Lookup(b)
+	tb.Lookup(a) // a MRU
+	tb.Lookup(c) // evicts b
+	if _, hit := tb.Lookup(a); !hit {
+		t.Error("a evicted, want b")
+	}
+	if _, hit := tb.Lookup(b); hit {
+		t.Error("b survived")
+	}
+}
+
+func TestDefaultEntries(t *testing.T) {
+	tb := New(0, layout())
+	if len(tb.entries) != DefaultEntries {
+		t.Errorf("entries = %d", len(tb.entries))
+	}
+}
+
+func TestSetLayoutMovesBrk(t *testing.T) {
+	l := layout()
+	tb := New(4, l)
+	l.Brk += 0x1000
+	tb.SetLayout(l)
+	// New heap page classifies by the updated layout.
+	if stack, _ := tb.Lookup(l.Brk - 4); stack {
+		t.Error("heap page flagged after brk move")
+	}
+}

@@ -1,0 +1,304 @@
+package workload
+
+import "fmt"
+
+// The FP kernels are written the way EGCS -O3 with loop unrolling
+// compiles Fortran stencils: induction variables strength-reduced to
+// walking pointers and inner loops unrolled, so the instruction mix is
+// dominated by loads/stores and FP ops rather than index arithmetic.
+// This is what makes them exert the data-bandwidth pressure the paper
+// measures (Table 2: 4-10 data accesses per 32 instructions).
+
+// 101.tomcatv — vectorized mesh generation. Global float grids (data
+// region) with a stencil sweep that stages many float intermediates in
+// stack slots (MiniC float locals always live on the stack, matching
+// the spill-heavy FP code the paper measures: tomcatv has the largest
+// stack share of the FP programs).
+var tomcatv = &Workload{
+	Name: "101.tomcatv", Short: "tomcatv", FP: true, DefaultScale: 1,
+	About: "2-D mesh stencil over global float grids with spilled FP temporaries",
+	Source: func(scale int) string {
+		const gridN = 64 // grid edge; the paper used N=253
+		return lcg + fmt.Sprintf(`
+float x_[4096];
+float y_[4096];
+float rx_[4096];
+float ry_[4096];
+float dd_[4096];
+
+float rowsum(float *row) {
+	float s = 0.0;
+	int i;
+	for (i = 0; i < 64; i += 4) {
+		s += row[i] + row[i + 1] + row[i + 2] + row[i + 3];
+	}
+	return s;
+}
+
+int main() {
+	int i;
+	int j;
+	float stage[64];
+	for (i = 0; i < 64 * 64; i++) {
+		x_[i] = (float)(i %% 97) * 0.031;
+		y_[i] = (float)(i %% 89) * 0.043;
+	}
+	int iter;
+	float check = 0.0;
+	for (iter = 0; iter < %d * 3; iter++) {
+		// Residual bookkeeping: the same helper sums a grid row in
+		// place (data) and a stack-staged boundary row, so its loads
+		// access multiple regions (tomcatv is the paper's FP program
+		// with the most such instructions).
+		for (i = 0; i < 64; i++) stage[i] = x_[(iter %% 63) * 64 + i];
+		check += rowsum(x_ + (iter %% 63) * 64) - rowsum(stage);
+		for (i = 1; i < 64 - 1; i++) {
+			float *px = &x_[i * 64 + 1];
+			float *py = &y_[i * 64 + 1];
+			float *prx = &rx_[i * 64 + 1];
+			float *pry = &ry_[i * 64 + 1];
+			float *pdd = &dd_[i * 64 + 1];
+			for (j = 1; j < 64 - 1; j++) {
+				float xx = px[1] - px[-1];
+				float yx = py[1] - py[-1];
+				float xy = px[64] - px[-64];
+				float yy = py[64] - py[-64];
+				float a = 0.25 * (xy * xy + yy * yy);
+				float b = 0.25 * (xx * xx + yx * yx);
+				float c = 0.125 * (xx * xy + yx * yy);
+				float qc = c * (px[64 + 1] - px[64 - 1] - px[-64 + 1] + px[-64 - 1]);
+				float rc = c * (py[64 + 1] - py[64 - 1] - py[-64 + 1] + py[-64 - 1]);
+				*prx = a * (px[1] + px[-1]) + b * (px[64] + px[-64]) - 2.0 * (a + b) * px[0] - qc;
+				*pry = a * (py[1] + py[-1]) + b * (py[64] + py[-64]) - 2.0 * (a + b) * py[0] - rc;
+				*pdd = b + 0.0001;
+				px = px + 1;
+				py = py + 1;
+				prx = prx + 1;
+				pry = pry + 1;
+				pdd = pdd + 1;
+			}
+		}
+		for (i = 1; i < 64 - 1; i++) {
+			float *px = &x_[i * 64 + 1];
+			float *py = &y_[i * 64 + 1];
+			float *prx = &rx_[i * 64 + 1];
+			float *pry = &ry_[i * 64 + 1];
+			float *pdd = &dd_[i * 64 + 1];
+			for (j = 1; j < 64 - 1; j += 2) {
+				px[0] = px[0] + prx[0] * 0.3 / pdd[0];
+				py[0] = py[0] + pry[0] * 0.3 / pdd[0];
+				px[1] = px[1] + prx[1] * 0.3 / pdd[1];
+				py[1] = py[1] + pry[1] * 0.3 / pdd[1];
+				px = px + 2;
+				py = py + 2;
+				prx = prx + 2;
+				pry = pry + 2;
+				pdd = pdd + 2;
+			}
+		}
+		check += x_[iter %% 4096] + y_[(iter * 7) %% 4096];
+	}
+	return (int)(fabsf(check)) & 255;
+}
+`, scale)
+	},
+}
+
+// 102.swim — shallow water equations: three global grids updated by a
+// light stencil with few live float temporaries, matching the
+// namesake's data-dominant, low-stack profile.
+var swim = &Workload{
+	Name: "102.swim", Short: "swim", FP: true, DefaultScale: 1,
+	About: "shallow-water stencil over global float grids (data-dominant)",
+	Source: func(scale int) string {
+		const gridN = 64
+		return fmt.Sprintf(`
+float u_[4096];
+float v_[4096];
+float p_[4096];
+float unew_[4096];
+float vnew_[4096];
+float pnew_[4096];
+
+int main() {
+	int i;
+	int j;
+	for (i = 0; i < 64 * 64; i++) {
+		u_[i] = (float)(i %% 13) * 0.1;
+		v_[i] = (float)(i %% 17) * 0.2;
+		p_[i] = 50.0 + (float)(i %% 19);
+	}
+	int iter;
+	float check = 0.0;
+	for (iter = 0; iter < %d * 5; iter++) {
+		for (i = 1; i < 64 - 1; i++) {
+			float *pu = &u_[i * 64 + 1];
+			float *pv = &v_[i * 64 + 1];
+			float *pp = &p_[i * 64 + 1];
+			float *qu = &unew_[i * 64 + 1];
+			float *qv = &vnew_[i * 64 + 1];
+			float *qp = &pnew_[i * 64 + 1];
+			for (j = 1; j < 64 - 1; j++) {
+				qu[0] = pu[0] + 0.1 * (pv[1] - pv[-1]) - 0.05 * (pp[1] - pp[-1]);
+				qv[0] = pv[0] + 0.1 * (pu[64] - pu[-64]) - 0.05 * (pp[64] - pp[-64]);
+				qp[0] = pp[0] - 0.1 * (pu[1] - pu[-1] + pv[64] - pv[-64]);
+				pu = pu + 1;
+				pv = pv + 1;
+				pp = pp + 1;
+				qu = qu + 1;
+				qv = qv + 1;
+				qp = qp + 1;
+			}
+		}
+		for (i = 1; i < 64 - 1; i++) {
+			float *pu = &u_[i * 64 + 1];
+			float *pv = &v_[i * 64 + 1];
+			float *pp = &p_[i * 64 + 1];
+			float *qu = &unew_[i * 64 + 1];
+			float *qv = &vnew_[i * 64 + 1];
+			float *qp = &pnew_[i * 64 + 1];
+			for (j = 1; j < 64 - 1; j += 2) {
+				pu[0] = qu[0];
+				pv[0] = qv[0];
+				pp[0] = qp[0];
+				pu[1] = qu[1];
+				pv[1] = qv[1];
+				pp[1] = qp[1];
+				pu = pu + 2;
+				pv = pv + 2;
+				pp = pp + 2;
+				qu = qu + 2;
+				qv = qv + 2;
+				qp = qp + 2;
+			}
+		}
+		check += p_[(iter * 31) %% 4096];
+	}
+	return (int)(fabsf(check)) & 255;
+}
+`, scale)
+	},
+}
+
+// 103.su2cor — quantum physics monte carlo: global float matrices with
+// dot-product kernels and an LCG-driven update sweep. Data-dominant
+// with a small heap scratch buffer (the original has a little heap
+// traffic, unlike the other FP programs).
+var su2cor = &Workload{
+	Name: "103.su2cor", Short: "su2cor", FP: true, DefaultScale: 1,
+	About: "monte-carlo matrix sweeps over global float arrays with a small heap scratch",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+float lat_[8192];
+float prop_[8192];
+float corr_[256];
+float *scratch_;
+
+float dot(int a, int b) {
+	// 16-element dot product, unrolled by 4 as -O3 would.
+	float *pa = &lat_[a];
+	float *pb = &lat_[b];
+	float s0 = 0.0;
+	float s1 = 0.0;
+	float s2 = 0.0;
+	float s3 = 0.0;
+	int i;
+	for (i = 0; i < 16; i += 4) {
+		s0 += pa[0] * pb[0];
+		s1 += pa[1] * pb[1];
+		s2 += pa[2] * pb[2];
+		s3 += pa[3] * pb[3];
+		pa = pa + 4;
+		pb = pb + 4;
+	}
+	return (s0 + s1) + (s2 + s3);
+}
+
+int main() {
+	scratch_ = (float*)malloc(1024 * sizeof(float));
+	int i;
+	for (i = 0; i < 8192; i++) lat_[i] = (float)((i * 37) %% 101) * 0.0198;
+	for (i = 0; i < 1024; i++) scratch_[i] = 0.0;
+	int iter;
+	float check = 0.0;
+	for (iter = 0; iter < %d * 70; iter++) {
+		int base = rnd(7000);
+		for (i = 0; i < 64; i++) {
+			float d = dot(base + i, base + i + 64);
+			prop_[(base + i) & 8191] = d * 0.5 + prop_[(base + i) & 8191] * 0.5;
+			scratch_[i & 1023] = d;
+		}
+		for (i = 0; i < 64; i += 2) {
+			corr_[i & 255] += scratch_[i] * 0.01;
+			corr_[(i + 1) & 255] += scratch_[i + 1] * 0.01;
+			lat_[(base + i * 3) & 8191] += 0.0005 * (float)(rnd(100) - 50);
+		}
+		check += corr_[iter & 255];
+	}
+	return (int)(fabsf(check)) & 255;
+}
+`, scale)
+	},
+}
+
+// 107.mgrid — multigrid solver: 3-D 27-point stencils over global float
+// arrays. The heaviest data-region consumer of the twelve (the paper
+// measures 9.6 data accesses per 32 instructions) with very little
+// stack or heap.
+var mgrid = &Workload{
+	Name: "107.mgrid", Short: "mgrid", FP: true, DefaultScale: 1,
+	About: "3-D 27-point multigrid stencil over global float arrays (most data-heavy)",
+	Source: func(scale int) string {
+		const gridN = 16 // 16^3 grid
+		return fmt.Sprintf(`
+float u3_[4096];
+float r3_[4096];
+float v3_[4096];
+
+int main() {
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < 16 * 256; i++) {
+		u3_[i] = (float)((i * 29) %% 53) * 0.019;
+		v3_[i] = (float)((i * 13) %% 47) * 0.021;
+	}
+	int iter;
+	float check = 0.0;
+	for (iter = 0; iter < %d * 6; iter++) {
+		for (i = 1; i < 16 - 1; i++) {
+			for (j = 1; j < 16 - 1; j++) {
+				float *pu = &u3_[i * 256 + j * 16 + 1];
+				float *pr = &r3_[i * 256 + j * 16 + 1];
+				float *pv = &v3_[i * 256 + j * 16 + 1];
+				for (k = 1; k < 16 - 1; k++) {
+					float faces = pu[-1] + pu[1] + pu[-16] + pu[16] + pu[-256] + pu[256];
+					float edges = pu[-16 - 1] + pu[-16 + 1] + pu[16 - 1] + pu[16 + 1]
+						+ pu[-256 - 1] + pu[-256 + 1] + pu[256 - 1] + pu[256 + 1]
+						+ pu[-256 - 16] + pu[-256 + 16] + pu[256 - 16] + pu[256 + 16];
+					pr[0] = pv[0] - 2.6 * pu[0] + 0.16 * faces + 0.04 * edges;
+					pu = pu + 1;
+					pr = pr + 1;
+					pv = pv + 1;
+				}
+			}
+		}
+		for (i = 1; i < 16 - 1; i++) {
+			for (j = 1; j < 16 - 1; j++) {
+				float *pu = &u3_[i * 256 + j * 16 + 1];
+				float *pr = &r3_[i * 256 + j * 16 + 1];
+				for (k = 1; k < 16 - 1; k += 2) {
+					pu[0] = pu[0] + 0.4 * pr[0];
+					pu[1] = pu[1] + 0.4 * pr[1];
+					pu = pu + 2;
+					pr = pr + 2;
+				}
+			}
+		}
+		check += u3_[(iter * 113) %% 4096];
+	}
+	return (int)(fabsf(check)) & 255;
+}
+`, scale)
+	},
+}

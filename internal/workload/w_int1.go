@@ -1,0 +1,338 @@
+package workload
+
+import "fmt"
+
+// 099.go — game playing. Like its namesake, it keeps the board and
+// evaluation tables in static arrays (no heap at all) and burns time in
+// a recursive game-tree search: data-region reads from the evaluator
+// plus stack traffic from the recursion.
+var goBench = &Workload{
+	Name: "099.go", Short: "go", DefaultScale: 3,
+	About: "recursive game-tree search over static board arrays (data+stack, no heap)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int board[361];
+int weights[16];
+int history[256];
+int nodes_;
+
+int evalpos(int pos) {
+	int s = board[pos] * weights[pos & 15];
+	int r = pos / 19;
+	int c = pos %% 19;
+	if (r > 0)  s += board[pos - 19];
+	if (r < 18) s += board[pos + 19];
+	if (c > 0)  s += board[pos - 1];
+	if (c < 18) s += board[pos + 1];
+	return s;
+}
+
+int scoreline(int *cells, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) s += cells[i] * (i + 1);
+	return s;
+}
+
+int evaluate(int player) {
+	int e = 0;
+	int i;
+	int line[19];
+	for (i = 0; i < 361; i += 5) e += evalpos(i);
+	// Score one board row in place (data) and a locally staged copy of
+	// the next row (stack) with the same helper.
+	int row = (nodes_ %% 17) * 19;
+	for (i = 0; i < 19; i++) line[i] = board[row + 19 + i];
+	e += scoreline(board + row, 19) - scoreline(line, 19);
+	return e * player;
+}
+
+int search(int depth, int player, int alpha, int beta) {
+	nodes_++;
+	if (depth == 0) return evaluate(player);
+	int best = -1000000;
+	int m;
+	for (m = 0; m < 5; m++) {
+		int pos = rnd(361);
+		int old = board[pos];
+		board[pos] = player;
+		history[(nodes_ + m) & 255] = pos;
+		int v = -search(depth - 1, -player, -beta, -alpha);
+		board[pos] = old;
+		if (v > best) best = v;
+		if (best > alpha) alpha = best;
+		if (alpha >= beta) break;
+	}
+	return best;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 361; i++) board[i] = (i %% 7) - 3;
+	for (i = 0; i < 16; i++) weights[i] = i - 8;
+	int total = 0;
+	int g;
+	for (g = 0; g < %d; g++) {
+		total += search(4, 1, -1000000, 1000000);
+		board[rnd(361)] = 1 - 2 * (g & 1);
+	}
+	return (total + nodes_) & 255;
+}
+`, scale)
+	},
+}
+
+// 124.m88ksim — a CPU simulator simulating a CPU: the interpreted
+// program lives on the heap, the simulated register file and memory in
+// static data, and the dispatch loop makes moderate stack use. Like the
+// original, it is the one program with comparable data and heap
+// traffic.
+var m88ksim = &Workload{
+	Name: "124.m88ksim", Short: "m88ksim", DefaultScale: 1,
+	About: "instruction-set interpreter: heap-resident program, data-resident machine state",
+	Source: func(scale int) string {
+		const progWords = 2048
+		return lcg + fmt.Sprintf(`
+int regs[32];
+int dmem[4096];
+int opcount[8];
+int *imem;
+int pc_;
+int icount_;
+
+void genprog(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int op = rnd(8);
+		int a = 1 + rnd(31);
+		int b = rnd(32);
+		int c = rnd(32);
+		imem[i] = op * 16777216 + a * 65536 + b * 256 + c;
+	}
+}
+
+int step() {
+	int w = imem[pc_];
+	int op = (w >> 24) & 255;
+	int a = (w >> 16) & 255;
+	int b = (w >> 8) & 255;
+	int c = w & 255;
+	opcount[op] += 1;
+	if (op == 0) regs[a] = regs[b] + regs[c];
+	else if (op == 1) regs[a] = regs[b] - regs[c];
+	else if (op == 2) regs[a] = dmem[(regs[b] + c) & 4095];
+	else if (op == 3) dmem[(regs[a] + c) & 4095] = regs[b];
+	else if (op == 4) regs[a] = regs[b] * 3 + c;
+	else if (op == 5) { if (regs[a] > 0) pc_ = (pc_ + c) %% %d; }
+	else if (op == 6) regs[a] = regs[b] ^ regs[c];
+	else regs[a] = c - 128;
+	pc_ = (pc_ + 1) %% %d;
+	icount_++;
+	return regs[a];
+}
+
+int checkregs(int *r, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) s ^= r[i];
+	return s;
+}
+
+int main() {
+	imem = malloc(%d * sizeof(int));
+	genprog(%d);
+	int i;
+	for (i = 0; i < 4096; i++) dmem[i] = i * 3;
+	int check = 0;
+	int snap[32];
+	int n = %d * 16000;
+	for (i = 0; i < n; i++) {
+		check ^= step();
+		if ((i & 1023) == 0) {
+			// Periodic state audit: the same helper walks the live
+			// register file (data region) and a stack snapshot of it.
+			int r;
+			for (r = 0; r < 32; r++) snap[r] = regs[r];
+			check ^= checkregs(regs, 32) ^ checkregs(snap, 32);
+		}
+	}
+	int r;
+	for (r = 0; r < 32; r++) check += regs[r];
+	return check & 255;
+}
+`, progWords, progWords, progWords, progWords, scale)
+	},
+}
+
+// 126.gcc — compiler passes: builds expression trees of heap-allocated
+// nodes and runs recursive analysis/transform passes over them. Short
+// recursive functions everywhere give it the original's stack-heavy,
+// many-static-instructions profile with a heap component.
+var gcc = &Workload{
+	Name: "126.gcc", Short: "gcc", DefaultScale: 1,
+	About: "expression-tree construction, folding and measurement passes (stack-heavy + heap)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int *nkind;
+int *nval;
+int *nleft;
+int *nright;
+int nnodes_;
+int folds_;
+int passes_[8];
+
+int newnode(int k, int v, int l, int r) {
+	nkind[nnodes_] = k;
+	nval[nnodes_] = v;
+	nleft[nnodes_] = l;
+	nright[nnodes_] = r;
+	nnodes_++;
+	return nnodes_ - 1;
+}
+
+int build(int depth) {
+	if (depth == 0) return newnode(0, rnd(100), -1, -1);
+	int l = build(depth - 1);
+	int r = build(depth - 1);
+	return newnode(1 + rnd(4), 0, l, r);
+}
+
+int fold(int n) {
+	int k = nkind[n];
+	if (k == 0) return nval[n];
+	int a = fold(nleft[n]);
+	int b = fold(nright[n]);
+	int v;
+	if (k == 1) v = a + b;
+	else if (k == 2) v = a - b;
+	else if (k == 3) v = a * b;
+	else v = a ^ b;
+	nval[n] = v;
+	nkind[n] = 0;
+	folds_++;
+	return v;
+}
+
+int height(int n) {
+	if (n < 0) return 0;
+	if (nkind[n] == 0 && nleft[n] < 0) return 1;
+	int hl = height(nleft[n]);
+	int hr = height(nright[n]);
+	if (hl > hr) return hl + 1;
+	return hr + 1;
+}
+
+int weigh(int n) {
+	if (n < 0) return 0;
+	return 1 + weigh(nleft[n]) + weigh(nright[n]);
+}
+
+// Shared helpers take a pointer that is a stack buffer at one call site
+// and a heap array at another: their loads/stores access multiple
+// regions at run time (the paper's *parm1 case).
+int sumbuf(int *v, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) s += v[i];
+	return s;
+}
+
+void fillbuf(int *v, int n, int seed) {
+	int i;
+	for (i = 0; i < n; i++) v[i] = seed ^ i;
+}
+
+int main() {
+	int cap = 70000;
+	nkind = malloc(cap * sizeof(int));
+	nval = malloc(cap * sizeof(int));
+	nleft = malloc(cap * sizeof(int));
+	nright = malloc(cap * sizeof(int));
+	int check = 0;
+	int it;
+	int scratch[32];
+	for (it = 0; it < %d * 3; it++) {
+		nnodes_ = 0;
+		int t = build(10);
+		check ^= fold(t);
+		check += height(t) + weigh(t);
+		fillbuf(scratch, 32, it);          // stack
+		fillbuf(nval + (it & 1023), 32, it); // heap
+		check ^= sumbuf(scratch, 32) + sumbuf(nkind + (it & 1023), 32);
+		passes_[it & 7] += 1;
+	}
+	return (check + folds_) & 255;
+}
+`, scale)
+	},
+}
+
+// 129.compress — LZW compression: the hash dictionary and the input
+// buffer are static arrays, the main loop is call-free. Its profile is
+// the paper's most data-dominant integer program with almost no heap or
+// stack traffic.
+var compress = &Workload{
+	Name: "129.compress", Short: "compress", DefaultScale: 1,
+	About: "LZW over static tables and buffers (data-dominant, ~no heap, little stack)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int input[65536];
+int htab[16384];
+int codetab[16384];
+int outbuf[65536];
+int n_;
+int outn_;
+int freecode_;
+
+int main() {
+	n_ = %d * 12000;
+	if (n_ > 65536) n_ = 65536;
+	int i;
+	int prev = 0;
+	for (i = 0; i < n_; i++) {
+		// Inline LCG: input generation is part of the measured loop and
+		// must stay call-free like the original's file read.
+		seed_ = seed_ * 1103515245 + 12345;
+		if (((seed_ >> 16) & 3) == 0) prev = (seed_ >> 18) & 255;
+		input[i] = prev;
+	}
+	for (i = 0; i < 16384; i++) { htab[i] = -1; codetab[i] = 0; }
+
+	freecode_ = 256;
+	int ent = input[0];
+	int pass;
+	int check = 0;
+	for (pass = 0; pass < %d * 3; pass++) {
+		int *pin = &input[1];
+		for (i = 1; i < n_; i++) {
+			int ch = *pin;
+			pin = pin + 1;
+			int fcode = ent * 256 + ch;
+			int h = (fcode ^ (fcode >> 7)) & 16383;
+			int hit = 0;
+			while (htab[h] != -1) {
+				if (htab[h] == fcode) { hit = 1; break; }
+				h = (h + 61) & 16383;
+			}
+			if (hit) {
+				ent = codetab[h];
+			} else {
+				outbuf[outn_ & 65535] = ent;
+				outn_++;
+				// Cap occupancy well below the table size so probe
+				// chains always terminate.
+				if (freecode_ < 14000) {
+					htab[h] = fcode;
+					codetab[h] = freecode_;
+					freecode_++;
+				}
+				ent = ch;
+			}
+		}
+		check += outn_ + freecode_;
+	}
+	return check & 255;
+}
+`, scale, scale)
+	},
+}

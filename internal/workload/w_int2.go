@@ -1,0 +1,325 @@
+package workload
+
+import "fmt"
+
+// 130.li — a lisp interpreter: cons cells from an arena on the heap,
+// deeply recursive list construction, reversal, mapping and reduction.
+// Heap and stack dominate; the data region holds only the interpreter's
+// small globals — the namesake's signature.
+var li = &Workload{
+	Name: "130.li", Short: "li", DefaultScale: 1,
+	About: "lisp-style cons/eval kernel (heap cells + deep recursion)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int *car_;
+int *cdr_;
+int free_;
+int conses_;
+int gcs_;
+
+int cons(int a, int d) {
+	car_[free_] = a;
+	cdr_[free_] = d;
+	free_++;
+	conses_++;
+	return free_ - 1;
+}
+
+int buildlist(int n) {
+	if (n == 0) return -1;
+	return cons(rnd(50), buildlist(n - 1));
+}
+
+int sumlist(int l) {
+	if (l < 0) return 0;
+	return car_[l] + sumlist(cdr_[l]);
+}
+
+int revappend(int l, int acc) {
+	if (l < 0) return acc;
+	return revappend(cdr_[l], cons(car_[l], acc));
+}
+
+int maplist(int l) {
+	if (l < 0) return -1;
+	return cons(car_[l] * 2 + 1, maplist(cdr_[l]));
+}
+
+int zipadd(int a, int b) {
+	if (a < 0 || b < 0) return -1;
+	return cons(car_[a] + car_[b], zipadd(cdr_[a], cdr_[b]));
+}
+
+int main() {
+	car_ = malloc(400000 * sizeof(int));
+	cdr_ = malloc(400000 * sizeof(int));
+	int check = 0;
+	int it;
+	for (it = 0; it < %d * 50; it++) {
+		free_ = 0;
+		gcs_++;
+		int l = buildlist(90);
+		int r = revappend(l, -1);
+		int m = maplist(r);
+		int z = zipadd(l, m);
+		check ^= sumlist(z) + sumlist(r);
+	}
+	return (check + conses_ + gcs_) & 255;
+}
+`, scale)
+	},
+}
+
+// 132.ijpeg — image compression: the image lives on the heap, each 8x8
+// block is staged through a local (stack) array for its transform, and
+// the quantization tables are static data. All three streams are
+// bursty, as the paper observes for ijpeg.
+var ijpeg = &Workload{
+	Name: "132.ijpeg", Short: "ijpeg", DefaultScale: 1,
+	About: "blockwise image transform: heap image, stack block buffers, data tables",
+	Source: func(scale int) string {
+		const w, h = 128, 64
+		return lcg + fmt.Sprintf(`
+int qtab[64];
+int zigzag[64];
+int *image;
+int blocks_;
+
+void transform(int bx, int by) {
+	int blk[64];
+	int i;
+	int j;
+	for (i = 0; i < 8; i++)
+		for (j = 0; j < 8; j++)
+			blk[i * 8 + j] = image[(by * 8 + i) * %d + bx * 8 + j];
+	for (i = 0; i < 8; i++) {
+		for (j = 0; j < 4; j++) {
+			int a = blk[i * 8 + j];
+			int b = blk[i * 8 + 7 - j];
+			blk[i * 8 + j] = a + b;
+			blk[i * 8 + 7 - j] = (a - b) * (j + 2) / 2;
+		}
+	}
+	for (j = 0; j < 8; j++) {
+		for (i = 0; i < 4; i++) {
+			int a = blk[i * 8 + j];
+			int b = blk[(7 - i) * 8 + j];
+			blk[i * 8 + j] = a + b;
+			blk[(7 - i) * 8 + j] = (a - b) * (i + 2) / 2;
+		}
+	}
+	for (i = 0; i < 64; i++) {
+		int z = zigzag[i];
+		image[(by * 8 + z / 8) * %d + bx * 8 + z %% 8] = blk[z] / qtab[z];
+	}
+	blocks_++;
+}
+
+int main() {
+	image = malloc(%d * sizeof(int));
+	int i;
+	for (i = 0; i < %d; i++) image[i] = rnd(256) - 128;
+	for (i = 0; i < 64; i++) {
+		qtab[i] = 1 + (i / 8) + (i %% 8);
+		zigzag[i] = (i * 37) %% 64;
+	}
+	int pass;
+	int check = 0;
+	for (pass = 0; pass < %d * 2; pass++) {
+		int bx;
+		int by;
+		for (by = 0; by < %d; by++)
+			for (bx = 0; bx < %d; bx++)
+				transform(bx, by);
+		check ^= image[(pass * 1021) %% %d];
+	}
+	return (check + blocks_) & 255;
+}
+`, w, w, w*h, w*h, scale, h/8, w/8, w*h)
+	},
+}
+
+// 134.perl — script interpretation: a heap-resident hash of variables,
+// string-ish byte handling, and a recursive evaluator. Heap and stack
+// both heavy, modest data.
+var perl = &Workload{
+	Name: "134.perl", Short: "perl", DefaultScale: 1,
+	About: "hash-table driven recursive evaluator (heap hash + call-heavy eval)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int *hkey;
+int *hval;
+int probes_;
+int evals_;
+
+int hash(int k) {
+	int x = k * 40503 + 1;
+	return ((x >> 4) ^ x) & 4095;
+}
+
+void hput(int k, int v) {
+	int i = hash(k);
+	while (hkey[i] != 0 && hkey[i] != k) {
+		i = (i + 1) & 4095;
+		probes_++;
+	}
+	hkey[i] = k;
+	hval[i] = v;
+}
+
+int hget(int k) {
+	int i = hash(k);
+	while (hkey[i] != 0) {
+		if (hkey[i] == k) return hval[i];
+		i = (i + 1) & 4095;
+		probes_++;
+	}
+	return 0;
+}
+
+int bufhash(int *s, int n) {
+	int h = 5381;
+	int i;
+	for (i = 0; i < n; i++) h = h * 33 + s[i];
+	return h;
+}
+
+int eval(int depth, int x) {
+	evals_++;
+	if (depth == 0) {
+		// Interpolate a "string": stage it on the stack, hash it with
+		// the same helper that also hashes heap-resident values.
+		int word[4];
+		word[0] = x & 255;
+		word[1] = (x >> 8) & 255;
+		word[2] = (x >> 16) & 255;
+		word[3] = (x >> 24) & 255;
+		return hget(1 + (x & 1023)) + hget(1 + ((x * 3) & 1023)) ^ (bufhash(word, 4) & 15);
+	}
+	int a = eval(depth - 1, x * 3 + 1);
+	int b = eval(depth - 1, x * 5 + 2);
+	hput(1 + ((a + b) & 1023), a ^ b);
+	if ((a & 63) == 0) probes_ ^= bufhash(hval + (a & 2047), 8);
+	return a + b;
+}
+
+int main() {
+	hkey = malloc(4096 * sizeof(int));
+	hval = malloc(4096 * sizeof(int));
+	int i;
+	for (i = 0; i < 4096; i++) { hkey[i] = 0; hval[i] = 0; }
+	for (i = 1; i <= 1024; i++) hput(i, rnd(1000));
+	int check = 0;
+	int it;
+	for (it = 0; it < %d * 62; it++) {
+		check ^= eval(7, it);
+	}
+	return (check + probes_ + evals_) & 255;
+}
+`, scale)
+	},
+}
+
+// 147.vortex — an object-oriented database: every field access goes
+// through an accessor function and operations stack four or five calls
+// deep, reproducing the namesake's extreme stack dominance (the paper
+// measures 11.8 stack accesses per 32 instructions).
+var vortex = &Workload{
+	Name: "147.vortex", Short: "vortex", DefaultScale: 1,
+	About: "object database with accessor-call discipline (stack-dominant)",
+	Source: func(scale int) string {
+		return lcg + fmt.Sprintf(`
+int *fid;
+int *fkey;
+int *fval;
+int *fnext;
+int nrec_;
+int buckets[4096];
+int lookups_;
+
+int getkey(int r) { return fkey[r]; }
+int getval(int r) { return fval[r]; }
+int getnext(int r) { return fnext[r]; }
+void setval(int r, int v) { fval[r] = v; }
+
+int keyhash(int k) { return (k ^ (k >> 5) ^ (k >> 11)) & 4095; }
+
+int makerec(int key, int v) {
+	int r = nrec_;
+	nrec_++;
+	fid[r] = r;
+	fkey[r] = key;
+	fval[r] = v;
+	int b = keyhash(key);
+	fnext[r] = buckets[b];
+	buckets[b] = r;
+	return r;
+}
+
+int findrec(int key) {
+	lookups_++;
+	int r = buckets[keyhash(key)];
+	while (r >= 0) {
+		if (getkey(r) == key) return r;
+		r = getnext(r);
+	}
+	return -1;
+}
+
+int checksum(int r) {
+	if (r < 0) return 0;
+	return getkey(r) * 7 + getval(r);
+}
+
+void copyrec(int *dst, int *src) {
+	dst[0] = src[0];
+	dst[1] = src[1];
+	dst[2] = src[2];
+	dst[3] = src[3];
+}
+
+int touch(int key, int delta) {
+	int r = findrec(key);
+	if (r < 0) return 0;
+	setval(r, getval(r) + delta);
+	if ((delta & 7) == 0) {
+		// Stage the record through a stack buffer and write it back:
+		// copyrec's accesses mix heap and stack depending on call site.
+		int rec[4];
+		int tmp[4];
+		rec[0] = fid[r]; rec[1] = fkey[r]; rec[2] = fval[r]; rec[3] = fnext[r];
+		copyrec(tmp, rec);          // stack <- stack
+		copyrec(fid + r * 0 + r, tmp);  // heap <- stack (fid row)
+	}
+	return checksum(r);
+}
+
+int *queries;
+
+int main() {
+	int cap = 200000;
+	fid = malloc(cap * sizeof(int));
+	fkey = malloc(cap * sizeof(int));
+	fval = malloc(cap * sizeof(int));
+	fnext = malloc(cap * sizeof(int));
+	int i;
+	for (i = 0; i < 4096; i++) buckets[i] = -1;
+	for (i = 0; i < 4000; i++) makerec(rnd(30000), rnd(1000));
+	// Precompute the query mix (the original reads it from its input
+	// database); the query loop itself is then pure object traffic.
+	int nq = 4096;
+	queries = malloc(nq * sizeof(int));
+	for (i = 0; i < nq; i++) queries[i] = rnd(30000);
+	int check = 0;
+	int it;
+	for (it = 0; it < %d * 5000; it += 4) {
+		check ^= touch(queries[it & 4095], it & 15);
+		check ^= touch(queries[(it + 1) & 4095], it & 7);
+		check ^= touch(queries[(it + 2) & 4095], it & 3);
+		check ^= touch(queries[(it + 3) & 4095], it & 31);
+	}
+	return (check + lookups_ + nrec_) & 255;
+}
+`, scale)
+	},
+}
