@@ -157,6 +157,58 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// runReport regenerates the full experiment set (the cmd/arlreport
+// path: E1-E11) on one runner with the given worker-pool bound,
+// exercising every memo: per workload the program compiles once, the
+// profile and trace build once, and the penalty sweep rides on the
+// Figure 8 simulation results.
+func runReport(b *testing.B, parallel int) {
+	r := benchRunner(false)
+	r.Parallel = parallel
+	if _, err := r.Table1(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Figure2(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Table2(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.RunPredictorStudy(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.LVCHitRate(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.ContextSweep([]int{0, 8}, []int{0, 7, 24}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Figure8(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.PenaltySweep([]int{1, 4, 16}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReportSerial is the full report on the serial path
+// (Parallel=1): the baseline for the parallel-harness speedup recorded
+// in results/parallel_bench.txt.
+func BenchmarkReportSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runReport(b, 1)
+	}
+}
+
+// BenchmarkReportParallel is the full report on the worker pool
+// (Parallel=GOMAXPROCS). Output tables are byte-identical to the
+// serial path; the wall-clock gap is the harness speedup.
+func BenchmarkReportParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runReport(b, 0)
+	}
+}
+
 // BenchmarkPenaltySweep regenerates the E11 ablation.
 func BenchmarkPenaltySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {

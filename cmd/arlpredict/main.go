@@ -6,7 +6,7 @@
 // Usage:
 //
 //	arlpredict [-fig4] [-table3] [-fig5] [-ablation2bit] [-ablationctx]
-//	           [-w name] [-scale N] [-n maxInsts]
+//	           [-w name] [-scale N] [-n maxInsts] [-parallel N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	wl := flag.String("w", "", "restrict to one workload")
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
+	r.Parallel = *par
 	if !*quiet {
 		r.Log = os.Stderr
 	}

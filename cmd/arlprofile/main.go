@@ -6,6 +6,7 @@
 // Usage:
 //
 //	arlprofile [-table1] [-fig2] [-table2] [-lvc] [-w name] [-scale N] [-n maxInsts]
+//	           [-parallel N]
 //
 // Without selection flags, every profiling experiment runs.
 package main
@@ -27,6 +28,7 @@ func main() {
 	wl := flag.String("w", "", "restrict to one workload")
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -34,6 +36,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
+	r.Parallel = *par
 	if !*quiet {
 		r.Log = os.Stderr
 	}

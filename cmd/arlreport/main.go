@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	arlreport [-scale N] [-n maxInsts] [-skip-timing]
+//	arlreport [-scale N] [-n maxInsts] [-skip-timing] [-parallel N]
 //
 // The timing study (E7, E11) dominates the run time; -skip-timing
 // restricts the report to the profiling and prediction experiments.
@@ -24,12 +24,14 @@ func main() {
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
 	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty studies")
+	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
 	r := experiments.NewRunner()
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
+	r.Parallel = *par
 	if !*quiet {
 		r.Log = os.Stderr
 	}

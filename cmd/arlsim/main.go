@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	arlsim [-fig8] [-ablationpenalty] [-w name] [-scale N] [-n maxInsts]
+//	arlsim [-fig8] [-ablationpenalty] [-w name] [-scale N] [-n maxInsts] [-parallel N]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	wl := flag.String("w", "", "restrict to one workload")
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate traces (0 = full)")
+	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
+	r.Parallel = *par
 	if !*quiet {
 		r.Log = os.Stderr
 	}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/isa"
@@ -231,5 +232,48 @@ func TestDepRegMapping(t *testing.T) {
 	}
 	if depReg(5, true) != 37 {
 		t.Error("fp register id")
+	}
+}
+
+// TestConcurrentSimulateSharesTrace pins the contract the parallel
+// experiment harness depends on: Simulate never mutates its trace, so
+// concurrent simulations over one trace are race-free and each yields
+// the same result as a solo run.
+func TestConcurrentSimulateSharesTrace(t *testing.T) {
+	tr := trace(t, loopSrc)
+	configs := []Config{Conventional(2, 2), Decoupled(2, 2), Decoupled(3, 3), Conventional(16, 2)}
+	want := make([]*Result, len(configs))
+	for i, cfg := range configs {
+		res, err := Simulate(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	const rounds = 4
+	got := make([]*Result, len(configs)*rounds)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Simulate(tr, configs[i%len(configs)])
+			if err != nil {
+				t.Errorf("concurrent Simulate: %v", err)
+				return
+			}
+			got[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, res := range got {
+		w := want[i%len(configs)]
+		if res.Cycles != w.Cycles || res.Insts != w.Insts || res.ARPTMispredicts != w.ARPTMispredicts {
+			t.Errorf("%s: concurrent run diverged: cycles %d vs %d, mispredicts %d vs %d",
+				res.Config.Name, res.Cycles, w.Cycles, res.ARPTMispredicts, w.ARPTMispredicts)
+		}
 	}
 }

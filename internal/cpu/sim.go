@@ -160,7 +160,10 @@ func (s *simulator) writerOutstanding(seq int64) bool {
 	return s.slot(seq).state != stDone
 }
 
-// Simulate runs trace tr on configuration cfg.
+// Simulate runs trace tr on configuration cfg. All mutable machine
+// state (ROB, queues, caches, statistics) lives in the per-call
+// simulator; tr is never written, so concurrent Simulate calls may
+// share one trace.
 func Simulate(tr *Trace, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -74,6 +74,10 @@ func (t *TraceInst) Mispredicted() bool {
 // predictions and value-prediction outcomes precomputed. Predictor
 // state evolves in fetch order, which the trace preserves, so one trace
 // serves every machine configuration.
+//
+// A Trace is immutable after BuildTrace returns: Simulate only reads
+// it, so a single trace may back any number of concurrent simulations
+// (the parallel experiment harness relies on this).
 type Trace struct {
 	Name  string
 	Insts []TraceInst

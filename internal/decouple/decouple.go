@@ -112,19 +112,34 @@ type PolicyResult struct {
 
 // ComparePolicies runs program p through the (3+3) configuration under
 // every steering policy and reports the results. maxInsts truncates the
-// trace when positive.
+// trace when positive. It rebuilds every policy trace from scratch;
+// callers that already hold the default-steering trace should use
+// ComparePoliciesReusing.
 func ComparePolicies(p *prog.Program, pr *profile.Profile, maxInsts uint64) ([]PolicyResult, error) {
+	return ComparePoliciesReusing(p, pr, maxInsts, nil)
+}
+
+// ComparePoliciesReusing is ComparePolicies with an optional pre-built
+// PolicyARPT trace. The default cpu.BuildTrace options (nil classifier)
+// produce exactly the PolicyARPT steering, so a caller holding that
+// trace — e.g. the experiment Runner's memo — passes it as arpt and
+// saves one full functional re-execution; the trace must have been
+// built with the same maxInsts. A nil arpt rebuilds every policy.
+func ComparePoliciesReusing(p *prog.Program, pr *profile.Profile, maxInsts uint64, arpt *cpu.Trace) ([]PolicyResult, error) {
 	var out []PolicyResult
 	cfg := cpu.Decoupled(3, 3)
 	for _, pol := range AllPolicies {
-		opts, err := TraceOptions(pol, p, pr)
-		if err != nil {
-			return nil, err
-		}
-		opts.MaxInsts = maxInsts
-		tr, err := cpu.BuildTrace(p, opts)
-		if err != nil {
-			return nil, err
+		tr := arpt
+		if pol != PolicyARPT || tr == nil {
+			opts, err := TraceOptions(pol, p, pr)
+			if err != nil {
+				return nil, err
+			}
+			opts.MaxInsts = maxInsts
+			tr, err = cpu.BuildTrace(p, opts)
+			if err != nil {
+				return nil, err
+			}
 		}
 		res, err := cpu.Simulate(tr, cfg)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 // HintMode selects the compiler-information variant for the Figure 5
@@ -154,97 +155,122 @@ func (cs *classifierSet) classify(ev core.RefEvent) {
 	}
 }
 
+// predictorRows is one workload's slice of the predictor study.
+type predictorRows struct {
+	f4 Figure4Row
+	t3 Table3Row
+	f5 Figure5Row
+	ab AblationRow
+}
+
 // RunPredictorStudy executes E4, E5, E6 and E9 in one functional pass
-// per workload.
+// per workload, fanning workloads out over the worker pool. Every
+// workload builds its own classifierSet (each with private ARPT
+// state), so no predictor state is shared across goroutines.
 func (r *Runner) RunPredictorStudy() (*PredictorStudy, error) {
+	rows, err := forEach(r, r.predictorPass)
+	if err != nil {
+		return nil, err
+	}
 	study := &PredictorStudy{}
-	for _, w := range r.Workloads {
-		p, err := r.Program(w)
-		if err != nil {
-			return nil, err
-		}
-		pr, err := r.Profile(w) // memoized; supplies the oracle
-		if err != nil {
-			return nil, err
-		}
-		cs, err := buildClassifiers(p, pr.Oracle())
-		if err != nil {
-			return nil, err
-		}
-
-		r.logf("predictor study %s ...", w.Name)
-		m, err := vm.New(p, nil)
-		if err != nil {
-			return nil, err
-		}
-		limit := r.MaxInsts
-		if limit == 0 {
-			limit = vm.DefaultMaxInsts
-		}
-		m.MaxInsts = limit + 1
-		var ctx core.Context
-		for !m.Halted() && m.Seq() < limit {
-			ev, err := m.Step()
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", w.Name, err)
-			}
-			if ev.Inst.IsMem() {
-				ctx.CID = m.Reg(isa.RA)
-				cs.classify(core.RefEvent{
-					Index: ev.Index, PC: ev.PC, Addr: ev.MemAddr,
-					Inst: ev.Inst, Ctx: ctx,
-					Actual: core.ActualOf(ev.Region),
-				})
-			}
-			if ev.Inst.IsBranch() {
-				ctx.UpdateGBH(ev.Taken)
-			}
-		}
-
-		// Figure 4.
-		f4 := Figure4Row{Name: w.Name, AccuracyPct: map[string]float64{}}
-		for s, c := range cs.schemes {
-			f4.AccuracyPct[s.String()] = c.Stats.Accuracy()
-		}
-		f4.StaticCoveredPct = cs.schemes[core.SchemeStatic].Stats.StaticFraction()
-		study.Figure4 = append(study.Figure4, f4)
-
-		// Table 3.
-		study.Table3 = append(study.Table3, Table3Row{
-			Name:   w.Name,
-			Static: cs.schemes[core.Scheme1Bit].Table.Occupied(),
-			GBH:    cs.schemes[core.Scheme1BitGBH].Table.Occupied(),
-			CID:    cs.schemes[core.Scheme1BitCID].Table.Occupied(),
-			Hybrid: cs.schemes[core.Scheme1BitHybrid].Table.Occupied(),
-		})
-
-		// Figure 5.
-		f5 := Figure5Row{Name: w.Name, AccuracyPct: map[int]map[HintMode]float64{}}
-		for size, byMode := range cs.sized {
-			f5.AccuracyPct[size] = map[HintMode]float64{}
-			for mode, c := range byMode {
-				f5.AccuracyPct[size][mode] = c.Stats.Accuracy()
-			}
-		}
-		study.Figure5 = append(study.Figure5, f5)
-
-		// E9 ablation.
-		study.Ablation = append(study.Ablation, AblationRow{
-			Name:      w.Name,
-			OneBit:    cs.schemes[core.Scheme1Bit].Stats.Accuracy(),
-			TwoBit:    cs.twoBit[core.Scheme2Bit].Stats.Accuracy(),
-			OneHybrid: cs.schemes[core.Scheme1BitHybrid].Stats.Accuracy(),
-			TwoHybrid: cs.twoBit[core.Scheme2BitHybrid].Stats.Accuracy(),
-		})
+	for _, row := range rows {
+		study.Figure4 = append(study.Figure4, row.f4)
+		study.Table3 = append(study.Table3, row.t3)
+		study.Figure5 = append(study.Figure5, row.f5)
+		study.Ablation = append(study.Ablation, row.ab)
 	}
 	return study, nil
 }
 
+// predictorPass runs the single shared functional pass for one
+// workload and extracts its Figure 4 / Table 3 / Figure 5 / E9 rows.
+func (r *Runner) predictorPass(w *workload.Workload) (predictorRows, error) {
+	var rows predictorRows
+	p, err := r.Program(w)
+	if err != nil {
+		return rows, err
+	}
+	pr, err := r.Profile(w) // memoized; supplies the oracle
+	if err != nil {
+		return rows, err
+	}
+	cs, err := buildClassifiers(p, pr.Oracle())
+	if err != nil {
+		return rows, err
+	}
+
+	r.logf("predictor study %s ...", w.Name)
+	m, err := vm.New(p, nil)
+	if err != nil {
+		return rows, err
+	}
+	limit := r.MaxInsts
+	if limit == 0 {
+		limit = vm.DefaultMaxInsts
+	}
+	m.MaxInsts = limit + 1
+	var ctx core.Context
+	for !m.Halted() && m.Seq() < limit {
+		ev, err := m.Step()
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		if ev.Inst.IsMem() {
+			ctx.CID = m.Reg(isa.RA)
+			cs.classify(core.RefEvent{
+				Index: ev.Index, PC: ev.PC, Addr: ev.MemAddr,
+				Inst: ev.Inst, Ctx: ctx,
+				Actual: core.ActualOf(ev.Region),
+			})
+		}
+		if ev.Inst.IsBranch() {
+			ctx.UpdateGBH(ev.Taken)
+		}
+	}
+
+	// Figure 4.
+	rows.f4 = Figure4Row{Name: w.Name, AccuracyPct: map[string]float64{}}
+	for s, c := range cs.schemes {
+		rows.f4.AccuracyPct[s.String()] = c.Stats.Accuracy()
+	}
+	rows.f4.StaticCoveredPct = cs.schemes[core.SchemeStatic].Stats.StaticFraction()
+
+	// Table 3.
+	rows.t3 = Table3Row{
+		Name:   w.Name,
+		Static: cs.schemes[core.Scheme1Bit].Table.Occupied(),
+		GBH:    cs.schemes[core.Scheme1BitGBH].Table.Occupied(),
+		CID:    cs.schemes[core.Scheme1BitCID].Table.Occupied(),
+		Hybrid: cs.schemes[core.Scheme1BitHybrid].Table.Occupied(),
+	}
+
+	// Figure 5.
+	rows.f5 = Figure5Row{Name: w.Name, AccuracyPct: map[int]map[HintMode]float64{}}
+	for size, byMode := range cs.sized {
+		rows.f5.AccuracyPct[size] = map[HintMode]float64{}
+		for mode, c := range byMode {
+			rows.f5.AccuracyPct[size][mode] = c.Stats.Accuracy()
+		}
+	}
+
+	// E9 ablation.
+	rows.ab = AblationRow{
+		Name:      w.Name,
+		OneBit:    cs.schemes[core.Scheme1Bit].Stats.Accuracy(),
+		TwoBit:    cs.twoBit[core.Scheme2Bit].Stats.Accuracy(),
+		OneHybrid: cs.schemes[core.Scheme1BitHybrid].Stats.Accuracy(),
+		TwoHybrid: cs.twoBit[core.Scheme2BitHybrid].Stats.Accuracy(),
+	}
+	return rows, nil
+}
+
 // ContextSweep runs E10: hybrid-context accuracy across GBH/CID width
-// combinations, on an unlimited table.
+// combinations, on an unlimited table. Workloads fan out over the
+// worker pool; each builds its own table cells, and rows come back
+// grouped in workload order.
 func (r *Runner) ContextSweep(gbhWidths, cidWidths []int) ([]ContextRow, error) {
-	var rows []ContextRow
-	for _, w := range r.Workloads {
+	perW, err := forEach(r, func(w *workload.Workload) ([]ContextRow, error) {
+		var rows []ContextRow
 		p, err := r.Program(w)
 		if err != nil {
 			return nil, err
@@ -295,6 +321,14 @@ func (r *Runner) ContextSweep(gbhWidths, cidWidths []int) ([]ContextRow, error) 
 				AccuracyPct: cl.c.Stats.Accuracy(),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ContextRow
+	for _, part := range perW {
+		rows = append(rows, part...)
 	}
 	return rows, nil
 }

@@ -3,13 +3,22 @@
 // DESIGN.md). Each experiment returns structured rows; the render
 // functions print them in the paper's layout so results can be read
 // side by side with the original.
+//
+// The Runner is the single memoizing, concurrency-safe source of
+// compiled programs, region profiles, timing traces and baseline
+// simulation results. Drivers fan out over workloads and
+// (workload, configuration) pairs on a bounded worker pool (see
+// Runner.Parallel); rows always come back in workload order, so the
+// parallel harness renders byte-identical tables to the serial one.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
+	"repro/internal/cpu"
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/workload"
@@ -26,10 +35,17 @@ type Runner struct {
 	MaxInsts uint64
 	// Log receives progress lines (nil for silence).
 	Log io.Writer
+	// Parallel bounds the worker pool the drivers fan out on. Zero
+	// uses runtime.GOMAXPROCS(0); 1 forces the serial path. Every
+	// worker gets its own classifier/ARPT state, so results are
+	// independent of the pool size.
+	Parallel int
 
-	mu       sync.Mutex
-	programs map[string]*prog.Program
-	profiles map[string]*profile.Profile
+	logMu    sync.Mutex
+	programs memo[*prog.Program]
+	profiles memo[*profile.Profile]
+	traces   memo[*cpu.Trace]
+	results  memo[*cpu.Result]
 }
 
 // NewRunner returns a Runner over all twelve workloads.
@@ -39,66 +55,176 @@ func NewRunner() *Runner {
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Log != nil {
+		r.logMu.Lock()
 		fmt.Fprintf(r.Log, format+"\n", args...)
+		r.logMu.Unlock()
 	}
+}
+
+// memo is a concurrency-safe compute-once cache. A miss claims a
+// per-key entry under the map lock and computes with the lock
+// released, so one slow computation never blocks lookups of other
+// keys; concurrent callers of the same key share the single
+// computation through the entry's sync.Once instead of duplicating
+// it.
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *memo[T]) get(key string, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[T])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// len reports how many keys have been claimed (for tests).
+func (c *memo[T]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // Program compiles (and memoizes) one workload.
 func (r *Runner) Program(w *workload.Workload) (*prog.Program, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.programs == nil {
-		r.programs = make(map[string]*prog.Program)
-	}
-	if p, ok := r.programs[w.Name]; ok {
-		return p, nil
-	}
-	p, err := w.Compile(r.Scale)
-	if err != nil {
-		return nil, err
-	}
-	r.programs[w.Name] = p
-	return p, nil
+	return r.programs.get(w.Name, func() (*prog.Program, error) {
+		return w.Compile(r.Scale)
+	})
 }
 
 // Profile runs (and memoizes) the region profile of one workload. The
 // profile backs Table 1, Figure 2, Table 2 and the §3.5.2 oracle hints.
 func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
-	p, err := r.Program(w)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	if r.profiles == nil {
-		r.profiles = make(map[string]*profile.Profile)
-	}
-	if pr, ok := r.profiles[w.Name]; ok {
-		r.mu.Unlock()
-		return pr, nil
-	}
-	r.mu.Unlock()
-
-	r.logf("profiling %s ...", w.Name)
-	pr, err := profile.Run(p, r.MaxInsts, nil)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", w.Name, err)
-	}
-	r.mu.Lock()
-	r.profiles[w.Name] = pr
-	r.mu.Unlock()
-	return pr, nil
-}
-
-// forEach runs f over the runner's workloads, collecting results in
-// order.
-func forEach[T any](r *Runner, f func(w *workload.Workload) (T, error)) ([]T, error) {
-	out := make([]T, 0, len(r.Workloads))
-	for _, w := range r.Workloads {
-		v, err := f(w)
+	return r.profiles.get(w.Name, func() (*profile.Profile, error) {
+		p, err := r.Program(w)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		r.logf("profiling %s ...", w.Name)
+		pr, err := profile.Run(p, r.MaxInsts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return pr, nil
+	})
+}
+
+// Trace builds (and memoizes) one workload's default-steering timing
+// trace — the expensive full functional re-execution every timing
+// driver needs. cpu.Simulate treats traces as read-only, so the one
+// memoized trace safely backs any number of concurrent simulations
+// across machine configurations.
+func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
+	return r.traces.get(w.Name, func() (*cpu.Trace, error) {
+		p, err := r.Program(w)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("tracing %s ...", w.Name)
+		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return tr, nil
+	})
+}
+
+// SimulateConfig simulates (and memoizes) one workload's default trace
+// under one machine configuration. The memo key covers every Config
+// field, so e.g. the (3+3) machine at different misprediction
+// penalties occupies distinct entries, while the (2+0) baseline that
+// both Figure 8 and the penalty sweep need is simulated exactly once.
+func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Result, error) {
+	key := fmt.Sprintf("%s|%+v", w.Name, cfg)
+	return r.results.get(key, func() (*cpu.Result, error) {
+		tr, err := r.Trace(w)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("  %s %s ...", w.Name, cfg.Name)
+		res, err := cpu.Simulate(tr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
+		}
+		return res, nil
+	})
+}
+
+// workers resolves the worker-pool bound.
+func (r *Runner) workers() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelDo runs fn(i) for every i in [0, n) on a pool of at most
+// r.workers() goroutines. All invocations run regardless of failures;
+// the first error in index order is returned, so the error a caller
+// sees does not depend on goroutine scheduling.
+func (r *Runner) parallelDo(n int, fn func(i int) error) error {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEach runs f over the runner's workloads on the worker pool,
+// collecting results in workload order.
+func forEach[T any](r *Runner, f func(w *workload.Workload) (T, error)) ([]T, error) {
+	out := make([]T, len(r.Workloads))
+	err := r.parallelDo(len(r.Workloads), func(i int) error {
+		v, err := f(r.Workloads[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

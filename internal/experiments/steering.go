@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cpu"
 	"repro/internal/decouple"
 	"repro/internal/workload"
 )
@@ -27,8 +26,14 @@ func (r *Runner) SteeringPolicies() ([]SteeringRow, error) {
 		if err != nil {
 			return SteeringRow{}, err
 		}
+		// The default-steering memo trace is exactly the PolicyARPT
+		// trace, so the ablation rebuilds only the other policies.
+		tr, err := r.Trace(w)
+		if err != nil {
+			return SteeringRow{}, err
+		}
 		r.logf("steering ablation %s ...", w.Name)
-		results, err := decouple.ComparePolicies(p, pr, r.MaxInsts)
+		results, err := decouple.ComparePoliciesReusing(p, pr, r.MaxInsts, tr)
 		if err != nil {
 			return SteeringRow{}, err
 		}
@@ -74,12 +79,8 @@ type FFRow struct {
 // forwarding.
 func (r *Runner) FastForwardAblation() ([]FFRow, error) {
 	return forEach(r, func(w *workload.Workload) (FFRow, error) {
-		p, err := r.Program(w)
-		if err != nil {
-			return FFRow{}, err
-		}
 		r.logf("fast-forward ablation %s ...", w.Name)
-		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		tr, err := r.Trace(w)
 		if err != nil {
 			return FFRow{}, err
 		}

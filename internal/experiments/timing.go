@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
-	"repro/internal/workload"
 )
 
 // Figure8Row reproduces one group of Figure 8 bars: performance of each
@@ -29,37 +28,39 @@ func (r *Runner) Figure8() ([]Figure8Row, error) {
 }
 
 // FigureWithConfigs runs the timing study over an arbitrary
-// configuration list; the first entry is the speedup baseline.
+// configuration list; the first entry is the speedup baseline. The
+// study fans out over every (workload, configuration) pair: each pair
+// simulates the workload's memoized trace independently (traces are
+// read-only under cpu.Simulate), so the trace is built once per
+// workload no matter how many configurations run.
 func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("experiments: no configurations")
 	}
-	return forEach(r, func(w *workload.Workload) (Figure8Row, error) {
-		p, err := r.Program(w)
+	nc := len(configs)
+	results := make([]*cpu.Result, len(r.Workloads)*nc)
+	err := r.parallelDo(len(results), func(i int) error {
+		res, err := r.SimulateConfig(r.Workloads[i/nc], configs[i%nc])
 		if err != nil {
-			return Figure8Row{}, err
+			return err
 		}
-		r.logf("tracing %s ...", w.Name)
-		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
-		if err != nil {
-			return Figure8Row{}, err
-		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure8Row, 0, len(r.Workloads))
+	for wi, w := range r.Workloads {
 		row := Figure8Row{
 			Name:        w.Name,
-			Speedup:     make(map[string]float64, len(configs)),
-			IPC:         make(map[string]float64, len(configs)),
-			Mispredicts: make(map[string]uint64, len(configs)),
+			Speedup:     make(map[string]float64, nc),
+			IPC:         make(map[string]float64, nc),
+			Mispredicts: make(map[string]uint64, nc),
 		}
-		var base *cpu.Result
-		for _, cfg := range configs {
-			r.logf("  %s %s ...", w.Name, cfg.Name)
-			res, err := cpu.Simulate(tr, cfg)
-			if err != nil {
-				return Figure8Row{}, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
-			}
-			if base == nil {
-				base = res
-			}
+		base := results[wi*nc]
+		for ci, cfg := range configs {
+			res := results[wi*nc+ci]
 			row.Speedup[cfg.Name] = res.Speedup(base)
 			row.IPC[cfg.Name] = res.IPC()
 			row.Mispredicts[cfg.Name] = res.ARPTMispredicts
@@ -67,23 +68,37 @@ func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 				row.LVCHitRate = res.LVCStats.HitRate()
 			}
 		}
-		return row, nil
-	})
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // Figure8Average computes the per-configuration geometric-mean-free
 // arithmetic average the paper quotes ("improves the performance by
-// 33% ... on average").
+// 33% ... on average"): speedup, IPC, mean mispredict count, and the
+// (3+3) LVC hit rate.
 func Figure8Average(rows []Figure8Row, configs []cpu.Config) Figure8Row {
-	avg := Figure8Row{Name: "Average", Speedup: map[string]float64{}, IPC: map[string]float64{}}
+	avg := Figure8Row{
+		Name:        "Average",
+		Speedup:     map[string]float64{},
+		IPC:         map[string]float64{},
+		Mispredicts: map[string]uint64{},
+	}
 	if len(rows) == 0 {
 		return avg
 	}
+	n := float64(len(rows))
+	mispredicts := make(map[string]uint64, len(configs))
 	for _, row := range rows {
 		for _, cfg := range configs {
-			avg.Speedup[cfg.Name] += row.Speedup[cfg.Name] / float64(len(rows))
-			avg.IPC[cfg.Name] += row.IPC[cfg.Name] / float64(len(rows))
+			avg.Speedup[cfg.Name] += row.Speedup[cfg.Name] / n
+			avg.IPC[cfg.Name] += row.IPC[cfg.Name] / n
+			mispredicts[cfg.Name] += row.Mispredicts[cfg.Name]
 		}
+		avg.LVCHitRate += row.LVCHitRate / n
+	}
+	for _, cfg := range configs {
+		avg.Mispredicts[cfg.Name] = mispredicts[cfg.Name] / uint64(len(rows))
 	}
 	return avg
 }
@@ -97,35 +112,37 @@ type PenaltyRow struct {
 	Mispredicts uint64
 }
 
-// PenaltySweep runs E11 over the given penalty values.
+// PenaltySweep runs E11 over the given penalty values, fanning out
+// over (workload, penalty) pairs. Both the trace and the (2+0)
+// baseline result come from the Runner memos, so a sweep following
+// Figure 8 re-simulates neither.
 func (r *Runner) PenaltySweep(penalties []int) ([]PenaltyRow, error) {
-	var rows []PenaltyRow
-	for _, w := range r.Workloads {
-		p, err := r.Program(w)
+	if len(penalties) == 0 {
+		return nil, nil
+	}
+	np := len(penalties)
+	rows := make([]PenaltyRow, len(r.Workloads)*np)
+	err := r.parallelDo(len(rows), func(i int) error {
+		w, pen := r.Workloads[i/np], penalties[i%np]
+		base, err := r.SimulateConfig(w, cpu.Conventional(2, 2))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		cfg := cpu.Decoupled(3, 3)
+		cfg.MispredictPenalty = pen
+		res, err := r.SimulateConfig(w, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := cpu.Simulate(tr, cpu.Conventional(2, 2))
-		if err != nil {
-			return nil, err
+		rows[i] = PenaltyRow{
+			Name: w.Name, Penalty: pen,
+			Speedup:     res.Speedup(base),
+			Mispredicts: res.ARPTMispredicts,
 		}
-		for _, pen := range penalties {
-			cfg := cpu.Decoupled(3, 3)
-			cfg.MispredictPenalty = pen
-			res, err := cpu.Simulate(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PenaltyRow{
-				Name: w.Name, Penalty: pen,
-				Speedup:     res.Speedup(base),
-				Mispredicts: res.ARPTMispredicts,
-			})
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
