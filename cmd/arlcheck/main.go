@@ -1,0 +1,211 @@
+// Command arlcheck lints assembled RISA programs with the
+// internal/static region analyzer: stack-pointer imbalance, clobbered
+// callee-saved registers, loads from never-stored stack slots,
+// unreachable blocks, and memory operations through a provably
+// non-address base, each reported with file:line positions from the
+// assembler.
+//
+// Usage:
+//
+//	arlcheck [flags] file.s [dir ...]
+//	arlcheck -workloads [-hints] [-scale N] [-n maxInsts]
+//
+// Directory arguments (with or without a trailing "/...") are walked
+// for .s files. A file whose name contains "buggy" is treated as a
+// negative fixture: arlcheck fails unless the analyzer flags it.
+//
+// -workloads analyzes the twelve compiled benchmark programs instead
+// of files; -hints additionally runs each workload and reports the
+// binary-level hint coverage and accuracy against the dynamic trace
+// (the soundness check: disagreements must be zero).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/experiments"
+	"repro/internal/prog"
+	"repro/internal/static"
+	"repro/internal/workload"
+)
+
+func main() {
+	workloads := flag.Bool("workloads", false, "lint the twelve built-in workload programs")
+	hints := flag.Bool("hints", false, "with -workloads: verify binary hints against the dynamic trace")
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 0, "truncate -hints runs (0 = full)")
+	quiet := flag.Bool("q", false, "suppress per-file OK lines")
+	flag.Parse()
+
+	if *hints {
+		*workloads = true
+	}
+	if *workloads == (flag.NArg() > 0) {
+		fmt.Fprintln(os.Stderr, "usage: arlcheck [flags] file.s [dir ...]  |  arlcheck -workloads [-hints]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ok := true
+	if *workloads {
+		ok = checkWorkloads(*scale, *quiet)
+		if ok && *hints {
+			ok = checkHints(*scale, *maxInsts)
+		}
+	} else {
+		files, err := collect(flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arlcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "arlcheck: no .s files found")
+			os.Exit(2)
+		}
+		for _, f := range files {
+			if !checkFile(f, *quiet) {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// collect expands the argument list into .s files: plain files pass
+// through, directories (a trailing "/..." is accepted) are walked.
+func collect(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		path := strings.TrimSuffix(arg, "/...")
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+			continue
+		}
+		err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".s") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// checkFile assembles and analyzes one source file. Files named
+// "*buggy*" are negative fixtures: they must produce at least one
+// error diagnostic.
+func checkFile(path string, quiet bool) bool {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arlcheck: %v\n", err)
+		return false
+	}
+	p, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arlcheck: %v\n", err)
+		return false
+	}
+	a := static.Analyze(p)
+	errs := len(a.Errors())
+	negative := strings.Contains(strings.ToLower(filepath.Base(path)), "buggy")
+
+	if negative {
+		if errs == 0 {
+			fmt.Printf("%s: negative fixture produced no diagnostics (want >= 1)\n", path)
+			return false
+		}
+		if !quiet {
+			fmt.Printf("%s: ok (negative fixture, %d error(s) flagged as expected)\n", path, errs)
+		}
+		return true
+	}
+	for _, d := range a.Diags {
+		fmt.Println(d)
+		if d.Pos.Text != "" {
+			fmt.Printf("\t%s\n", d.Pos.Text)
+		}
+	}
+	if errs > 0 {
+		return false
+	}
+	if !quiet {
+		fmt.Printf("%s: ok (%d instructions, %d hinted)\n", path, len(p.Text), hinted(a, p))
+	}
+	return true
+}
+
+// checkWorkloads lints every compiled benchmark program; compiled code
+// must be diagnostic-free.
+func checkWorkloads(scale int, quiet bool) bool {
+	ok := true
+	for _, w := range workload.All() {
+		p, err := w.Compile(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arlcheck: %v\n", err)
+			ok = false
+			continue
+		}
+		a := static.Analyze(p)
+		for _, d := range a.Diags {
+			fmt.Printf("%s: %v\n", w.Name, d)
+		}
+		if n := len(a.Errors()); n > 0 {
+			ok = false
+		} else if !quiet {
+			fmt.Printf("%-14s ok (%d instructions, %d hinted, sound=%v)\n",
+				w.Name, len(p.Text), hinted(a, p), a.Sound())
+		}
+	}
+	return ok
+}
+
+// checkHints runs the E14 study: every workload executed with the
+// analyzer's hints checked against the dynamic region trace.
+func checkHints(scale int, maxInsts uint64) bool {
+	r := experiments.NewRunner()
+	r.Scale = scale
+	r.MaxInsts = maxInsts
+	rows, err := r.StaticHintStudy()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arlcheck: %v\n", err)
+		return false
+	}
+	fmt.Print(experiments.RenderStaticHints(rows))
+	ok := true
+	for _, row := range rows {
+		if row.Disagreements > 0 || row.AnalyzerErrs > 0 {
+			fmt.Printf("%s: SOUNDNESS VIOLATION: %d disagreement(s), %d analyzer error(s)\n",
+				row.Name, row.Disagreements, row.AnalyzerErrs)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func hinted(a *static.Analysis, p *prog.Program) int {
+	n := 0
+	for i := range p.Text {
+		if h := a.HintAt(i); h == prog.HintStack || h == prog.HintNonStack {
+			n++
+		}
+	}
+	return n
+}

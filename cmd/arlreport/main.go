@@ -1,4 +1,5 @@
-// Command arlreport runs every experiment in DESIGN.md's index (E1-E11)
+// Command arlreport runs every experiment in DESIGN.md's index (E1-E11
+// plus the E14 binary-hint study)
 // over all twelve workloads and prints the full paper-vs-measured data
 // set used to populate EXPERIMENTS.md.
 //
@@ -76,6 +77,11 @@ func main() {
 	ctx, err := r.ContextSweep([]int{0, 8, 16}, []int{0, 7, 24})
 	check(err)
 	fmt.Print(experiments.RenderContextSweep(ctx))
+
+	section("E14: binary-level static hints")
+	sh, err := r.StaticHintStudy()
+	check(err)
+	fmt.Print(experiments.RenderStaticHints(sh))
 
 	if !*skipTiming {
 		section("E7: Figure 8")

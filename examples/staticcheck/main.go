@@ -1,0 +1,59 @@
+// Staticcheck: drive the internal/static binary-level region analyzer
+// over two hand-written RISA programs. good.s follows the calling
+// convention and comes back diagnostic-free with provable region hints;
+// buggy.s violates it five ways and every violation is flagged with a
+// file:line diagnostic. The same analyses back the cmd/arlcheck linter:
+//
+//	go run ./cmd/arlcheck ./examples/staticcheck
+//
+// Run with: go run ./examples/staticcheck
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/prog"
+	"repro/internal/static"
+)
+
+//go:embed testdata/good.s
+var goodSrc string
+
+//go:embed testdata/buggy.s
+var buggySrc string
+
+func main() {
+	show("good.s", goodSrc)
+	fmt.Println()
+	show("buggy.s", buggySrc)
+}
+
+func show(name, src string) {
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := static.Analyze(p)
+
+	counts := map[prog.Hint]int{}
+	mem := 0
+	for i, in := range p.Text {
+		if in.IsMem() {
+			mem++
+			counts[a.HintAt(i)]++
+		}
+	}
+	fmt.Printf("%s: %d instructions, %d memory ops (hints: %d stack, %d nonstack, %d unknown)\n",
+		name, len(p.Text), mem,
+		counts[prog.HintStack], counts[prog.HintNonStack], counts[prog.HintUnknown])
+	if len(a.Diags) == 0 {
+		fmt.Println("  no diagnostics")
+		return
+	}
+	for _, d := range a.Diags {
+		fmt.Printf("  %v\n", d)
+	}
+}

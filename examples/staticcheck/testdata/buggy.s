@@ -1,0 +1,47 @@
+# buggy.s - a negative fixture for arlcheck: every function below
+# violates a convention the analyzer lints. arlcheck treats files named
+# *buggy* as fixtures that MUST produce diagnostics, so this file keeps
+# `arlcheck ./examples/...` honest.
+#
+# Expected findings:
+#   leaky:    sp-imbalance (frame never popped) + callee-saved ($s0)
+#   coldload: uninit-stack-load (reads a slot no path stores)
+#   wildload: bad-base (integer used as an address) + unreachable code
+	.data
+glob:	.word 7
+
+	.text
+	.globl main
+main:
+	addi $sp, $sp, -16
+	sw   $ra, 12($sp)
+	jal  leaky
+	jal  coldload
+	jal  wildload
+	lw   $ra, 12($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+
+# Allocates a frame it never releases and trashes $s0.
+leaky:
+	addi $sp, $sp, -8
+	li   $s0, 5
+	sw   $s0, 4($sp)
+	jr   $ra
+
+# Loads a stack slot that no store initialized.
+coldload:
+	addi $sp, $sp, -16
+	lw   $t0, 4($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+
+# Dereferences a comparison result and jumps over dead code.
+wildload:
+	slt  $t0, $a0, $a1
+	lw   $t1, 0($t0)
+	j    wild_done
+wild_dead:
+	lw   $t2, glob
+wild_done:
+	jr   $ra

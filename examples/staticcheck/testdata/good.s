@@ -1,0 +1,40 @@
+# good.s - a convention-clean RISA program: main keeps its frame
+# balanced, saves and restores $ra and $s0, and sum() walks a global
+# array through in-bounds pointer arithmetic. arlcheck must report no
+# diagnostics, and the analyzer proves the array loads non-stack and
+# the spill traffic stack.
+	.data
+table:	.word 3, 1, 4, 1, 5, 9, 2, 6
+
+	.text
+	.globl main
+main:
+	addi $sp, $sp, -24
+	sw   $ra, 20($sp)
+	sw   $s0, 16($sp)
+	la   $a0, table
+	li   $a1, 8
+	jal  sum
+	add  $s0, $v0, $zero
+	sw   $s0, 12($sp)        # spill the result to the frame
+	lw   $v0, 12($sp)
+	lw   $s0, 16($sp)
+	lw   $ra, 20($sp)
+	addi $sp, $sp, 24
+	jr   $ra
+
+# int sum(int *v, int n): a leaf with no frame at all.
+sum:
+	li   $v0, 0
+	li   $t0, 0
+sum_loop:
+	slt  $t1, $t0, $a1
+	beq  $t1, $zero, sum_done
+	slli $t2, $t0, 2
+	add  $t2, $a0, $t2
+	lw   $t3, 0($t2)
+	add  $v0, $v0, $t3
+	addi $t0, $t0, 1
+	j    sum_loop
+sum_done:
+	jr   $ra

@@ -56,6 +56,7 @@ const (
 // stmt is one parsed source statement (after label stripping).
 type stmt struct {
 	line   int
+	src    string   // statement text (comments and labels stripped)
 	op     string   // lower-case mnemonic or directive (with leading '.')
 	args   []string // comma-separated operand fields, trimmed
 	hint   prog.Hint
@@ -188,7 +189,7 @@ func (a *asmState) parse(source string) (text, data []stmt, err error) {
 			continue
 		}
 
-		s := stmt{line: lineNo + 1, hint: hint}
+		s := stmt{line: lineNo + 1, src: line, hint: hint}
 		fields := strings.SplitN(line, " ", 2)
 		s.op = strings.ToLower(strings.TrimSpace(fields[0]))
 		if len(fields) == 2 {

@@ -53,7 +53,7 @@ func liLen(v uint32) int {
 
 func (a *asmState) emit(s stmt, in isa.Inst) {
 	a.text = append(a.text, in)
-	a.pos = append(a.pos, prog.SourcePos{File: a.file, Line: s.line})
+	a.pos = append(a.pos, prog.SourcePos{File: a.file, Line: s.line, Text: s.src})
 	h := prog.HintNone
 	if in.IsMem() {
 		h = s.hint

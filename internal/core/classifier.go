@@ -21,6 +21,7 @@ type ClassifyStats struct {
 
 	StaticCovered uint64 // manifest in the addressing mode (rules 1-3)
 	HintCovered   uint64 // resolved by a compiler hint
+	HintCorrect   uint64 // ... and the hint matched the dynamic region
 	TableLookups  uint64 // fell through to the ARPT (or rule-4 default)
 	TableCorrect  uint64 // ... and were predicted correctly
 }
@@ -40,6 +41,24 @@ func (s ClassifyStats) StaticFraction() float64 {
 		return 0
 	}
 	return 100 * float64(s.StaticCovered) / float64(s.Total)
+}
+
+// HintAccuracy reports how often the compiler hints that fired were
+// right, as a percentage of the hint-covered references.
+func (s ClassifyStats) HintAccuracy() float64 {
+	if s.HintCovered == 0 {
+		return 0
+	}
+	return 100 * float64(s.HintCorrect) / float64(s.HintCovered)
+}
+
+// TableAccuracy reports the ARPT's hit rate on the references that
+// actually reached it, as a percentage of the table lookups.
+func (s ClassifyStats) TableAccuracy() float64 {
+	if s.TableLookups == 0 {
+		return 0
+	}
+	return 100 * float64(s.TableCorrect) / float64(s.TableLookups)
 }
 
 // Classifier composes the three §4.2 dispatch-stage information
@@ -90,6 +109,7 @@ func (c *Classifier) Classify(index int, pc uint32, in isa.Inst, ctx Context, ac
 			c.Stats.HintCovered++
 			if pred == actual {
 				c.Stats.Correct++
+				c.Stats.HintCorrect++
 			}
 			return pred
 		}

@@ -30,6 +30,8 @@ func (h HintMode) String() string {
 		return "oracle"
 	case HintsCompiler:
 		return "compiler"
+	case HintsBinary:
+		return "binary"
 	}
 	return fmt.Sprintf("hints(%d)", int(h))
 }

@@ -217,3 +217,29 @@ func RenderPenaltySweep(rows []PenaltyRow) string {
 	}
 	return b.String()
 }
+
+// RenderStaticHints prints E14: the binary-level analyzer as a hint
+// source, against the source-level Fig. 6 hints and the oracle.
+func RenderStaticHints(rows []StaticHintRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E14. Binary-level static hints vs source hints (1BIT-HYBRID, unlimited)\n")
+	fmt.Fprintf(&b, "%-14s | %8s %8s | %8s %8s |", "", "binary", "binary", "source", "source")
+	for _, mode := range StaticHintModes {
+		fmt.Fprintf(&b, "%10s", mode)
+	}
+	fmt.Fprintf(&b, " | %8s %6s\n", "disagree", "diags")
+	fmt.Fprintf(&b, "%-14s | %8s %8s | %8s %8s |", "Benchmark", "cover%", "acc%", "cover%", "acc%")
+	for range StaticHintModes {
+		fmt.Fprintf(&b, "%10s", "")
+	}
+	fmt.Fprintf(&b, " | %8s %6s\n", "", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% |", r.Name,
+			r.BinaryCoveredPct, r.BinaryAccPct, r.SourceCoveredPct, r.SourceAccPct)
+		for _, mode := range StaticHintModes {
+			fmt.Fprintf(&b, "%10.3f", r.AccuracyPct[mode])
+		}
+		fmt.Fprintf(&b, " | %8d %6d\n", r.Disagreements, r.AnalyzerErrs)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/static"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// HintsBinary is the fourth hint mode: region hints recovered from the
+// assembled binary by internal/static's abstract interpretation (as
+// opposed to the source-level Figure 6 pass).
+const HintsBinary HintMode = HintsCompiler + 1
+
+// StaticHintRow compares, for one workload, the binary-level analyzer's
+// hints against the source-level hints and the profile oracle: how many
+// dynamic references each hint source covers, how often the fired hints
+// are right, and the end-to-end 1BIT-HYBRID accuracy with each source.
+type StaticHintRow struct {
+	Name string
+
+	// Coverage and accuracy of fired hints, % of dynamic references.
+	BinaryCoveredPct float64
+	BinaryAccPct     float64
+	SourceCoveredPct float64
+	SourceAccPct     float64
+
+	// Disagreements counts binary hints that contradicted the dynamic
+	// region — the soundness headline; it must be zero.
+	Disagreements uint64
+
+	// AnalyzerErrs counts error-severity diagnostics the analyzer
+	// raised against the compiled program (also zero for sound codegen).
+	AnalyzerErrs int
+
+	// AccuracyPct is end-to-end 1BIT-HYBRID (unlimited table) accuracy
+	// per hint mode.
+	AccuracyPct map[HintMode]float64
+}
+
+// StaticHintModes orders the modes of the E14 study.
+var StaticHintModes = []HintMode{HintsOff, HintsCompiler, HintsBinary, HintsOracle}
+
+// StaticHintStudy runs E14: the binary-level static analyzer as a hint
+// source for every workload, against the Fig. 6 source hints and the
+// dynamic oracle.
+func (r *Runner) StaticHintStudy() ([]StaticHintRow, error) {
+	return forEach(r, r.staticHintPass)
+}
+
+func (r *Runner) staticHintPass(w *workload.Workload) (StaticHintRow, error) {
+	row := StaticHintRow{Name: w.Name, AccuracyPct: map[HintMode]float64{}}
+	p, err := r.Program(w)
+	if err != nil {
+		return row, err
+	}
+	pr, err := r.Profile(w)
+	if err != nil {
+		return row, err
+	}
+	an := static.Analyze(p)
+	row.AnalyzerErrs = len(an.Errors())
+
+	oracle := pr.Oracle()
+	cls := make(map[HintMode]*core.Classifier, len(StaticHintModes))
+	for _, mode := range StaticHintModes {
+		var hints core.HintSource
+		switch mode {
+		case HintsOracle:
+			hints = oracle
+		case HintsCompiler:
+			hints = p.HintAt
+		case HintsBinary:
+			hints = an.HintAt
+		}
+		c, err := core.NewClassifier(core.Scheme1BitHybrid, hints)
+		if err != nil {
+			return row, err
+		}
+		cls[mode] = c
+	}
+
+	r.logf("static hint study %s ...", w.Name)
+	m, err := vm.New(p, nil)
+	if err != nil {
+		return row, err
+	}
+	limit := r.MaxInsts
+	if limit == 0 {
+		limit = vm.DefaultMaxInsts
+	}
+	m.MaxInsts = limit + 1
+	var ctx core.Context
+	for !m.Halted() && m.Seq() < limit {
+		ev, err := m.Step()
+		if err != nil {
+			return row, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		if ev.Inst.IsMem() {
+			ctx.CID = m.Reg(isa.RA)
+			actual := core.ActualOf(ev.Region)
+			for _, c := range cls {
+				c.Classify(ev.Index, ev.PC, ev.Inst, ctx, actual)
+			}
+			if pred, usable := core.HintPrediction(an.HintAt(ev.Index)); usable && pred != actual {
+				row.Disagreements++
+			}
+		}
+		if ev.Inst.IsBranch() {
+			ctx.UpdateGBH(ev.Taken)
+		}
+	}
+
+	bin, src := cls[HintsBinary].Stats, cls[HintsCompiler].Stats
+	if bin.Total > 0 {
+		row.BinaryCoveredPct = 100 * float64(bin.HintCovered) / float64(bin.Total)
+		row.SourceCoveredPct = 100 * float64(src.HintCovered) / float64(src.Total)
+	}
+	row.BinaryAccPct = bin.HintAccuracy()
+	row.SourceAccPct = src.HintAccuracy()
+	for mode, c := range cls {
+		row.AccuracyPct[mode] = c.Stats.Accuracy()
+	}
+	return row, nil
+}

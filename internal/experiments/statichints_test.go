@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticHintStudy(t *testing.T) {
+	r := quickRunner(t, "compress", "li")
+	rows, err := r.StaticHintStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Disagreements != 0 {
+			t.Errorf("%s: %d binary hints contradicted the dynamic region", row.Name, row.Disagreements)
+		}
+		if row.AnalyzerErrs != 0 {
+			t.Errorf("%s: analyzer raised %d errors on compiled code", row.Name, row.AnalyzerErrs)
+		}
+		if row.BinaryCoveredPct <= 0 {
+			t.Errorf("%s: binary hints covered nothing", row.Name)
+		}
+		if row.BinaryAccPct != 100 {
+			t.Errorf("%s: fired binary hints %.3f%% accurate, want 100%%", row.Name, row.BinaryAccPct)
+		}
+		// A sound hint source can only help the hybrid predictor.
+		if row.AccuracyPct[HintsBinary] < row.AccuracyPct[HintsOff]-0.01 {
+			t.Errorf("%s: binary hints made the classifier worse: %.3f vs %.3f",
+				row.Name, row.AccuracyPct[HintsBinary], row.AccuracyPct[HintsOff])
+		}
+	}
+	out := RenderStaticHints(rows)
+	for _, want := range []string{"E14", "binary", "129.compress", "130.li"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,10 +32,13 @@ type Symbol struct {
 
 // SourcePos locates an instruction in its assembly source, for
 // diagnostics and for carrying MiniC compiler hints through to the
-// predictor study.
+// predictor study. Text is the source statement the instruction was
+// assembled from (several instructions share it when a pseudo-op
+// expands), so lint output can quote the offending line.
 type SourcePos struct {
 	File string
 	Line int
+	Text string
 }
 
 // Hint is a per-instruction compiler region hint (paper §3.5.2). The

@@ -38,6 +38,67 @@ func TestClassify(t *testing.T) {
 	}
 }
 
+// TestClassifySegmentBoundaries pins the first and last byte of every
+// segment, the bytes just outside each, and address-space extremes
+// (including the wrap-around candidate 0xFFFF_FFFF, which sits above
+// StackFloor and must classify as stack, not wrap into data).
+func TestClassifySegmentBoundaries(t *testing.T) {
+	l := layout()
+	cases := []struct {
+		name string
+		addr uint32
+		want Region
+	}{
+		{"first data byte", l.DataBase, Data},
+		{"last data byte", l.HeapBase - 1, Data},
+		{"first heap byte", l.HeapBase, Heap},
+		{"last byte below break", l.Brk - 1, Heap},
+		{"break itself (untouched)", l.Brk, Heap},
+		{"last byte below stack floor", l.StackFloor - 1, Heap},
+		{"first stack byte", l.StackFloor, Stack},
+		{"last in-bounds stack byte", l.StackTop - 1, Stack},
+		{"stack top (exclusive bound)", l.StackTop, Stack},
+		{"address zero", 0, Data},
+		{"text segment", l.TextBase, Data},
+		{"wrap-around candidate", 0xFFFF_FFFF, Stack},
+	}
+	for _, c := range cases {
+		if got := l.Classify(c.addr); got != c.want {
+			t.Errorf("%s: Classify(%#x) = %v, want %v", c.name, c.addr, got, c.want)
+		}
+	}
+}
+
+// TestValidatorBoundaries pins the half-open edges of the three
+// validity checks at both ends of each segment.
+func TestValidatorBoundaries(t *testing.T) {
+	l := layout()
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"data first byte", l.ValidData(l.DataBase), true},
+		{"data last byte", l.ValidData(l.HeapBase - 1), true},
+		{"data one below base", l.ValidData(l.DataBase - 1), false},
+		{"data at heap base", l.ValidData(l.HeapBase), false},
+		{"heap first byte", l.ValidHeap(l.HeapBase), true},
+		{"heap last byte", l.ValidHeap(l.Brk - 1), true},
+		{"heap at break", l.ValidHeap(l.Brk), false},
+		{"heap one below base", l.ValidHeap(l.HeapBase - 1), false},
+		{"stack floor", l.ValidStack(l.StackFloor), true},
+		{"stack last byte", l.ValidStack(l.StackTop - 1), true},
+		{"stack at top", l.ValidStack(l.StackTop), false},
+		{"stack below floor", l.ValidStack(l.StackFloor - 1), false},
+		{"stack wrap-around", l.ValidStack(0xFFFF_FFFF), false},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
 func TestValidators(t *testing.T) {
 	l := layout()
 	if !l.ValidData(0x1000_0004) || l.ValidData(0x1001_0000) {

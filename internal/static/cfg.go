@@ -1,0 +1,246 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// termKind describes how a basic block hands off control.
+type termKind uint8
+
+const (
+	termFall    termKind = iota // falls into the next block
+	termBranch                  // conditional branch: target + fall-through
+	termJump                    // unconditional j: target only
+	termCall                    // jal/jalr: fall-through if the callee returns
+	termRet                     // jr $ra
+	termJR                      // jr through a non-$ra register: opaque
+	termSyscall                 // syscall: falls through unless it is exit
+	termEnd                     // runs off the function's last instruction
+)
+
+// block is one basic block of a recovered intra-function CFG.
+// Instruction indices are global (into prog.Program.Text).
+type block struct {
+	start, end int   // [start, end)
+	succ       []int // intra-function successor block ids
+	term       termKind
+	target     int // jal/jalr: callee entry index (-1 when unknown)
+}
+
+// fnInfo is one discovered function: its extent, CFG, the
+// interprocedural summary the fixed point iterates on, and the entry
+// state joined over all call sites.
+type fnInfo struct {
+	entryIdx int
+	endIdx   int // exclusive
+	name     string
+
+	blocks  []*block
+	blockAt map[int]int // leader instruction index -> block id
+
+	callers map[*fnInfo]bool
+
+	// Joined entry state (nil until the function is first called).
+	entrySt *state
+
+	// Summary fields, all monotone over the fixed point.
+	returns          bool  // a reachable `jr $ra` exists
+	exitV0           Value // join of demoted $v0 at return sites
+	maxIncomingWrite int32 // bytes the function stores above its entry $sp
+	writesCaller     bool  // stores through (or leaks) the incoming $fp
+	escaped          bool  // a pointer into this function's frame escaped
+	imprecise        bool  // control flow the analyzer cannot follow
+
+	// Fixed-point block input states, indexed by block id.
+	in []*state
+}
+
+// summarySig captures the caller-visible summary for change detection.
+type summarySig struct {
+	returns      bool
+	exitV0       Value
+	incoming     int32
+	writesCaller bool
+}
+
+func (f *fnInfo) sig() summarySig {
+	return summarySig{f.returns, f.exitV0, f.maxIncomingWrite, f.writesCaller}
+}
+
+// jumpTargetIdx resolves a J/JAL instruction's absolute word target to
+// an instruction index (ok=false when outside the text segment).
+func jumpTargetIdx(p *prog.Program, in isa.Inst) (int, bool) {
+	addr := uint32(in.Imm) * isa.InstBytes
+	return p.PC2Index(addr)
+}
+
+// discoverFuncs partitions the text segment into functions: boundaries
+// are the program entry plus every JAL target. Extents run to the next
+// boundary (minicc emits functions contiguously; a jump crossing an
+// extent is handled conservatively during analysis).
+func discoverFuncs(p *prog.Program) []*fnInfo {
+	entryIdx, _ := p.PC2Index(p.Entry)
+	starts := map[int]bool{entryIdx: true}
+	for _, in := range p.Text {
+		if in.Op == isa.OpJAL {
+			if t, ok := jumpTargetIdx(p, in); ok {
+				starts[t] = true
+			}
+		}
+	}
+	var sorted []int
+	for s := range starts {
+		sorted = append(sorted, s)
+	}
+	sort.Ints(sorted)
+
+	names := fnNames(p)
+	funcs := make([]*fnInfo, len(sorted))
+	for i, s := range sorted {
+		end := len(p.Text)
+		if i+1 < len(sorted) {
+			end = sorted[i+1]
+		}
+		f := &fnInfo{entryIdx: s, endIdx: end, callers: map[*fnInfo]bool{}}
+		if n, ok := names[s]; ok {
+			f.name = n
+		} else {
+			f.name = fmt.Sprintf("func@%#x", p.Index2PC(s))
+		}
+		buildBlocks(p, f)
+		funcs[i] = f
+	}
+	return funcs
+}
+
+// fnNames maps instruction indices to the best symbol defined there
+// (preferring non-local, non-".L" names).
+func fnNames(p *prog.Program) map[int]string {
+	names := make(map[int]string)
+	for _, s := range p.Syms {
+		i, ok := p.PC2Index(s.Addr)
+		if !ok {
+			continue
+		}
+		cur, have := names[i]
+		if !have || (strings.HasPrefix(cur, ".") && !strings.HasPrefix(s.Name, ".")) {
+			names[i] = s.Name
+		}
+	}
+	return names
+}
+
+// buildBlocks recovers f's basic blocks from branch and jump targets.
+func buildBlocks(p *prog.Program, f *fnInfo) {
+	lo, hi := f.entryIdx, f.endIdx
+	leaders := map[int]bool{lo: true}
+	mark := func(i int) {
+		if i > lo && i < hi {
+			leaders[i] = true
+		}
+	}
+	for i := lo; i < hi; i++ {
+		in := p.Text[i]
+		switch in.Classify() {
+		case isa.ClassBranch:
+			mark(i + 1 + int(in.Imm))
+			mark(i + 1)
+		case isa.ClassJump:
+			if in.Op == isa.OpJ {
+				if t, ok := jumpTargetIdx(p, in); ok {
+					mark(t)
+				}
+			}
+			mark(i + 1)
+		case isa.ClassCall, isa.ClassReturn, isa.ClassSyscall:
+			mark(i + 1)
+		}
+	}
+	var starts []int
+	for l := range leaders {
+		starts = append(starts, l)
+	}
+	sort.Ints(starts)
+
+	f.blockAt = make(map[int]int, len(starts))
+	for bi, s := range starts {
+		end := hi
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		b := &block{start: s, end: end, target: -1}
+		f.blockAt[s] = bi
+		f.blocks = append(f.blocks, b)
+	}
+	for _, b := range f.blocks {
+		f.classifyTerm(p, b)
+	}
+}
+
+// classifyTerm sets a block's terminator kind and successors.
+func (f *fnInfo) classifyTerm(p *prog.Program, b *block) {
+	lo, hi := f.entryIdx, f.endIdx
+	last := b.end - 1
+	in := p.Text[last]
+
+	intra := func(i int) (int, bool) {
+		if i < lo || i >= hi {
+			return 0, false
+		}
+		bi, ok := f.blockAt[i]
+		return bi, ok
+	}
+	addSucc := func(i int) {
+		if bi, ok := intra(i); ok {
+			b.succ = append(b.succ, bi)
+		} else {
+			// A control edge out of the extent: nothing the analyzer
+			// can follow.
+			f.imprecise = true
+		}
+	}
+
+	switch in.Classify() {
+	case isa.ClassBranch:
+		b.term = termBranch
+		addSucc(last + 1 + int(in.Imm))
+		addSucc(last + 1)
+	case isa.ClassJump:
+		if in.Op == isa.OpJ {
+			b.term = termJump
+			if t, ok := jumpTargetIdx(p, in); ok {
+				addSucc(t)
+			} else {
+				f.imprecise = true
+			}
+		} else { // jr through a non-$ra register
+			b.term = termJR
+			f.imprecise = true
+		}
+	case isa.ClassCall:
+		b.term = termCall
+		if in.Op == isa.OpJAL {
+			if t, ok := jumpTargetIdx(p, in); ok {
+				b.target = t
+			}
+		}
+		addSucc(last + 1)
+	case isa.ClassReturn:
+		b.term = termRet
+	case isa.ClassSyscall:
+		b.term = termSyscall
+		addSucc(last + 1)
+	default:
+		if b.end == hi {
+			b.term = termEnd
+		} else {
+			b.term = termFall
+			addSucc(last + 1)
+		}
+	}
+}

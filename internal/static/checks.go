@@ -1,0 +1,174 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// recorder carries the per-function bookkeeping of the final reporting
+// pass: which frame bytes some path stores, which own-frame slots are
+// loaded, and whether an untracked store could have hit the frame.
+type recorder struct {
+	f            *fnInfo
+	stored       map[int32]bool // frame bytes (entry-$sp-relative) some store covers
+	loads        []loadRec
+	unknownStore bool
+}
+
+// loadRec is one load from a constant own-frame slot.
+type loadRec struct {
+	idx  int
+	off  int32
+	size int32
+}
+
+func (r *recorder) storeBytes(off int32, n int) {
+	for i := 0; i < n; i++ {
+		r.stored[off+int32(i)] = true
+	}
+}
+
+func (r *recorder) covered(off, size int32) bool {
+	for i := int32(0); i < size; i++ {
+		if !r.stored[off+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memRef records one load/store during the final pass: the region hint
+// for the instruction, address diagnostics, and frame-slot traffic for
+// the never-stored lint.
+func (r *recorder) memRef(az *analyzer, idx int, in isa.Inst, addr Value) {
+	set, known := addr.addrRegions(az.lay)
+	var h prog.Hint
+	switch {
+	case !known || set == 0:
+		h = prog.HintUnknown
+	case set == stackSet:
+		h = prog.HintStack
+	case !set.Has(region.Stack):
+		h = prog.HintNonStack
+	default:
+		h = prog.HintUnknown
+	}
+	az.hints[idx] = h
+
+	if known && set == 0 {
+		az.diag(idx, r.f, SevError, "bad-base",
+			"memory access through a non-address value (base %s)", addr)
+	}
+	if addr.k == kConst && addr.c < prog.DataBase {
+		az.diag(idx, r.f, SevError, "bad-address",
+			"constant address %#x is below every data region", addr.c)
+	}
+
+	if addr.k == kEntry && addr.reg == isa.SP {
+		size := int32(in.MemSize())
+		if in.IsStore() {
+			r.storeBytes(addr.off, int(size))
+		} else if addr.off < 0 {
+			// Offsets >= 0 are incoming stack arguments the caller
+			// initialized; below-entry slots must be stored locally.
+			r.loads = append(r.loads, loadRec{idx: idx, off: addr.off, size: size})
+		}
+	}
+}
+
+// checkReturn verifies the calling convention at a reachable `jr $ra`:
+// $sp restored, $ra intact, every callee-saved register holding its
+// entry value.
+func (az *analyzer) checkReturn(f *fnInfo, st *state, idx int) {
+	sp := st.regs[isa.SP]
+	if !(sp.k == kEntry && sp.reg == isa.SP && sp.off == 0) {
+		az.diag(idx, f, SevError, "sp-imbalance",
+			"function %s returns with $sp = %s, not its entry $sp", f.name, sp)
+	}
+	ra := st.regs[isa.RA]
+	if !(ra.k == kEntry && ra.reg == isa.RA && ra.off == 0) {
+		az.diag(idx, f, SevError, "ra-clobber",
+			"function %s returns through a clobbered $ra (%s)", f.name, ra)
+	}
+	for _, r := range calleeSaved {
+		if st.regs[r] != f.entrySt.regs[r] {
+			az.diag(idx, f, SevError, "callee-saved",
+				"function %s returns with callee-saved %v = %s, entry value not preserved",
+				f.name, r, st.regs[r])
+		}
+	}
+}
+
+// finalize replays every analyzed function at its fixed point to emit
+// hints and diagnostics, then runs the whole-function lints.
+func (az *analyzer) finalize() {
+	for _, f := range az.funcs {
+		if f.entrySt == nil || f.in == nil {
+			continue // never called: dead code, no claims either way
+		}
+		rec := &recorder{f: f, stored: map[int32]bool{}}
+		reach := f.structReach()
+		for bid, b := range f.blocks {
+			if f.in[bid] == nil {
+				// Structurally unlinked blocks are dead code;
+				// semantically dead ones (e.g. an epilogue after an
+				// exit syscall) are not worth a diagnostic.
+				if !reach[bid] && !f.imprecise {
+					az.diag(b.start, f, SevError, "unreachable",
+						"unreachable code in function %s", f.name)
+				}
+				continue
+			}
+			st := f.in[bid].clone()
+			az.execBlock(f, b, st, rec)
+		}
+		if f.imprecise {
+			az.diag(f.entryIdx, f, SevNote, "imprecise",
+				"function %s has control flow the analyzer cannot follow; hints suppressed", f.name)
+		}
+		if !rec.unknownStore && !f.escaped && !f.imprecise {
+			for _, ld := range rec.loads {
+				if !rec.covered(ld.off, ld.size) {
+					az.diag(ld.idx, f, SevError, "uninit-stack-load",
+						"function %s loads stack slot %d(entry $sp) that no store covers", f.name, ld.off)
+				}
+			}
+		}
+	}
+	sort.SliceStable(az.diags, func(i, j int) bool { return az.diags[i].Index < az.diags[j].Index })
+}
+
+// structReach computes block reachability over the recovered CFG edges
+// alone, ignoring abstract semantics, so that code made dead by an exit
+// call is not reported as unreachable.
+func (f *fnInfo) structReach() []bool {
+	reach := make([]bool, len(f.blocks))
+	wl := []int{0}
+	reach[0] = true
+	for len(wl) > 0 {
+		bid := wl[0]
+		wl = wl[1:]
+		for _, s := range f.blocks[bid].succ {
+			if !reach[s] {
+				reach[s] = true
+				wl = append(wl, s)
+			}
+		}
+	}
+	return reach
+}
+
+func (az *analyzer) diag(idx int, f *fnInfo, sev Severity, code, format string, args ...any) {
+	az.diags = append(az.diags, Diag{
+		Index: idx,
+		Pos:   az.p.PosAt(idx),
+		Fn:    f.name,
+		Sev:   sev,
+		Code:  code,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,661 @@
+package static
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// state is the abstract machine state at one program point: a lattice
+// value per register plus the tracked stack slots of the current frame.
+// Slots are keyed by byte offset from the function's entry $sp and hold
+// the value of the aligned word stored there; absence means "unknown".
+type state struct {
+	regs  [isa.NumRegs]Value
+	slots map[int32]Value
+}
+
+func (s *state) clone() *state {
+	c := &state{regs: s.regs}
+	if len(s.slots) > 0 {
+		c.slots = make(map[int32]Value, len(s.slots))
+		for k, v := range s.slots {
+			c.slots[k] = v
+		}
+	}
+	return c
+}
+
+// joinState folds o into s (registers pointwise, slots by
+// intersect-and-join) and reports whether s changed.
+func (s *state) joinState(o *state, lay region.Layout) bool {
+	changed := false
+	for i := range s.regs {
+		j := s.regs[i].join(o.regs[i], lay)
+		if j != s.regs[i] {
+			s.regs[i] = j
+			changed = true
+		}
+	}
+	for k, v := range s.slots {
+		ov, ok := o.slots[k]
+		if !ok {
+			delete(s.slots, k)
+			changed = true
+			continue
+		}
+		j := v.join(ov, lay)
+		if j != v {
+			s.slots[k] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *state) setSlot(off int32, v Value) {
+	if s.slots == nil {
+		s.slots = make(map[int32]Value)
+	}
+	s.slots[off] = v
+}
+
+// dropSlotRange forgets every tracked word overlapping [lo, hi).
+func (s *state) dropSlotRange(lo, hi int32) {
+	for k := range s.slots {
+		if k < hi && k+4 > lo {
+			delete(s.slots, k)
+		}
+	}
+}
+
+func (s *state) clearSlots() { s.slots = nil }
+
+// dropEscapedSlots forgets every slot that could alias an escaped
+// local, keeping only the convention-save slots (those holding
+// symbolic entry values, written by the prologue). DESIGN.md documents
+// the assumption this encodes: writes through an escaped frame pointer
+// stay within the escaped object and never smash the register-save
+// area — the soundness test validates it on every workload.
+func (s *state) dropEscapedSlots() {
+	for k, v := range s.slots {
+		if v.k != kEntry {
+			delete(s.slots, k)
+		}
+	}
+}
+
+// calleeSaved lists the registers the RISA calling convention requires
+// a function to preserve ($v1 joins the s-pool because minicc allocates
+// it as one; $gp and $fp are convention-preserved too).
+var calleeSaved = []isa.Register{
+	isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7,
+	isa.K0, isa.K1, isa.V1, isa.GP, isa.FP,
+}
+
+// callerClobbered lists the registers a call may freely trash.
+var callerClobbered = []isa.Register{
+	isa.AT, isa.V0,
+	isa.A0, isa.A1, isa.A2, isa.A3,
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7,
+	isa.T8, isa.T9,
+}
+
+// analyzer drives the interprocedural fixed point over the recovered
+// functions and records the hints and diagnostics its consumers read.
+type analyzer struct {
+	p   *prog.Program
+	lay region.Layout
+
+	funcs []*fnInfo
+	fnAt  map[int]*fnInfo // entry instruction index -> function
+
+	queue   []*fnInfo
+	inQueue map[*fnInfo]bool
+
+	hints []prog.Hint
+	diags []Diag
+}
+
+func newAnalyzer(p *prog.Program) *analyzer {
+	az := &analyzer{
+		p:       p,
+		lay:     p.InitialLayout(),
+		funcs:   discoverFuncs(p),
+		fnAt:    make(map[int]*fnInfo),
+		inQueue: make(map[*fnInfo]bool),
+		hints:   make([]prog.Hint, len(p.Text)),
+	}
+	for _, f := range az.funcs {
+		az.fnAt[f.entryIdx] = f
+	}
+	// Call graph edges (jal only; jalr callees are unknown).
+	for _, f := range az.funcs {
+		for _, b := range f.blocks {
+			if b.term == termCall && b.target >= 0 {
+				if callee := az.fnAt[b.target]; callee != nil {
+					callee.callers[f] = true
+				}
+			}
+		}
+	}
+	return az
+}
+
+// baseEntry is the callee-side entry state shared by every call site:
+// convention-preserved registers are symbolic entry values, everything
+// a caller may pass or trash starts at ⊤, and the caller fills in $gp
+// and $a0-$a3.
+func baseEntry() *state {
+	st := &state{}
+	for i := range st.regs {
+		st.regs[i] = top()
+	}
+	st.regs[isa.Zero] = cval(0)
+	st.regs[isa.SP] = entry(isa.SP)
+	st.regs[isa.RA] = entry(isa.RA)
+	for _, r := range calleeSaved { // includes $fp and $gp
+		st.regs[r] = entry(r)
+	}
+	return st
+}
+
+func (az *analyzer) enqueue(f *fnInfo) {
+	if f == nil || az.inQueue[f] {
+		return
+	}
+	az.inQueue[f] = true
+	az.queue = append(az.queue, f)
+}
+
+// run iterates the interprocedural worklist to a fixed point. The step
+// cap is a defensive bound only: the lattice has finite height, so the
+// monotone fixed point terminates long before it; if it ever trips, the
+// whole program is marked imprecise (no hints) rather than wrong.
+func (az *analyzer) run() {
+	entryIdx, ok := az.p.PC2Index(az.p.Entry)
+	if !ok {
+		return
+	}
+	main := az.fnAt[entryIdx]
+	if main == nil {
+		return
+	}
+	st := baseEntry()
+	st.regs[isa.GP] = cval(prog.GPValue)
+	main.entrySt = st
+	az.enqueue(main)
+
+	maxSteps := 1000 + 500*len(az.funcs)
+	for steps := 0; len(az.queue) > 0; steps++ {
+		if steps > maxSteps {
+			for _, f := range az.funcs {
+				f.imprecise = true
+			}
+			return
+		}
+		f := az.queue[0]
+		az.queue = az.queue[1:]
+		az.inQueue[f] = false
+		if f.entrySt == nil {
+			continue // a summary change woke a caller never itself reached
+		}
+		before := f.sig()
+		az.analyzeFn(f)
+		if f.sig() != before {
+			for caller := range f.callers {
+				az.enqueue(caller)
+			}
+		}
+	}
+}
+
+// analyzeFn runs f's intra-function block worklist to a fixed point,
+// restarting once if the frame-escape flag flips mid-analysis (escape
+// weakens the transfer functions, so states computed before the flip
+// are stale).
+func (az *analyzer) analyzeFn(f *fnInfo) {
+	for {
+		escBefore := f.escaped
+		f.in = make([]*state, len(f.blocks))
+		f.in[0] = f.entrySt.clone()
+		wl := []int{0}
+		inWL := map[int]bool{0: true}
+		for len(wl) > 0 {
+			bid := wl[0]
+			wl = wl[1:]
+			inWL[bid] = false
+			st := f.in[bid].clone()
+			out, flows := az.execBlock(f, f.blocks[bid], st, nil)
+			if !flows {
+				continue
+			}
+			for _, succ := range f.blocks[bid].succ {
+				if f.in[succ] == nil {
+					f.in[succ] = out.clone()
+				} else if !f.in[succ].joinState(out, az.lay) {
+					continue
+				}
+				if !inWL[succ] {
+					inWL[succ] = true
+					wl = append(wl, succ)
+				}
+			}
+		}
+		if f.escaped == escBefore {
+			return
+		}
+	}
+}
+
+// execBlock abstractly executes one block from st, mutating st in
+// place. It reports whether control continues to b.succ. A non-nil rec
+// switches on the diagnostic/hint recording done by the final pass.
+func (az *analyzer) execBlock(f *fnInfo, b *block, st *state, rec *recorder) (*state, bool) {
+	last := b.end - 1
+	for i := b.start; i < last; i++ {
+		az.stepInst(f, st, i, rec)
+	}
+	switch b.term {
+	case termFall, termEnd:
+		az.stepInst(f, st, last, rec)
+		if b.term == termEnd {
+			f.imprecise = true
+			if rec != nil {
+				az.diag(last, f, SevError, "fall-off-end",
+					"control falls off the end of function %s", f.name)
+			}
+			return st, false
+		}
+		return st, true
+	case termBranch, termJump:
+		// Branches and j write no registers.
+		return st, true
+	case termRet:
+		f.returns = true
+		f.exitV0 = f.exitV0.join(demote(st.regs[isa.V0]), az.lay)
+		if rec != nil {
+			az.checkReturn(f, st, last)
+		}
+		return st, false
+	case termJR:
+		// Indirect jump: nothing downstream of it can be trusted.
+		f.imprecise = true
+		return st, false
+	case termSyscall:
+		return st, az.execSyscall(st)
+	case termCall:
+		return st, az.execCall(f, st, b, last, rec)
+	}
+	return st, true
+}
+
+// execSyscall models the kernel interface: only $v0 is ever written,
+// sbrk returns a heap pointer, exit stops the program.
+func (az *analyzer) execSyscall(st *state) bool {
+	code := st.regs[isa.V0]
+	if code.k != kConst {
+		st.regs[isa.V0] = top()
+		return true
+	}
+	switch code.c {
+	case 1, 2, 4, 11: // prints: $v0 preserved
+		return true
+	case 9: // sbrk: old break, always a heap address
+		st.regs[isa.V0] = rset(region.Set(0).Add(region.Heap))
+		return true
+	case 10: // exit
+		return false
+	default: // the VM faults
+		return false
+	}
+}
+
+// execCall models a jal/jalr at instruction index `last`: propagate an
+// entry-state contribution to the callee, then apply the calling
+// convention to the caller-side state.
+func (az *analyzer) execCall(f *fnInfo, st *state, b *block, last int, rec *recorder) bool {
+	var callee *fnInfo
+	if b.target >= 0 {
+		callee = az.fnAt[b.target]
+	}
+
+	// Passing a pointer into the current (or the caller's) frame lets
+	// the callee write through it behind the slot tracking's back.
+	for r := isa.A0; r <= isa.A3; r++ {
+		v := st.regs[r]
+		if v.k == kEntry {
+			if v.reg == isa.SP {
+				f.escaped = true
+			}
+			if v.reg == isa.FP {
+				f.writesCaller = true
+			}
+		}
+	}
+
+	if callee != nil && rec == nil {
+		az.contribute(f, st, callee)
+	}
+
+	spOff, spKnown := int32(0), false
+	if v := st.regs[isa.SP]; v.k == kEntry && v.reg == isa.SP {
+		spOff, spKnown = v.off, true
+	}
+
+	for _, r := range callerClobbered {
+		st.regs[r] = top()
+	}
+	st.regs[isa.RA] = cval(az.p.Index2PC(last) + isa.InstBytes)
+
+	if callee == nil {
+		// jalr: unknown callee, assume the worst on both sides.
+		f.escaped = true
+		f.imprecise = true
+		st.clearSlots()
+		if rec != nil {
+			rec.unknownStore = true
+		}
+		return true
+	}
+
+	if callee.returns {
+		st.regs[isa.V0] = callee.exitV0
+	} else {
+		st.regs[isa.V0] = bot()
+	}
+	if callee.writesCaller {
+		// The callee writes through its incoming $fp — our frame.
+		f.escaped = true
+	}
+	if f.escaped || !spKnown {
+		st.dropEscapedSlots()
+		if rec != nil {
+			rec.unknownStore = true
+		}
+	} else if callee.maxIncomingWrite > 0 {
+		// The callee stores to its incoming stack arguments, which sit
+		// just above the call-site $sp in our frame.
+		st.dropSlotRange(spOff, spOff+callee.maxIncomingWrite)
+		if rec != nil {
+			rec.storeBytes(spOff, int(callee.maxIncomingWrite))
+		}
+	}
+	return callee.returns
+}
+
+// contribute joins this call site's argument state into the callee's
+// entry state and queues the callee if it changed.
+func (az *analyzer) contribute(f *fnInfo, st *state, callee *fnInfo) {
+	e := baseEntry()
+	e.regs[isa.GP] = demote(st.regs[isa.GP])
+	for r := isa.A0; r <= isa.A3; r++ {
+		e.regs[r] = demote(st.regs[r])
+	}
+	if callee.entrySt == nil {
+		callee.entrySt = e
+		az.enqueue(callee)
+	} else if callee.entrySt.joinState(e, az.lay) {
+		az.enqueue(callee)
+	}
+}
+
+// stepInst is the transfer function for one non-terminator instruction
+// (plus termFall/termEnd block tails, which are ordinary instructions).
+func (az *analyzer) stepInst(f *fnInfo, st *state, idx int, rec *recorder) {
+	in := az.p.Text[idx]
+	lay := az.lay
+	get := func(r isa.Register) Value {
+		if r == isa.Zero {
+			return cval(0)
+		}
+		return st.regs[r]
+	}
+	set := func(r isa.Register, v Value) {
+		if r != isa.Zero {
+			st.regs[r] = v
+		}
+	}
+
+	if in.IsMem() {
+		az.stepMem(f, st, idx, in, rec)
+		return
+	}
+
+	switch in.Op {
+	case isa.OpNop, isa.OpSYSCALL:
+		// Non-terminator syscalls do not occur (every syscall ends its
+		// block); nops do nothing.
+
+	case isa.OpReg:
+		vs, vt := get(in.Rs), get(in.Rt)
+		var v Value
+		switch in.Funct {
+		case isa.FnADD:
+			v = addValues(vs, vt, lay)
+		case isa.FnSUB:
+			v = subValues(vs, vt, lay)
+		case isa.FnAND:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 { return a & b })
+		case isa.FnOR:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 { return a | b })
+		case isa.FnXOR:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 { return a ^ b })
+		case isa.FnNOR:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 { return ^(a | b) })
+		case isa.FnSLL:
+			v = shiftReg(vs, vt, func(a, s uint32) uint32 { return a << s })
+		case isa.FnSRL:
+			v = shiftReg(vs, vt, func(a, s uint32) uint32 { return a >> s })
+		case isa.FnSRA:
+			v = shiftReg(vs, vt, func(a, s uint32) uint32 { return uint32(int32(a) >> s) })
+		case isa.FnMUL:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) })
+		case isa.FnMULH:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 {
+				return uint32((int64(int32(a)) * int64(int32(b))) >> 32)
+			})
+		case isa.FnDIV, isa.FnREM:
+			// Folding would have to model the divide-by-zero fault;
+			// results are integers either way.
+			v = intv()
+		case isa.FnSLT:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 {
+				if int32(a) < int32(b) {
+					return 1
+				}
+				return 0
+			})
+		case isa.FnSLTU:
+			v = bitwise(vs, vt, func(a, b uint32) uint32 {
+				if a < b {
+					return 1
+				}
+				return 0
+			})
+		default:
+			v = top()
+		}
+		set(in.Rd, v)
+
+	case isa.OpADDI:
+		set(in.Rd, addConst(get(in.Rs), uint32(in.Imm), lay))
+	case isa.OpANDI:
+		v := get(in.Rs)
+		if v.k == kConst {
+			set(in.Rd, cval(v.c&uint32(uint16(in.Imm))))
+		} else {
+			// Masked to 16 bits: always a small integer.
+			set(in.Rd, intv())
+		}
+	case isa.OpORI, isa.OpXORI:
+		v := get(in.Rs)
+		m := uint32(uint16(in.Imm))
+		switch {
+		case v.k == kConst && in.Op == isa.OpORI:
+			set(in.Rd, cval(v.c|m))
+		case v.k == kConst:
+			set(in.Rd, cval(v.c^m))
+		default:
+			set(in.Rd, intOrTop(v))
+		}
+	case isa.OpSLTI:
+		set(in.Rd, intv())
+	case isa.OpLUI:
+		set(in.Rd, cval(uint32(in.Imm)<<16))
+	case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+		v := get(in.Rs)
+		sh := uint32(in.Imm) & 31
+		if sh == 0 {
+			set(in.Rd, v)
+			break
+		}
+		if v.k == kConst {
+			switch in.Op {
+			case isa.OpSLLI:
+				set(in.Rd, cval(v.c<<sh))
+			case isa.OpSRLI:
+				set(in.Rd, cval(v.c>>sh))
+			default:
+				set(in.Rd, cval(uint32(int32(v.c)>>sh)))
+			}
+			break
+		}
+		set(in.Rd, intOrTop(v))
+
+	case isa.OpJAL, isa.OpJALR:
+		// Handled by execCall; a call always terminates its block.
+
+	case isa.OpFP:
+		// FP register file is untracked; the cross-file moves and
+		// compares that write an integer register produce integers
+		// (float bits are never region pointers).
+		if rd, ok := in.Dest(); ok {
+			set(rd, intv())
+		}
+
+	default:
+		if rd, ok := in.Dest(); ok {
+			set(rd, top())
+		}
+	}
+}
+
+// stepMem is the transfer function for loads and stores: compute the
+// abstract address, track frame slots, raise the escape flags, and (in
+// recording mode) emit the hint and address diagnostics.
+func (az *analyzer) stepMem(f *fnInfo, st *state, idx int, in isa.Inst, rec *recorder) {
+	base := st.regs[in.Rs]
+	if in.Rs == isa.Zero {
+		base = cval(0)
+	}
+	addr := addConst(base, uint32(in.Imm), az.lay)
+	size := int32(in.MemSize())
+
+	if rec != nil {
+		rec.memRef(az, idx, in, addr)
+	}
+
+	if in.IsStore() {
+		sv := intv() // swc1: float bits
+		if in.Op == isa.OpSB || in.Op == isa.OpSH || in.Op == isa.OpSW {
+			if in.Rd == isa.Zero {
+				sv = cval(0)
+			} else {
+				sv = st.regs[in.Rd]
+			}
+		}
+		if sv.k == kEntry {
+			if sv.reg == isa.SP {
+				f.escaped = true
+			}
+			if sv.reg == isa.FP {
+				f.writesCaller = true
+			}
+		}
+		if addr.k == kEntry && addr.reg == isa.SP {
+			key := addr.off
+			st.dropSlotRange(key, key+size)
+			if size == 4 && key%4 == 0 {
+				st.setSlot(key, sv)
+			}
+			if key >= 0 && key+size > f.maxIncomingWrite {
+				f.maxIncomingWrite = key + size
+			}
+			return
+		}
+		if addr.k == kEntry && addr.reg == isa.FP {
+			// A store relative to the caller's frame pointer.
+			f.writesCaller = true
+		}
+		regs, known := addr.addrRegions(az.lay)
+		if !known || regs.Has(region.Stack) {
+			// May alias the current frame's locals.
+			st.dropEscapedSlots()
+			if rec != nil {
+				rec.unknownStore = true
+			}
+		}
+		return
+	}
+
+	// Loads: only aligned word loads from tracked slots are precise.
+	var v Value
+	switch in.Op {
+	case isa.OpLW:
+		v = top()
+		if addr.k == kEntry && addr.reg == isa.SP && addr.off%4 == 0 {
+			if sv, ok := st.slots[addr.off]; ok {
+				v = sv
+			}
+		}
+	case isa.OpLWC1:
+		return // FP destination, untracked
+	default:
+		v = intv() // byte/half loads zero- or sign-extend: small integers
+	}
+	if in.Rd != isa.Zero {
+		st.regs[in.Rd] = v
+	}
+}
+
+// bitwise folds constant operands and otherwise yields a plain integer
+// (bitwise/multiply results are never used as region pointers — the
+// "integer results" assumption DESIGN.md documents).
+func bitwise(a, b Value, op func(x, y uint32) uint32) Value {
+	if a.k == kConst && b.k == kConst {
+		return cval(op(a.c, b.c))
+	}
+	if a.k == kBottom || b.k == kBottom {
+		return bot()
+	}
+	return intv()
+}
+
+// shiftReg models a register-amount shift: the VM masks the amount to 5
+// bits, so a constant 0 amount is the identity.
+func shiftReg(a, amt Value, op func(x, s uint32) uint32) Value {
+	if amt.k == kConst {
+		s := amt.c & 31
+		if s == 0 {
+			return a
+		}
+		if a.k == kConst {
+			return cval(op(a.c, s))
+		}
+	}
+	return intOrTop(a)
+}
+
+// intOrTop keeps the integer claim when the operand was a known
+// integer/constant and gives up otherwise (shifted or masked pointers
+// are no longer pointers the analyzer can reason about).
+func intOrTop(v Value) Value {
+	switch v.k {
+	case kBottom:
+		return bot()
+	case kConst, kInt:
+		return intv()
+	}
+	return top()
+}

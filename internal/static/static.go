@@ -1,0 +1,118 @@
+// Package static is a binary-level region analyzer for assembled RISA
+// programs. It runs an interprocedural abstract interpretation that
+// propagates a per-register lattice — ⊥, exact constants, symbolic
+// frame addresses, plain integers, region sets (Stack / Global / Heap /
+// Mixed), and ⊤ — through moves, address arithmetic, loads/stores, and
+// call/return boundaries, to a fixed point over a CFG recovered from
+// branch targets.
+//
+// Two consumers sit on top: cmd/arlcheck lints programs (stack-pointer
+// imbalance, clobbered callee-saved registers, loads from never-stored
+// stack slots, unreachable blocks, memory ops through a non-address
+// base), and Analysis.HintAt is a core.HintSource giving binary-level
+// region hints that the experiments compare against the paper's
+// source-level Fig. 6 hints and the dynamic oracle. DESIGN.md §static
+// documents the lattice, the transfer functions, and the soundness
+// argument.
+package static
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// Severity ranks a diagnostic: errors are convention violations or
+// provably bad accesses; notes report analysis limitations.
+type Severity uint8
+
+const (
+	SevError Severity = iota
+	SevNote
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "note"
+}
+
+// Diag is one analyzer diagnostic, anchored to an instruction and (when
+// the program was assembled from text) its source position.
+type Diag struct {
+	Index int            // instruction index into Program.Text
+	Pos   prog.SourcePos // zero when the program carries no positions
+	Fn    string         // enclosing function name
+	Sev   Severity
+	Code  string // stable machine-readable code, e.g. "sp-imbalance"
+	Msg   string
+}
+
+func (d Diag) String() string {
+	loc := fmt.Sprintf("inst %d", d.Index)
+	if d.Pos.File != "" {
+		loc = fmt.Sprintf("%s:%d", d.Pos.File, d.Pos.Line)
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", loc, d.Sev, d.Code, d.Msg)
+}
+
+// Analysis is the result of analyzing one program.
+type Analysis struct {
+	Prog  *prog.Program
+	Diags []Diag
+
+	hints []prog.Hint
+	sound bool
+}
+
+// Analyze runs the abstract interpretation over p and returns the
+// hints and diagnostics. It never executes the program.
+func Analyze(p *prog.Program) *Analysis {
+	az := newAnalyzer(p)
+	az.run()
+	az.finalize()
+	sound := true
+	for _, f := range az.funcs {
+		if f.entrySt != nil && f.imprecise {
+			sound = false
+		}
+	}
+	return &Analysis{Prog: p, Diags: az.diags, hints: az.hints, sound: sound}
+}
+
+// Sound reports whether the analyzer followed every control path it
+// saw. When false (indirect jumps, control leaving a function's
+// extent), the hints are withheld rather than trusted.
+func (a *Analysis) Sound() bool { return a.sound }
+
+// HintAt is a core.HintSource: the binary-level region hint for the
+// instruction at index i. Instructions the analysis never reached (or
+// any instruction of an unsound program) report HintNone.
+func (a *Analysis) HintAt(i int) prog.Hint {
+	if !a.sound || i < 0 || i >= len(a.hints) {
+		return prog.HintNone
+	}
+	return a.hints[i]
+}
+
+// Errors returns the error-severity diagnostics.
+func (a *Analysis) Errors() []Diag {
+	var errs []Diag
+	for _, d := range a.Diags {
+		if d.Sev == SevError {
+			errs = append(errs, d)
+		}
+	}
+	return errs
+}
+
+// Hints analyzes p and returns its binary-level hint source; the
+// compile-time assertion below keeps the signature aligned with the
+// classifier's.
+func Hints(p *prog.Program) core.HintSource {
+	return Analyze(p).HintAt
+}
+
+var _ core.HintSource = (*Analysis)(nil).HintAt

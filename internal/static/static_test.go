@@ -1,0 +1,277 @@
+package static
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/region"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestSoundnessAllWorkloads is the headline property: across every
+// workload, the binary-level hints must never contradict the region
+// the dynamic trace observes, and compiled code must lint clean.
+func TestSoundnessAllWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Short, func(t *testing.T) {
+			t.Parallel()
+			p, err := w.Compile(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := Analyze(p)
+			if !a.Sound() {
+				t.Errorf("analysis of %s not sound", w.Name)
+			}
+			for _, d := range a.Errors() {
+				t.Errorf("unexpected diagnostic: %v", d)
+			}
+
+			m, err := vm.New(p, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.MaxInsts = 1_000_000
+			checked := uint64(0)
+			for !m.Halted() && m.Seq() < 1_000_000 {
+				ev, err := m.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.Done || !ev.Inst.IsMem() {
+					continue
+				}
+				pred, usable := core.HintPrediction(a.HintAt(ev.Index))
+				if !usable {
+					continue
+				}
+				checked++
+				if pred != core.ActualOf(ev.Region) {
+					t.Fatalf("hint contradicts dynamic region at %v: hint %v, region %v",
+						p.PosAt(ev.Index), a.HintAt(ev.Index), ev.Region)
+				}
+			}
+			if checked == 0 {
+				t.Error("no dynamic reference was covered by a binary hint")
+			}
+		})
+	}
+}
+
+func mustAnalyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	p, err := asm.Assemble("test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(p)
+}
+
+func codes(a *Analysis) map[string]int {
+	m := map[string]int{}
+	for _, d := range a.Diags {
+		if d.Sev == SevError {
+			m[d.Code]++
+		}
+	}
+	return m
+}
+
+func TestCleanProgram(t *testing.T) {
+	a := mustAnalyze(t, `
+	.data
+tab:	.word 1, 2, 3, 4
+	.text
+main:
+	addi $sp, $sp, -16
+	sw   $ra, 12($sp)
+	sw   $s0, 8($sp)
+	la   $a0, tab
+	jal  first
+	add  $s0, $v0, $zero
+	sw   $s0, 4($sp)
+	lw   $v0, 4($sp)
+	lw   $s0, 8($sp)
+	lw   $ra, 12($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+first:
+	lw   $v0, 0($a0)
+	jr   $ra
+`)
+	if len(a.Diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", a.Diags)
+	}
+	if !a.Sound() {
+		t.Fatal("clean program should analyze soundly")
+	}
+	var stack, nonstack int
+	for i := range a.Prog.Text {
+		switch a.HintAt(i) {
+		case prog.HintStack:
+			stack++
+		case prog.HintNonStack:
+			nonstack++
+		}
+	}
+	if stack == 0 || nonstack == 0 {
+		t.Fatalf("want both hint kinds, got %d stack / %d nonstack", stack, nonstack)
+	}
+}
+
+func TestLintSPImbalanceAndCalleeSaved(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -8
+	sw   $ra, 4($sp)
+	jal  leaky
+	lw   $ra, 4($sp)
+	addi $sp, $sp, 8
+	jr   $ra
+leaky:
+	addi $sp, $sp, -8
+	li   $s0, 1
+	jr   $ra
+`)
+	c := codes(a)
+	if c["sp-imbalance"] != 1 || c["callee-saved"] != 1 {
+		t.Fatalf("want sp-imbalance and callee-saved, got %v", a.Diags)
+	}
+}
+
+func TestLintRAClobber(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -8
+	sw   $ra, 4($sp)
+	jal  clobber
+	lw   $ra, 4($sp)
+	addi $sp, $sp, 8
+	jr   $ra
+clobber:
+	li   $ra, 0
+	jr   $ra
+`)
+	if codes(a)["ra-clobber"] == 0 {
+		t.Fatalf("want ra-clobber, got %v", a.Diags)
+	}
+}
+
+func TestLintUninitStackLoad(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -16
+	lw   $t0, 4($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+`)
+	if codes(a)["uninit-stack-load"] != 1 {
+		t.Fatalf("want one uninit-stack-load, got %v", a.Diags)
+	}
+}
+
+func TestLintBadBaseAndUnreachable(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	slt  $t0, $a0, $a1
+	lw   $t1, 0($t0)
+	j    done
+dead:
+	addi $t2, $t2, 1
+done:
+	jr   $ra
+`)
+	c := codes(a)
+	if c["bad-base"] != 1 || c["unreachable"] != 1 {
+		t.Fatalf("want bad-base and unreachable, got %v", a.Diags)
+	}
+}
+
+func TestLintBadConstantAddress(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	lw   $t0, 16($zero)
+	jr   $ra
+`)
+	if codes(a)["bad-address"] != 1 {
+		t.Fatalf("want bad-address, got %v", a.Diags)
+	}
+}
+
+// TestEscapedFrameKeepsSaves exercises the escape path: passing &local
+// to a callee must not break the convention checks (the register-save
+// slots survive), and the uninit lint must go quiet.
+func TestEscapedFrameKeepsSaves(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -16
+	sw   $ra, 12($sp)
+	sw   $s0, 8($sp)
+	addi $a0, $sp, 0       # escape a pointer to a local
+	jal  store42
+	lw   $t0, 0($sp)       # callee may have written it: not uninit
+	lw   $s0, 8($sp)
+	lw   $ra, 12($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+store42:
+	li   $t0, 42
+	sw   $t0, 0($a0)
+	jr   $ra
+`)
+	if len(a.Errors()) != 0 {
+		t.Fatalf("escaped frame must not trip lints, got %v", a.Diags)
+	}
+}
+
+func TestValueLattice(t *testing.T) {
+	lay := region.Layout{
+		DataBase: prog.DataBase, HeapBase: prog.DataBase + 0x1000,
+		StackFloor: prog.StackTop - prog.StackSize, StackTop: prog.StackTop,
+	}
+	heapAddr := lay.HeapBase + 8
+	cases := []struct {
+		name string
+		got  Value
+		want Value
+	}{
+		{"const⊔const small", cval(1).join(cval(2), lay), intv()},
+		{"const⊔const data", cval(prog.DataBase).join(cval(prog.DataBase+4), lay), rset(region.Set(0).Add(region.Data))},
+		{"sp-entry⊔heap", entry(isa.SP).join(rset(region.Set(0).Add(region.Heap)), lay),
+			rset(region.Set(0).Add(region.Heap).Add(region.Stack))},
+		{"int⊔regions", intv().join(rset(stackSet), lay), top()},
+		{"ptr+int", addValues(rset(stackSet), intv(), lay), rset(stackSet)},
+		{"ptr-ptr", subValues(rset(stackSet), rset(stackSet), lay), intv()},
+		{"entry-entry", subValues(addConst(entry(isa.SP), 8, lay), entry(isa.SP), lay), cval(8)},
+		{"heap const+disp", addConst(cval(heapAddr), 4, lay), cval(heapAddr + 4)},
+		{"demote sp-entry", demote(addConst(entry(isa.SP), 4, lay)), rset(stackSet)},
+		{"demote other entry", demote(entry(isa.RA)), top()},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	// Join is commutative on a sample of mixed kinds.
+	vals := []Value{bot(), top(), intv(), cval(3), cval(heapAddr),
+		entry(isa.SP), rset(stackSet)}
+	for _, x := range vals {
+		for _, y := range vals {
+			if x.join(y, lay) != y.join(x, lay) {
+				t.Errorf("join not commutative: %v vs %v", x, y)
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package static
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/region"
+)
+
+// kind enumerates the shapes of an abstract value. The lattice order is
+// kBottom below everything, kTop above everything, and kConst below the
+// kEntry/kInt/kRegions layer (joining two unequal members of that layer
+// demotes toward kRegions or kTop; see Value.join).
+type kind uint8
+
+const (
+	kBottom  kind = iota // unreachable / never written
+	kConst               // exactly one 32-bit value
+	kEntry               // the value a register held at function entry, plus a constant offset
+	kInt                 // an integer the program never uses as a region pointer
+	kRegions             // a pointer into a known, non-empty set of regions
+	kTop                 // anything
+)
+
+// Value is one element of the per-register lattice the analyzer
+// propagates: ⊥ (kBottom), exact constants, symbolic
+// "entry value of register r plus offset" terms (which is how
+// $sp/$fp-relative addressing stays exact across the prologue), plain
+// integers, region sets (the paper's Stack / Global / Heap / Mixed
+// layer), and ⊤.
+//
+// The zero Value is ⊥.
+type Value struct {
+	k   kind
+	reg isa.Register // kEntry: whose entry value
+	off int32        // kEntry: constant offset from that entry value
+	c   uint32       // kConst
+	set region.Set   // kRegions: non-empty region set
+}
+
+func bot() Value          { return Value{} }
+func top() Value          { return Value{k: kTop} }
+func intv() Value         { return Value{k: kInt} }
+func cval(c uint32) Value { return Value{k: kConst, c: c} }
+func entry(r isa.Register) Value {
+	return Value{k: kEntry, reg: r}
+}
+func rset(s region.Set) Value {
+	if s == 0 {
+		return top()
+	}
+	return Value{k: kRegions, set: s}
+}
+
+var stackSet = region.Set(0).Add(region.Stack)
+
+func (v Value) String() string {
+	switch v.k {
+	case kBottom:
+		return "⊥"
+	case kConst:
+		return fmt.Sprintf("const(%#x)", v.c)
+	case kEntry:
+		if v.off == 0 {
+			return fmt.Sprintf("entry(%v)", v.reg)
+		}
+		return fmt.Sprintf("entry(%v)%+d", v.reg, v.off)
+	case kInt:
+		return "int"
+	case kRegions:
+		return "regions(" + v.set.Class() + ")"
+	case kTop:
+		return "⊤"
+	}
+	return fmt.Sprintf("value(%d)", v.k)
+}
+
+// isStackEntry reports whether v is the symbolic entry value of a stack
+// register ($sp or the caller's $fp), i.e. a provable stack pointer.
+func (v Value) isStackEntry() bool {
+	return v.k == kEntry && (v.reg == isa.SP || v.reg == isa.FP)
+}
+
+// addrRegions reports the set of regions v may point into when used as
+// an address, and whether the analyzer actually knows that set. A known
+// empty set means "provably not an address" (the ⊤-region lint signal);
+// known=false means the analyzer makes no claim (⊤, or an entry value
+// of a non-stack register).
+func (v Value) addrRegions(lay region.Layout) (region.Set, bool) {
+	switch v.k {
+	case kConst:
+		// Layout.Classify is total and independent of the run-time
+		// break, so a constant address classifies exactly.
+		return region.Set(0).Add(lay.Classify(v.c)), true
+	case kEntry:
+		if v.reg == isa.SP || v.reg == isa.FP {
+			return stackSet, true
+		}
+		return 0, false
+	case kInt:
+		return 0, true
+	case kRegions:
+		return v.set, true
+	}
+	return 0, false
+}
+
+// classOf is shorthand for the singleton set of a constant's region.
+func classOf(lay region.Layout, c uint32) region.Set {
+	return region.Set(0).Add(lay.Classify(c))
+}
+
+// join computes the least upper bound of two values.
+func (v Value) join(o Value, lay region.Layout) Value {
+	if v == o {
+		return v
+	}
+	if v.k == kBottom {
+		return o
+	}
+	if o.k == kBottom {
+		return v
+	}
+	if v.k == kTop || o.k == kTop {
+		return top()
+	}
+	// Normalize so v.k <= o.k in the kind ordering below.
+	if v.k > o.k {
+		v, o = o, v
+	}
+	switch v.k {
+	case kConst:
+		switch o.k {
+		case kConst:
+			if v.c < prog.DataBase && o.c < prog.DataBase {
+				// Two small integers (below every data region base):
+				// a plain integer, not a pointer.
+				return intv()
+			}
+			return rset(classOf(lay, v.c) | classOf(lay, o.c))
+		case kEntry:
+			if o.isStackEntry() {
+				return rset(stackSet | classOf(lay, v.c))
+			}
+			return top()
+		case kInt:
+			if v.c < prog.DataBase {
+				return intv()
+			}
+			return top()
+		case kRegions:
+			return rset(o.set | classOf(lay, v.c))
+		}
+	case kEntry:
+		switch o.k {
+		case kEntry:
+			if v.isStackEntry() && o.isStackEntry() {
+				return rset(stackSet)
+			}
+			return top()
+		case kInt:
+			return top()
+		case kRegions:
+			if v.isStackEntry() {
+				return rset(o.set | stackSet)
+			}
+			return top()
+		}
+	case kInt:
+		// kInt ⊔ kRegions: "maybe an integer, maybe a pointer" — no claim.
+		return top()
+	case kRegions:
+		return rset(v.set | o.set)
+	}
+	return top()
+}
+
+// addConst displaces a value by a compile-time constant. Region values
+// stay in their region under the in-bounds pointer-arithmetic
+// assumption DESIGN.md documents (and the soundness test validates).
+func addConst(v Value, d uint32, lay region.Layout) Value {
+	if d == 0 {
+		return v
+	}
+	switch v.k {
+	case kBottom:
+		return v
+	case kConst:
+		return cval(v.c + d)
+	case kEntry:
+		w := v
+		w.off += int32(d)
+		return w
+	case kInt:
+		if d >= prog.DataBase {
+			// integer + address constant: a displaced pointer.
+			return rset(classOf(lay, d))
+		}
+		return intv()
+	case kRegions:
+		return v
+	}
+	return top()
+}
+
+// addValues models integer addition. Pointer plus integer keeps the
+// pointer's region (in-bounds assumption); pointer plus pointer is
+// meaningless and goes to ⊤.
+func addValues(a, b Value, lay region.Layout) Value {
+	if a.k == kBottom || b.k == kBottom {
+		return bot()
+	}
+	if a.k == kConst {
+		return addConst(b, a.c, lay)
+	}
+	if b.k == kConst {
+		return addConst(a, b.c, lay)
+	}
+	if a.k == kTop || b.k == kTop {
+		return top()
+	}
+	// Remaining kinds: kInt, kEntry, kRegions.
+	if a.k == kInt && b.k == kInt {
+		return intv()
+	}
+	if a.k == kInt || b.k == kInt {
+		p := a
+		if p.k == kInt {
+			p = b
+		}
+		switch {
+		case p.isStackEntry():
+			return rset(stackSet)
+		case p.k == kRegions:
+			return p
+		}
+		return top()
+	}
+	return top() // pointer + pointer
+}
+
+// subValues models integer subtraction: pointer minus integer stays in
+// region, pointer minus pointer is an integer, same-register entry
+// values subtract exactly.
+func subValues(a, b Value, lay region.Layout) Value {
+	if a.k == kBottom || b.k == kBottom {
+		return bot()
+	}
+	if b.k == kConst {
+		return addConst(a, -b.c, lay)
+	}
+	if a.k == kEntry && b.k == kEntry && a.reg == b.reg {
+		return cval(uint32(a.off - b.off))
+	}
+	if a.k == kTop || b.k == kTop {
+		return top()
+	}
+	aPtr := a.k == kEntry || a.k == kRegions
+	bPtr := b.k == kEntry || b.k == kRegions
+	switch {
+	case aPtr && bPtr:
+		return intv() // pointer difference
+	case aPtr && b.k == kInt:
+		if a.isStackEntry() {
+			return rset(stackSet)
+		}
+		if a.k == kRegions {
+			return a
+		}
+		return top()
+	case a.k == kInt && b.k == kInt:
+		return intv()
+	case a.k == kConst:
+		// constant minus integer/pointer
+		if b.k == kInt {
+			if a.c >= prog.DataBase {
+				return rset(classOf(lay, a.c))
+			}
+			return intv()
+		}
+		return top()
+	}
+	return top()
+}
+
+// demote translates a value across a call boundary, where the callee's
+// frame symbols lose their meaning: stack-register entry values become
+// plain stack pointers, other entry values are unknown, and everything
+// else survives unchanged.
+func demote(v Value) Value {
+	switch v.k {
+	case kEntry:
+		if v.isStackEntry() {
+			return rset(stackSet)
+		}
+		return top()
+	case kBottom, kConst, kInt, kRegions:
+		return v
+	}
+	return top()
+}
