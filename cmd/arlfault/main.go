@@ -1,0 +1,103 @@
+// Command arlfault runs seeded fault-injection campaigns against the
+// memory pipeline and differentially validates every run against the
+// functional VM's golden digest: timing-level faults (forced ARPT
+// mispredictions, predictor bit flips, cache-port drops, latency
+// perturbation) must never change architectural results, and injected
+// architectural faults must surface as structured vm.FaultErrors.
+//
+// Output is deterministic: the same seed reproduces the same campaign
+// byte for byte. The exit status is 1 if any run diverged.
+//
+// Usage:
+//
+//	arlfault [-seed N] [-campaign N] [-faults N] [-w name] [-scale N] [-n maxInsts] [-parallel N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed (same seed, same campaign, same output)")
+	runs := flag.Int("campaign", 200, "fault runs per workload")
+	faults := flag.Int("faults", 6, "planned faults per run")
+	wl := flag.String("w", "", "restrict to one workload")
+	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
+	maxInsts := flag.Uint64("n", 30_000, "truncate runs (0 = full)")
+	par := flag.Int("parallel", 0, "workloads in flight (0 = all)")
+	flag.Parse()
+	if *runs <= 0 || *faults <= 0 {
+		fatalf("-campaign and -faults must be positive")
+	}
+
+	workloads := workload.All()
+	if *wl != "" {
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown workload %q", *wl)
+		}
+		workloads = []*workload.Workload{w}
+	}
+	cfg := cpu.Decoupled(3, 3)
+
+	summaries := make([]*faultinject.Summary, len(workloads))
+	errs := make([]error, len(workloads))
+	workers := *par
+	if workers <= 0 || workers > len(workloads) {
+		workers = len(workloads)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, w := range workloads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p, err := w.Compile(*scale)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			summaries[i], errs[i] = faultinject.RunCampaign(
+				p, w.Name, *seed, *runs, *faults, *maxInsts, cfg)
+		}(i, w)
+	}
+	wg.Wait()
+
+	fmt.Printf("arlfault: differential fault campaign, seed=%d, %d runs x %d faults per workload, config %s\n\n",
+		*seed, *runs, *faults, cfg.Name)
+	var totalRuns, fired, aborted, divergent int
+	var recoveries uint64
+	for i := range workloads {
+		if errs[i] != nil {
+			fatalf("%s: %v", workloads[i].Name, errs[i])
+		}
+		s := summaries[i]
+		fmt.Print(s)
+		totalRuns += s.Runs
+		fired += s.Fired
+		aborted += s.Aborted
+		divergent += s.Divergent
+		recoveries += s.Recoveries
+	}
+	fmt.Printf("\ntotal: %d runs, %d fired (%.1f%%), %d structured aborts, %d recoveries, %d divergences\n",
+		totalRuns, fired, 100*float64(fired)/float64(totalRuns), aborted, recoveries, divergent)
+	if divergent > 0 {
+		fmt.Println("FAIL: architectural divergence detected")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all faulted runs architecturally equivalent or cleanly aborted")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "arlfault: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,14 +1,17 @@
 // Command arlreport runs every experiment in DESIGN.md's index (E1-E11
-// plus the E14 binary-hint study)
+// plus the E14 binary-hint and E15 fault-storm studies)
 // over all twelve workloads and prints the full paper-vs-measured data
 // set used to populate EXPERIMENTS.md.
 //
 // Usage:
 //
-//	arlreport [-scale N] [-n maxInsts] [-skip-timing] [-parallel N]
+//	arlreport [-scale N] [-n maxInsts] [-skip-timing] [-parallel N] [-timeout D]
 //
-// The timing study (E7, E11) dominates the run time; -skip-timing
+// The timing study (E7, E11, E15) dominates the run time; -skip-timing
 // restricts the report to the profiling and prediction experiments.
+// -timeout arms a per-workload watchdog and degrades gracefully: a
+// workload that cannot finish a stage in time is reported in a
+// "workload errors" section instead of aborting the whole report.
 package main
 
 import (
@@ -24,8 +27,10 @@ import (
 func main() {
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
-	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty studies")
+	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty / storm studies")
 	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"per-workload stage watchdog; implies graceful degradation (0 = off)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -33,6 +38,10 @@ func main() {
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
 	r.Parallel = *par
+	if *timeout > 0 {
+		r.WorkloadTimeout = *timeout
+		r.Degrade = true
+	}
 	if !*quiet {
 		r.Log = os.Stderr
 	}
@@ -93,6 +102,16 @@ func main() {
 		pen, err := r.PenaltySweep([]int{1, 4, 16})
 		check(err)
 		fmt.Print(experiments.RenderPenaltySweep(pen))
+
+		section("E15: misprediction storm / recovery penalty study")
+		storm, err := r.RecoveryStorm(1, []float64{0, 0.01, 0.05}, []int{2, 8, 16})
+		check(err)
+		fmt.Print(experiments.RenderRecoveryStorm(storm))
+	}
+
+	if errs := r.Errors(); len(errs) > 0 {
+		section("workload errors")
+		fmt.Print(experiments.RenderWorkloadErrors(errs))
 	}
 
 	fmt.Fprintf(os.Stderr, "\narlreport: completed in %s\n", time.Since(start).Round(time.Second))

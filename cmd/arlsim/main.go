@@ -27,6 +27,8 @@ func main() {
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate traces (0 = full)")
 	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"per-workload stage watchdog; implies graceful degradation (0 = off)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -35,6 +37,10 @@ func main() {
 	r.Scale = *scale
 	r.MaxInsts = *maxInsts
 	r.Parallel = *par
+	if *timeout > 0 {
+		r.WorkloadTimeout = *timeout
+		r.Degrade = true
+	}
 	if !*quiet {
 		r.Log = os.Stderr
 	}

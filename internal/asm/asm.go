@@ -260,6 +260,9 @@ func (a *asmState) dataSize(s stmt, off uint32) (uint32, error) {
 		pad := (4 - off%4) % 4
 		return pad + 4*uint32(len(s.args)), nil
 	case ".space":
+		if len(s.args) != 1 {
+			return 0, a.errf(s.line, ".space: want one size argument, got %d", len(s.args))
+		}
 		n, err := parseInt(s.args[0])
 		if err != nil || n < 0 {
 			return 0, a.errf(s.line, ".space: bad size %q", s.args[0])
@@ -269,6 +272,9 @@ func (a *asmState) dataSize(s stmt, off uint32) (uint32, error) {
 		// Rounded up to a word so following labels stay 4-aligned.
 		return (uint32(len(s.strArg)) + 1 + 3) &^ 3, nil
 	case ".align":
+		if len(s.args) != 1 {
+			return 0, a.errf(s.line, ".align: want one power argument, got %d", len(s.args))
+		}
 		n, err := parseInt(s.args[0])
 		if err != nil || n < 0 || n > 12 {
 			return 0, a.errf(s.line, ".align: bad power %q", s.args[0])

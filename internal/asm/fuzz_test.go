@@ -1,0 +1,33 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler's reader never panics: arbitrary
+// source either assembles or returns an error.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n\tli $v0, 1\n\tjr $ra\n")
+	f.Add(".data\nw: .word 1, 2, 3\n.text\nmain:\n\tla $t0, w\n\tlw $v0, 0($t0)\n\tjr $ra\n")
+	f.Add(".data\ns: .asciiz \"hi\\n\"\n.space 16\n.align 4\n")
+	f.Add("main:\n\tbeq $t0, $t1, main\n\t#arl.region stack\n\tsw $t0, -4($sp)\n")
+	f.Add("li $t0 1")               // missing comma
+	f.Add("main: jr")               // truncated operands
+	f.Add(".word 0x")               // bad literal
+	f.Add("\x00\xff\xfe")           // binary garbage
+	f.Add("lab\u00e9l:\n\tnop\n")   // non-ASCII label
+	f.Add("main:\n\tlw $t0, ($sp)") // unusual addressing form
+	for _, name := range []string{"buggy.s", "good.s"} {
+		if b, err := os.ReadFile(filepath.Join("..", "..", "examples", "staticcheck", "testdata", name)); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.s", src)
+		if err == nil && p == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}

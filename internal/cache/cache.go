@@ -87,15 +87,6 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew is New for known-good configurations.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Config reports the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -5,9 +5,19 @@ import (
 	"testing/quick"
 )
 
+// mustNew is a test helper; library code constructs caches with New
+// and propagates the error.
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func small() *Cache {
 	// 4 sets x 2 ways x 16-byte lines = 128 bytes.
-	return MustNew(Config{Name: "t", SizeBytes: 128, LineBytes: 16, Assoc: 2})
+	return mustNew(Config{Name: "t", SizeBytes: 128, LineBytes: 16, Assoc: 2})
 }
 
 func TestColdMissThenHit(t *testing.T) {
@@ -103,11 +113,11 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestPaperGeometries(t *testing.T) {
-	l1 := MustNew(L1Config(2, 2))
+	l1 := mustNew(L1Config(2, 2))
 	if got := l1.Config().SizeBytes; got != 64<<10 {
 		t.Errorf("L1 size = %d", got)
 	}
-	lvc := MustNew(LVCConfig(2))
+	lvc := mustNew(LVCConfig(2))
 	if lvc.Config().Assoc != 1 || lvc.Config().SizeBytes != 4<<10 {
 		t.Errorf("LVC geometry = %+v", lvc.Config())
 	}
@@ -149,7 +159,7 @@ func TestStatsConservationProperty(t *testing.T) {
 // with the same set index but different tags at once.
 func TestDirectMappedExclusionProperty(t *testing.T) {
 	f := func(a, b uint32) bool {
-		c := MustNew(Config{Name: "dm", SizeBytes: 64, LineBytes: 16, Assoc: 1})
+		c := mustNew(Config{Name: "dm", SizeBytes: 64, LineBytes: 16, Assoc: 1})
 		c.Access(a, false)
 		c.Access(b, false)
 		sameSet := (a>>4)&3 == (b>>4)&3

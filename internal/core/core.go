@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/prog"
@@ -274,6 +275,38 @@ func (t *ARPT) Update(pc uint32, ctx Context, actual Prediction) {
 // Occupied reports how many distinct entries have been trained — the
 // Table 3 metric.
 func (t *ARPT) Occupied() int { return len(t.touched) }
+
+// Flip inverts the prediction-deciding bit of one table entry — the
+// soft-error model of the fault-injection engine. n selects the entry:
+// modulo the table size for sized tables; for the unlimited (map)
+// configuration it indexes the trained entries in ascending index
+// order, since an entry that was never written has no physical storage
+// to corrupt. It reports whether a stored bit actually flipped, which
+// is false only for an unlimited table with no trained entries.
+func (t *ARPT) Flip(n uint32) bool {
+	// The decision bit: bit 0 for 1-bit entries, the >=2 threshold bit
+	// for 2-bit saturating counters.
+	bit := uint8(1)
+	if t.cfg.Bits == 2 {
+		bit = 2
+	}
+	if t.table != nil {
+		idx := n % uint32(len(t.table))
+		t.table[idx] ^= bit
+		return true
+	}
+	if len(t.spill) == 0 {
+		return false
+	}
+	keys := make([]uint32, 0, len(t.spill))
+	for k := range t.spill {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	idx := keys[n%uint32(len(keys))]
+	t.spill[idx] ^= bit
+	return true
+}
 
 // SizeBytes reports the hardware cost of the table in bytes (0 for the
 // unlimited study configuration).

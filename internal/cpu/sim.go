@@ -2,12 +2,62 @@ package cpu
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
 )
+
+// ErrInvariant marks a violated internal pipeline invariant: the
+// simulation's bookkeeping contradicted itself (e.g. a memory queue
+// head out of program order). It is returned, wrapped, by Simulate —
+// never panicked — so an embedding process survives a corrupted run.
+var ErrInvariant = errors.New("cpu: pipeline invariant violated")
+
+// MemFaulter perturbs the timing model's memory pipeline. It is the
+// simulation-level fault-injection hook: implementations must be
+// deterministic functions of their arguments and internal seeded
+// state, never of wall-clock or map order. Faults injected here may
+// change cycle counts only; the committed instruction stream is fixed
+// by the trace, which the differential harness verifies.
+type MemFaulter interface {
+	// PortDenied reports whether the n-th cache-port grant of the run
+	// should be denied; a denied access retries on a later cycle.
+	// lvc distinguishes the LVC port pool from the L1 pool.
+	PortDenied(n uint64, lvc bool) bool
+	// ExtraLatency reports extra cycles to add to the n-th granted
+	// load access (0 for none).
+	ExtraLatency(n uint64) int
+}
+
+// RecoveryObserver witnesses the ARPT misprediction-recovery state
+// machine as the simulator drives it: every detected wrong-queue
+// dispatch must be cancelled from the mispredicted queue and replayed
+// into the correct one at the configured penalty. A non-nil error
+// from any method aborts the simulation — observers validate protocol
+// order (see decouple.Recovery) and turn sequencing bugs into hard
+// failures instead of silent mis-modelling.
+type RecoveryObserver interface {
+	Detect(seq int64) error
+	Cancel(seq int64) error
+	Replay(seq int64, penalty int) error
+}
+
+// SimOptions carries the optional instrumentation of one simulation.
+// The zero value is a plain run.
+type SimOptions struct {
+	// Ctx cancels the simulation cooperatively (checked every few
+	// thousand cycles); nil means no cancellation.
+	Ctx context.Context
+	// Faults perturbs the memory pipeline; nil injects nothing.
+	Faults MemFaulter
+	// Recovery witnesses the misprediction-recovery protocol; nil
+	// skips the validation.
+	Recovery RecoveryObserver
+}
 
 // Result is the outcome of one timing simulation.
 type Result struct {
@@ -22,6 +72,7 @@ type Result struct {
 	L2Stats  cache.Stats
 
 	ARPTMispredicts uint64
+	Recoveries      uint64 // completed detect→cancel→replay sequences
 	Forwards        uint64 // store-to-load forwards (both queues)
 	FastForwards    uint64 // LVAQ offset-based forwards
 	VPUsed          uint64 // results supplied by the value predictor
@@ -145,6 +196,9 @@ type simulator struct {
 	l1  *cache.Cache
 	lvc *cache.Cache
 	l2  *cache.Cache
+
+	opts   SimOptions
+	nGrant uint64 // cache-port grant ordinal (MemFaulter hook index)
 }
 
 func (s *simulator) slot(seq int64) *robEntry { return &s.rob[seq%int64(len(s.rob))] }
@@ -165,22 +219,39 @@ func (s *simulator) writerOutstanding(seq int64) bool {
 // simulator; tr is never written, so concurrent Simulate calls may
 // share one trace.
 func Simulate(tr *Trace, cfg Config) (*Result, error) {
+	return SimulateOpts(tr, cfg, SimOptions{})
+}
+
+// SimulateOpts is Simulate with cancellation, fault injection and
+// recovery-protocol validation attached.
+func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(tr.Insts) == 0 {
 		return nil, fmt.Errorf("cpu: empty trace %q", tr.Name)
 	}
+	l1, err := cache.New(cache.L1Config(cfg.L1Ports, cfg.L1Latency))
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cache.L2Config())
+	if err != nil {
+		return nil, err
+	}
 	s := &simulator{
-		cfg: cfg,
-		tr:  tr,
-		res: &Result{Config: cfg, Name: tr.Name},
-		rob: make([]robEntry, cfg.ROBSize),
-		l1:  cache.MustNew(cache.L1Config(cfg.L1Ports, cfg.L1Latency)),
-		l2:  cache.MustNew(cache.L2Config()),
+		cfg:  cfg,
+		tr:   tr,
+		res:  &Result{Config: cfg, Name: tr.Name},
+		rob:  make([]robEntry, cfg.ROBSize),
+		l1:   l1,
+		l2:   l2,
+		opts: opts,
 	}
 	if cfg.Decoupled() {
-		s.lvc = cache.MustNew(cache.LVCConfig(cfg.LVCPorts))
+		if s.lvc, err = cache.New(cache.LVCConfig(cfg.LVCPorts)); err != nil {
+			return nil, err
+		}
 	}
 	for i := range s.lastWriter {
 		s.lastWriter[i] = -1
@@ -190,8 +261,18 @@ func Simulate(tr *Trace, cfg Config) (*Result, error) {
 	idle := 0
 	for s.headSeq < total {
 		s.now++
-		c := s.commit()
-		s.processEvents()
+		if opts.Ctx != nil && s.now&0x3FFF == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cpu: simulate %s: %w", tr.Name, err)
+			}
+		}
+		c, err := s.commit()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.processEvents(); err != nil {
+			return nil, err
+		}
 		s.memScan()
 		i := s.issue()
 		d := s.dispatch()
@@ -217,35 +298,46 @@ func Simulate(tr *Trace, cfg Config) (*Result, error) {
 
 // commit retires up to the commit width of completed entries from the
 // ROB head.
-func (s *simulator) commit() int {
+func (s *simulator) commit() (int, error) {
 	n := 0
 	for n < s.cfg.IssueWidth && s.headSeq < s.tailSeq {
 		e := s.slot(s.headSeq)
 		if e.state != stDone {
 			break
 		}
+		var err error
 		switch e.queue {
 		case qLSQ:
-			s.lsq = popHead(s.lsq, s.headSeq)
+			s.lsq, err = popHead(s.lsq, s.headSeq)
 		case qLVAQ:
-			s.lvaq = popHead(s.lvaq, s.headSeq)
+			s.lvaq, err = popHead(s.lvaq, s.headSeq)
+		}
+		if err != nil {
+			return n, err
 		}
 		s.headSeq++
 		n++
 	}
-	return n
+	return n, nil
 }
 
-// popHead removes seq from the front of a program-ordered queue.
-func popHead(q []int64, seq int64) []int64 {
+// popHead removes seq from the front of a program-ordered queue. A
+// mismatched head means the simulator's queue bookkeeping is corrupt;
+// the wrapped ErrInvariant surfaces through Simulate's error return.
+func popHead(q []int64, seq int64) ([]int64, error) {
 	if len(q) == 0 || q[0] != seq {
-		panic("cpu: memory queue head out of order")
+		head := int64(-1)
+		if len(q) > 0 {
+			head = q[0]
+		}
+		return q, fmt.Errorf("%w: memory queue head %d, expected retiring seq %d",
+			ErrInvariant, head, seq)
 	}
 	copy(q, q[1:])
-	return q[:len(q)-1]
+	return q[:len(q)-1], nil
 }
 
-func (s *simulator) processEvents() {
+func (s *simulator) processEvents() error {
 	for len(s.events) > 0 && s.events[0].cycle <= s.now {
 		ev := heap.Pop(&s.events).(event)
 		e := s.slot(ev.seq)
@@ -259,13 +351,84 @@ func (s *simulator) processEvents() {
 			// address translation; a mismatch starts recovery and the
 			// access is re-steered to the correct pipeline.
 			if s.cfg.Decoupled() && ti.Mispredicted() {
-				s.res.ARPTMispredicts++
-				e.readyAt = s.now + int64(s.cfg.MispredictPenalty)
+				if err := s.recoverSteering(ev.seq, e, ti); err != nil {
+					return err
+				}
 			}
 			s.memPending = append(s.memPending, ev.seq)
 			s.pendDirty = true
 		}
 	}
+	return nil
+}
+
+// recoverSteering runs the misprediction-recovery state machine for one
+// wrong-queue dispatch: detect the mismatch at address translation,
+// cancel the entry from the mispredicted queue, and replay it into the
+// correct queue with the configured penalty before it may touch a cache
+// port. The destination queue may transiently exceed its size limit —
+// hardware reserves a recovery slot; dispatch still observes the limit,
+// so occupancy self-corrects.
+func (s *simulator) recoverSteering(seq int64, e *robEntry, ti *TraceInst) error {
+	s.res.ARPTMispredicts++
+	obs := s.opts.Recovery
+	if obs != nil {
+		if err := obs.Detect(seq); err != nil {
+			return err
+		}
+	}
+	from, to := &s.lsq, &s.lvaq
+	toQ := uint8(qLVAQ)
+	if e.queue == qLVAQ {
+		from, to = &s.lvaq, &s.lsq
+		toQ = qLSQ
+	}
+	var ok bool
+	if *from, ok = removeSeq(*from, seq); !ok {
+		return fmt.Errorf("%w: seq %d absent from its steering queue during recovery",
+			ErrInvariant, seq)
+	}
+	if obs != nil {
+		if err := obs.Cancel(seq); err != nil {
+			return err
+		}
+	}
+	*to = insertSeq(*to, seq)
+	e.queue = toQ
+	e.earlyAddr = !ti.IsLoad() &&
+		(ti.Flags&FlagEarlyAddr != 0 || (toQ == qLVAQ && s.cfg.FastForward))
+	e.readyAt = s.now + int64(s.cfg.MispredictPenalty)
+	s.res.Recoveries++
+	if obs != nil {
+		if err := obs.Replay(seq, s.cfg.MispredictPenalty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeSeq deletes seq from a program-ordered queue, reporting whether
+// it was present.
+func removeSeq(q []int64, seq int64) ([]int64, bool) {
+	for i, v := range q {
+		if v == seq {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1], true
+		}
+		if v > seq {
+			break
+		}
+	}
+	return q, false
+}
+
+// insertSeq adds seq to a program-ordered queue, keeping the order.
+func insertSeq(q []int64, seq int64) []int64 {
+	i := sort.Search(len(q), func(i int) bool { return q[i] >= seq })
+	q = append(q, 0)
+	copy(q[i+1:], q[i:])
+	q[i] = seq
+	return q
 }
 
 // finish marks an entry done and wakes its consumers.
@@ -343,21 +506,28 @@ func (s *simulator) memScan() {
 				continue
 			}
 		}
+		if toLVC && lvcPorts == 0 || !toLVC && l1Ports == 0 {
+			keep = append(keep, seq)
+			continue
+		}
+		grant := s.nGrant
+		s.nGrant++
+		if s.opts.Faults != nil && s.opts.Faults.PortDenied(grant, toLVC) {
+			// Injected port fault: the grant is withdrawn this cycle and
+			// the access retries later under a fresh grant ordinal.
+			keep = append(keep, seq)
+			continue
+		}
 		if toLVC {
-			if lvcPorts == 0 {
-				keep = append(keep, seq)
-				continue
-			}
 			lvcPorts--
 		} else {
-			if l1Ports == 0 {
-				keep = append(keep, seq)
-				continue
-			}
 			l1Ports--
 		}
 		lat := s.accessLatency(ti.Addr, !ti.IsLoad(), toLVC)
 		if ti.IsLoad() {
+			if s.opts.Faults != nil {
+				lat += s.opts.Faults.ExtraLatency(grant)
+			}
 			s.schedule(evComplete, seq, s.now+int64(lat))
 		} else {
 			// Stores complete into the write buffer once they own a

@@ -16,7 +16,9 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -102,6 +104,39 @@ type TraceOptions struct {
 	// bypassing the classifier — the contamination-free upper bound for
 	// steering-policy ablations.
 	PerfectSteering bool
+
+	// Ctx cancels trace generation cooperatively: it is checked every
+	// few thousand instructions and surfaces (wrapped) through the
+	// returned error, so a per-workload watchdog deadline aborts the
+	// functional pre-pass cleanly. Nil means no cancellation.
+	Ctx context.Context
+
+	// SteerFault perturbs the steering prediction of the n-th dynamic
+	// memory reference (0-based) after the classifier has produced
+	// pred. It is the trace-level fault-injection hook: forced
+	// mispredictions and predictor-state corruption enter here. The
+	// hook must be deterministic; nil injects nothing.
+	SteerFault func(ref uint64, pred core.Prediction) core.Prediction
+
+	// VMFault is installed as the functional machine's FaultHook (see
+	// vm.Machine.FaultHook): a non-nil return from it aborts trace
+	// generation with a vm.FaultError. Nil injects nothing.
+	VMFault func(seq uint64, pc uint32) error
+
+	// Observer, when non-nil, receives every retired vm.Event after it
+	// has been folded into the trace — the differential-validation tap
+	// used to digest the architectural instruction stream of a faulted
+	// trace build without a second functional run.
+	Observer func(ev vm.Event)
+
+	// Final, when non-nil, is called once with the functional machine
+	// after a successful build, so callers can digest final
+	// architectural state (registers, memory, exit code).
+	Final func(m *vm.Machine)
+
+	// Out receives program output from the functional run (nil
+	// discards it).
+	Out io.Writer
 }
 
 // valuePredictor is the Table 4 stride-based register value predictor.
@@ -152,7 +187,7 @@ func depReg(r isa.Register, fp bool) int8 {
 
 // BuildTrace runs program p functionally and produces its timing trace.
 func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
-	m, err := vm.New(p, nil)
+	m, err := vm.New(p, opts.Out)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +196,20 @@ func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
 		limit = vm.DefaultMaxInsts
 	}
 	m.MaxInsts = limit + 1 // the loop below truncates before the VM faults
+	if opts.Ctx != nil || opts.VMFault != nil {
+		ctx, vmFault := opts.Ctx, opts.VMFault
+		m.FaultHook = func(seq uint64, pc uint32) error {
+			if ctx != nil && seq&0x3FF == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if vmFault != nil {
+				return vmFault(seq, pc)
+			}
+			return nil
+		}
+	}
 	cls := opts.Classifier
 	if cls == nil {
 		cfg := core.DefaultPipelineConfig()
@@ -174,6 +223,7 @@ func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
 	tr := &Trace{Name: p.Name}
 	var vp valuePredictor
 	var ctx core.Context
+	var memRef uint64 // dynamic memory-reference ordinal for SteerFault
 
 	observe := func(ev vm.Event) {
 		in := ev.Inst
@@ -224,18 +274,21 @@ func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
 			if actual == core.PredictStack {
 				ti.Flags |= FlagStack
 			}
+			var pred core.Prediction
 			if opts.PerfectSteering {
-				if actual == core.PredictStack {
-					ti.Flags |= FlagPredStack
-				}
+				pred = actual
 				cls.Stats.Total++
 				cls.Stats.Correct++
 			} else {
 				ctx.CID = m.Reg(isa.RA)
-				pred := cls.Classify(ev.Index, ev.PC, in, ctx, actual)
-				if pred == core.PredictStack {
-					ti.Flags |= FlagPredStack
-				}
+				pred = cls.Classify(ev.Index, ev.PC, in, ctx, actual)
+			}
+			if opts.SteerFault != nil {
+				pred = opts.SteerFault(memRef, pred)
+			}
+			memRef++
+			if pred == core.PredictStack {
+				ti.Flags |= FlagPredStack
 			}
 		}
 		if in.IsBranch() {
@@ -258,8 +311,14 @@ func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
 			return nil, fmt.Errorf("cpu: trace generation: %w", err)
 		}
 		observe(ev)
+		if opts.Observer != nil {
+			opts.Observer(ev)
+		}
 	}
 	tr.PredictorStats = cls.Stats
+	if opts.Final != nil {
+		opts.Final(m)
+	}
 	return tr, nil
 }
 

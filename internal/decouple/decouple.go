@@ -141,9 +141,14 @@ func ComparePoliciesReusing(p *prog.Program, pr *profile.Profile, maxInsts uint6
 				return nil, err
 			}
 		}
-		res, err := cpu.Simulate(tr, cfg)
+		rec := NewRecovery()
+		res, err := cpu.SimulateOpts(tr, cfg, cpu.SimOptions{Recovery: rec})
 		if err != nil {
 			return nil, err
+		}
+		if !rec.Complete() {
+			return nil, fmt.Errorf("decouple: %s/%s: %d recoveries left incomplete",
+				tr.Name, pol, rec.Outstanding())
 		}
 		out = append(out, PolicyResult{
 			Policy:      pol,

@@ -1,0 +1,119 @@
+package decouple
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// recoveryState is the per-instruction position in the misprediction
+// recovery protocol.
+type recoveryState uint8
+
+const (
+	recIdle recoveryState = iota // never mispredicted
+	recDetected
+	recCancelled
+	recReplayed
+)
+
+func (s recoveryState) String() string {
+	switch s {
+	case recIdle:
+		return "idle"
+	case recDetected:
+		return "detected"
+	case recCancelled:
+		return "cancelled"
+	case recReplayed:
+		return "replayed"
+	}
+	return fmt.Sprintf("recoveryState(%d)", uint8(s))
+}
+
+// Recovery is the explicit ARPT misprediction-recovery state machine:
+// each mispredicted instruction must move detect → cancel → replay, in
+// that order, exactly once. It implements cpu.RecoveryObserver, so
+// attaching it to a simulation (SimOptions.Recovery) turns any protocol
+// violation — a cancel without a detect, a double replay, a skipped
+// cancel — into a hard simulation error instead of a silently
+// mis-modelled penalty. After the run, Complete reports whether every
+// detected recovery finished.
+type Recovery struct {
+	states map[int64]recoveryState
+
+	Detects  uint64
+	Cancels  uint64
+	Replays  uint64
+	MaxPen   int // largest replay penalty seen, cycles
+	TotalPen uint64
+}
+
+var _ cpu.RecoveryObserver = (*Recovery)(nil)
+
+// NewRecovery builds an empty state machine.
+func NewRecovery() *Recovery {
+	return &Recovery{states: make(map[int64]recoveryState)}
+}
+
+func (r *Recovery) transition(seq int64, from, to recoveryState) error {
+	if got := r.states[seq]; got != from {
+		return fmt.Errorf("decouple: recovery protocol violated for seq %d: %s while %s (want %s)",
+			seq, to, got, from)
+	}
+	r.states[seq] = to
+	return nil
+}
+
+// Detect witnesses the address-translation stage flagging a wrong-queue
+// dispatch.
+func (r *Recovery) Detect(seq int64) error {
+	if err := r.transition(seq, recIdle, recDetected); err != nil {
+		return err
+	}
+	r.Detects++
+	return nil
+}
+
+// Cancel witnesses the entry leaving its mispredicted queue.
+func (r *Recovery) Cancel(seq int64) error {
+	if err := r.transition(seq, recDetected, recCancelled); err != nil {
+		return err
+	}
+	r.Cancels++
+	return nil
+}
+
+// Replay witnesses the entry re-entering the correct queue with its
+// recovery penalty applied.
+func (r *Recovery) Replay(seq int64, penalty int) error {
+	if penalty < 0 {
+		return fmt.Errorf("decouple: negative recovery penalty %d for seq %d", penalty, seq)
+	}
+	if err := r.transition(seq, recCancelled, recReplayed); err != nil {
+		return err
+	}
+	r.Replays++
+	r.TotalPen += uint64(penalty)
+	if penalty > r.MaxPen {
+		r.MaxPen = penalty
+	}
+	return nil
+}
+
+// Outstanding reports how many detected recoveries have not replayed.
+func (r *Recovery) Outstanding() int {
+	n := 0
+	for _, st := range r.states {
+		if st != recReplayed {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether every detected recovery ran the full
+// detect → cancel → replay sequence.
+func (r *Recovery) Complete() bool {
+	return r.Outstanding() == 0 && r.Detects == r.Cancels && r.Cancels == r.Replays
+}

@@ -1,0 +1,153 @@
+package decouple
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func TestRecoveryProtocolOrder(t *testing.T) {
+	r := NewRecovery()
+	if err := r.Detect(5); err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if err := r.Cancel(5); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if err := r.Replay(5, 3); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !r.Complete() {
+		t.Fatalf("Complete = false after full sequence")
+	}
+	if r.Detects != 1 || r.Cancels != 1 || r.Replays != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/1/1", r.Detects, r.Cancels, r.Replays)
+	}
+	if r.TotalPen != 3 || r.MaxPen != 3 {
+		t.Fatalf("penalty accounting = total %d max %d, want 3/3", r.TotalPen, r.MaxPen)
+	}
+}
+
+func TestRecoveryProtocolViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(r *Recovery) error
+	}{
+		{"cancel without detect", func(r *Recovery) error { return r.Cancel(1) }},
+		{"replay without cancel", func(r *Recovery) error {
+			if err := r.Detect(1); err != nil {
+				return err
+			}
+			return r.Replay(1, 2)
+		}},
+		{"double detect", func(r *Recovery) error {
+			if err := r.Detect(1); err != nil {
+				return err
+			}
+			return r.Detect(1)
+		}},
+		{"double replay", func(r *Recovery) error {
+			if err := r.Detect(1); err != nil {
+				return err
+			}
+			if err := r.Cancel(1); err != nil {
+				return err
+			}
+			if err := r.Replay(1, 0); err != nil {
+				return err
+			}
+			return r.Replay(1, 0)
+		}},
+		{"negative penalty", func(r *Recovery) error {
+			if err := r.Detect(1); err != nil {
+				return err
+			}
+			if err := r.Cancel(1); err != nil {
+				return err
+			}
+			return r.Replay(1, -1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRecovery()
+			if err := tc.run(r); err == nil {
+				t.Fatalf("protocol violation not rejected")
+			}
+		})
+	}
+}
+
+func TestRecoveryOutstanding(t *testing.T) {
+	r := NewRecovery()
+	if err := r.Detect(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Detect(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Replay(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding = %d, want 1", got)
+	}
+	if r.Complete() {
+		t.Fatalf("Complete = true with a recovery outstanding")
+	}
+}
+
+// TestSimulationDrivesRecovery runs a real workload through the
+// decoupled machine with the state machine attached: the simulator must
+// complete every recovery, and completed recoveries must equal the
+// misprediction count it reports.
+func TestSimulationDrivesRecovery(t *testing.T) {
+	w, ok := workload.ByName("go")
+	if !ok {
+		t.Fatal("workload go not found")
+	}
+	p, err := w.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecovery()
+	res, err := cpu.SimulateOpts(tr, cpu.Decoupled(3, 3), cpu.SimOptions{Recovery: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Complete() {
+		t.Fatalf("%d recoveries incomplete after simulation", rec.Outstanding())
+	}
+	if rec.Replays != res.ARPTMispredicts {
+		t.Fatalf("replays %d != reported mispredicts %d", rec.Replays, res.ARPTMispredicts)
+	}
+	if res.Recoveries != res.ARPTMispredicts {
+		t.Fatalf("Result.Recoveries %d != ARPTMispredicts %d", res.Recoveries, res.ARPTMispredicts)
+	}
+	if res.ARPTMispredicts == 0 {
+		t.Fatalf("expected the ARPT to mispredict at least once on 099.go")
+	}
+}
+
+func TestRecoveryStateString(t *testing.T) {
+	for st, want := range map[recoveryState]string{
+		recIdle: "idle", recDetected: "detected",
+		recCancelled: "cancelled", recReplayed: "replayed",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("state %d String = %q, want %q", st, got, want)
+		}
+	}
+	if !strings.HasPrefix(recoveryState(9).String(), "recoveryState(") {
+		t.Fatalf("unknown state String = %q", recoveryState(9).String())
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/decouple"
+	"repro/internal/faultinject"
+)
+
+// StormRow is one cell of E15: the (3+3) machine riding out an
+// injected misprediction storm at one (rate, penalty) point. Speedup
+// is against the unstormed (2+0) baseline, so the row reads as "how
+// much of the decoupling win survives when steering degrades this
+// badly and recovery costs this much".
+type StormRow struct {
+	Name        string
+	Rate        float64 // per-reference misprediction injection probability
+	Penalty     int     // recovery penalty, cycles
+	Speedup     float64 // vs the unstormed (2+0) baseline
+	IPC         float64
+	Mispredicts uint64
+	Recoveries  uint64
+}
+
+// RecoveryStorm runs E15: for every workload and storm rate it builds
+// a trace whose steering predictions are inverted with probability
+// rate (deterministic in seed; see faultinject.Storm), then simulates
+// the (3+3) machine across the recovery penalties with the full
+// detect→cancel→replay protocol validated. One stormed trace is built
+// per (workload, rate) and shared read-only by all penalty points.
+func (r *Runner) RecoveryStorm(seed uint64, rates []float64, penalties []int) ([]StormRow, error) {
+	if len(rates) == 0 || len(penalties) == 0 {
+		return nil, nil
+	}
+	nr, np := len(rates), len(penalties)
+	rows := make([]StormRow, len(r.Workloads)*nr*np)
+	err := r.parallelDo(len(r.Workloads)*nr, func(i int) error {
+		w, rate := r.Workloads[i/nr], rates[i%nr]
+		err := func() error {
+			p, err := r.Program(w)
+			if err != nil {
+				return err
+			}
+			base, err := r.SimulateConfig(w, cpu.Conventional(2, 2))
+			if err != nil {
+				return err
+			}
+			ctx, cancel, watched := r.stageCtx()
+			defer cancel()
+			r.logf("storming %s at rate %.3f ...", w.Name, rate)
+			opts := cpu.TraceOptions{
+				MaxInsts:   r.MaxInsts,
+				SteerFault: faultinject.Storm(seed, rate),
+			}
+			if watched {
+				opts.Ctx = ctx
+			}
+			tr, err := cpu.BuildTrace(p, opts)
+			if err != nil {
+				return &WorkloadError{Workload: w.Name, Stage: "storm trace", Err: err}
+			}
+			for pi, pen := range penalties {
+				cfg := cpu.Decoupled(3, 3)
+				cfg.MispredictPenalty = pen
+				rec := decouple.NewRecovery()
+				simOpts := cpu.SimOptions{Recovery: rec}
+				if watched {
+					simOpts.Ctx = ctx
+				}
+				res, err := cpu.SimulateOpts(tr, cfg, simOpts)
+				if err != nil {
+					return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+				}
+				if !rec.Complete() {
+					return &WorkloadError{Workload: w.Name, Stage: "storm simulate",
+						Err: fmt.Errorf("%d recoveries incomplete", rec.Outstanding())}
+				}
+				rows[i*np+pi] = StormRow{
+					Name: w.Name, Rate: rate, Penalty: pen,
+					Speedup:     res.Speedup(base),
+					IPC:         res.IPC(),
+					Mispredicts: res.ARPTMispredicts,
+					Recoveries:  res.Recoveries,
+				}
+			}
+			return nil
+		}()
+		if err != nil && r.degraded(err) {
+			return nil // the workload's rows stay zero; filtered below
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := rows[:0]
+	for _, row := range rows {
+		if row.Name != "" {
+			kept = append(kept, row)
+		}
+	}
+	return kept, nil
+}

@@ -164,7 +164,10 @@ func (r *Runner) LVCHitRate() ([]LVCRow, error) {
 			limit = vm.DefaultMaxInsts
 		}
 		m.MaxInsts = limit + 1
-		lvc := cache.MustNew(cache.LVCConfig(1))
+		lvc, err := cache.New(cache.LVCConfig(1))
+		if err != nil {
+			return LVCRow{}, err
+		}
 		for !m.Halted() && m.Seq() < limit {
 			ev, err := m.Step()
 			if err != nil {

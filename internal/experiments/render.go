@@ -218,6 +218,38 @@ func RenderPenaltySweep(rows []PenaltyRow) string {
 	return b.String()
 }
 
+// RenderRecoveryStorm prints E15 grouped by workload, one line per
+// (rate, penalty) point.
+func RenderRecoveryStorm(rows []StormRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E15. (3+3) under injected misprediction storms (speedup vs unstormed (2+0))\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %10s %8s %12s %12s\n",
+		"Benchmark", "rate", "penalty", "speedup", "IPC", "mispredicts", "recoveries")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.3f %8d %10.3f %8.2f %12d %12d\n",
+			r.Name, r.Rate, r.Penalty, r.Speedup, r.IPC, r.Mispredicts, r.Recoveries)
+	}
+	return b.String()
+}
+
+// RenderWorkloadErrors prints the failures a degraded batch recorded;
+// empty input renders nothing.
+func RenderWorkloadErrors(errs []*WorkloadError) string {
+	if len(errs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Workload errors (batch degraded; rows above omit these)\n")
+	for _, e := range errs {
+		kind := "error"
+		if e.Timeout() {
+			kind = "timeout"
+		}
+		fmt.Fprintf(&b, "  %-14s %-18s %-8s %v\n", e.Workload, e.Stage, kind, e.Err)
+	}
+	return b.String()
+}
+
 // RenderStaticHints prints E14: the binary-level analyzer as a hint
 // source, against the source-level Fig. 6 hints and the oracle.
 func RenderStaticHints(rows []StaticHintRow) string {

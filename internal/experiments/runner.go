@@ -13,16 +13,43 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/workload"
 )
+
+// WorkloadError is one workload's failure inside an experiment batch:
+// which workload, which pipeline stage (compile, profile, trace,
+// simulate), and the underlying cause. With Runner.Degrade set,
+// drivers record these and drop the workload's rows instead of
+// aborting the whole batch.
+type WorkloadError struct {
+	Workload string
+	Stage    string
+	Err      error
+}
+
+func (e *WorkloadError) Error() string {
+	return fmt.Sprintf("%s: %s: %v", e.Workload, e.Stage, e.Err)
+}
+
+func (e *WorkloadError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the failure was a watchdog expiry or
+// cancellation rather than a genuine workload defect.
+func (e *WorkloadError) Timeout() bool {
+	return errors.Is(e.Err, context.DeadlineExceeded) || errors.Is(e.Err, context.Canceled)
+}
 
 // Runner holds the shared setup for a batch of experiments.
 type Runner struct {
@@ -41,11 +68,26 @@ type Runner struct {
 	// independent of the pool size.
 	Parallel int
 
+	// Ctx, when non-nil, cancels all outstanding work when it ends;
+	// functional runs and simulations poll it cooperatively.
+	Ctx context.Context
+	// WorkloadTimeout, when positive, is the per-stage watchdog: each
+	// profile, trace build, and simulation of one workload gets its
+	// own deadline, so a single wedged workload cannot stall a batch.
+	WorkloadTimeout time.Duration
+	// Degrade turns per-workload failures into recorded
+	// WorkloadErrors (see Errors) instead of batch aborts; drivers
+	// then report the surviving workloads.
+	Degrade bool
+
 	logMu    sync.Mutex
 	programs memo[*prog.Program]
 	profiles memo[*profile.Profile]
 	traces   memo[*cpu.Trace]
 	results  memo[*cpu.Result]
+
+	errMu  sync.Mutex
+	wlErrs []*WorkloadError
 }
 
 // NewRunner returns a Runner over all twelve workloads.
@@ -100,10 +142,75 @@ func (c *memo[T]) len() int {
 	return len(c.m)
 }
 
+// stageCtx derives the context for one workload pipeline stage: the
+// runner context (Background when unset) bounded by the per-workload
+// watchdog. watched reports whether cooperative cancellation is worth
+// installing at all.
+func (r *Runner) stageCtx() (ctx context.Context, cancel context.CancelFunc, watched bool) {
+	ctx = r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.WorkloadTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.WorkloadTimeout)
+		return ctx, cancel, true
+	}
+	return ctx, func() {}, r.Ctx != nil
+}
+
+// record stores one degraded workload failure (once per
+// workload/stage; memoized errors are sticky, so many drivers may
+// observe the same failure).
+func (r *Runner) record(we *WorkloadError) {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	for _, old := range r.wlErrs {
+		if old.Workload == we.Workload && old.Stage == we.Stage {
+			return
+		}
+	}
+	r.wlErrs = append(r.wlErrs, we)
+}
+
+// Errors reports the workload failures recorded while degrading,
+// sorted by workload then stage. Empty means every requested row was
+// produced.
+func (r *Runner) Errors() []*WorkloadError {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	out := append([]*WorkloadError(nil), r.wlErrs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// degraded absorbs err as a recorded workload failure when the runner
+// is degrading, reporting whether the caller should skip the workload
+// instead of failing the batch.
+func (r *Runner) degraded(err error) bool {
+	if !r.Degrade {
+		return false
+	}
+	var we *WorkloadError
+	if !errors.As(err, &we) {
+		return false
+	}
+	r.record(we)
+	return true
+}
+
 // Program compiles (and memoizes) one workload.
 func (r *Runner) Program(w *workload.Workload) (*prog.Program, error) {
 	return r.programs.get(w.Name, func() (*prog.Program, error) {
-		return w.Compile(r.Scale)
+		p, err := w.Compile(r.Scale)
+		if err != nil {
+			return nil, &WorkloadError{Workload: w.Name, Stage: "compile", Err: err}
+		}
+		return p, nil
 	})
 }
 
@@ -116,9 +223,11 @@ func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
 			return nil, err
 		}
 		r.logf("profiling %s ...", w.Name)
-		pr, err := profile.Run(p, r.MaxInsts, nil)
+		ctx, cancel, _ := r.stageCtx()
+		defer cancel()
+		pr, err := profile.RunContext(ctx, p, r.MaxInsts, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, &WorkloadError{Workload: w.Name, Stage: "profile", Err: err}
 		}
 		return pr, nil
 	})
@@ -136,9 +245,15 @@ func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 			return nil, err
 		}
 		r.logf("tracing %s ...", w.Name)
-		tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: r.MaxInsts})
+		ctx, cancel, watched := r.stageCtx()
+		defer cancel()
+		opts := cpu.TraceOptions{MaxInsts: r.MaxInsts}
+		if watched {
+			opts.Ctx = ctx
+		}
+		tr, err := cpu.BuildTrace(p, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, &WorkloadError{Workload: w.Name, Stage: "trace", Err: err}
 		}
 		return tr, nil
 	})
@@ -157,9 +272,16 @@ func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Resu
 			return nil, err
 		}
 		r.logf("  %s %s ...", w.Name, cfg.Name)
-		res, err := cpu.Simulate(tr, cfg)
+		ctx, cancel, watched := r.stageCtx()
+		defer cancel()
+		var opts cpu.SimOptions
+		if watched {
+			opts.Ctx = ctx
+		}
+		res, err := cpu.SimulateOpts(tr, cfg, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", w.Name, cfg.Name, err)
+			return nil, &WorkloadError{Workload: w.Name,
+				Stage: "simulate " + cfg.Name, Err: err}
 		}
 		return res, nil
 	})
@@ -212,12 +334,18 @@ func (r *Runner) parallelDo(n int, fn func(i int) error) error {
 }
 
 // forEach runs f over the runner's workloads on the worker pool,
-// collecting results in workload order.
+// collecting results in workload order. While degrading, failed
+// workloads are recorded (see Errors) and their rows dropped.
 func forEach[T any](r *Runner, f func(w *workload.Workload) (T, error)) ([]T, error) {
 	out := make([]T, len(r.Workloads))
+	skip := make([]bool, len(r.Workloads))
 	err := r.parallelDo(len(r.Workloads), func(i int) error {
 		v, err := f(r.Workloads[i])
 		if err != nil {
+			if r.degraded(err) {
+				skip[i] = true
+				return nil
+			}
 			return err
 		}
 		out[i] = v
@@ -226,5 +354,11 @@ func forEach[T any](r *Runner, f func(w *workload.Workload) (T, error)) ([]T, er
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	kept := make([]T, 0, len(out))
+	for i := range out {
+		if !skip[i] {
+			kept = append(kept, out[i])
+		}
+	}
+	return kept, nil
 }

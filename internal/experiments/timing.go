@@ -42,6 +42,9 @@ func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 	err := r.parallelDo(len(results), func(i int) error {
 		res, err := r.SimulateConfig(r.Workloads[i/nc], configs[i%nc])
 		if err != nil {
+			if r.degraded(err) {
+				return nil // results[i] stays nil; the row is dropped
+			}
 			return err
 		}
 		results[i] = res
@@ -52,6 +55,9 @@ func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 	}
 	rows := make([]Figure8Row, 0, len(r.Workloads))
 	for wi, w := range r.Workloads {
+		if degradedRow(results[wi*nc : (wi+1)*nc]) {
+			continue
+		}
 		row := Figure8Row{
 			Name:        w.Name,
 			Speedup:     make(map[string]float64, nc),
@@ -125,24 +131,43 @@ func (r *Runner) PenaltySweep(penalties []int) ([]PenaltyRow, error) {
 	err := r.parallelDo(len(rows), func(i int) error {
 		w, pen := r.Workloads[i/np], penalties[i%np]
 		base, err := r.SimulateConfig(w, cpu.Conventional(2, 2))
-		if err != nil {
-			return err
+		if err == nil {
+			cfg := cpu.Decoupled(3, 3)
+			cfg.MispredictPenalty = pen
+			var res *cpu.Result
+			if res, err = r.SimulateConfig(w, cfg); err == nil {
+				rows[i] = PenaltyRow{
+					Name: w.Name, Penalty: pen,
+					Speedup:     res.Speedup(base),
+					Mispredicts: res.ARPTMispredicts,
+				}
+				return nil
+			}
 		}
-		cfg := cpu.Decoupled(3, 3)
-		cfg.MispredictPenalty = pen
-		res, err := r.SimulateConfig(w, cfg)
-		if err != nil {
-			return err
+		if r.degraded(err) {
+			return nil // rows[i] stays zero; filtered below
 		}
-		rows[i] = PenaltyRow{
-			Name: w.Name, Penalty: pen,
-			Speedup:     res.Speedup(base),
-			Mispredicts: res.ARPTMispredicts,
-		}
-		return nil
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	return rows, nil
+	kept := rows[:0]
+	for _, row := range rows {
+		if row.Name != "" {
+			kept = append(kept, row)
+		}
+	}
+	return kept, nil
+}
+
+// degradedRow reports whether any cell of one workload's result row
+// was dropped by degradation.
+func degradedRow(results []*cpu.Result) bool {
+	for _, res := range results {
+		if res == nil {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// fnv64 is an FNV-1a 64-bit accumulator.
+type fnv64 uint64
+
+const (
+	fnvOffset64 fnv64 = 14695981039346656037
+	fnvPrime64  fnv64 = 1099511628211
+)
+
+func (h *fnv64) byte(b byte) { *h = (*h ^ fnv64(b)) * fnvPrime64 }
+
+func (h *fnv64) u32(v uint32) {
+	for s := 0; s < 32; s += 8 {
+		h.byte(byte(v >> s))
+	}
+}
+
+// ArchDigest summarizes every architectural outcome of one functional
+// run: the retired-instruction stream (PCs, control flow, effective
+// addresses), the final register file, the final memory image, the
+// program's output bytes, and the exit code. Two runs are
+// architecturally identical iff their digests are equal — the
+// invariant the differential harness checks for every timing-level
+// fault.
+type ArchDigest struct {
+	Insts  uint64
+	Stream uint64
+	Regs   uint64
+	Mem    uint64
+	Out    uint64
+	Exit   int
+}
+
+// Diff describes the first differing component against a golden
+// digest, or "" when equal.
+func (d ArchDigest) Diff(golden ArchDigest) string {
+	switch {
+	case d == golden:
+		return ""
+	case d.Insts != golden.Insts:
+		return fmt.Sprintf("retired %d instructions, golden retired %d", d.Insts, golden.Insts)
+	case d.Stream != golden.Stream:
+		return "retired-instruction stream diverged"
+	case d.Regs != golden.Regs:
+		return "final register state diverged"
+	case d.Mem != golden.Mem:
+		return "final memory image diverged"
+	case d.Out != golden.Out:
+		return "program output diverged"
+	default:
+		return fmt.Sprintf("exit code %d, golden %d", d.Exit, golden.Exit)
+	}
+}
+
+// digester folds a functional run into an ArchDigest. Feed observe to
+// the VM step loop (or cpu.TraceOptions.Observer), point the program's
+// output at out(), and call final once the machine stops.
+type digester struct {
+	stream  fnv64
+	outh    fnv64
+	insts   uint64
+	memRefs uint64
+}
+
+func newDigester() *digester {
+	return &digester{stream: fnvOffset64, outh: fnvOffset64}
+}
+
+func (d *digester) observe(ev vm.Event) {
+	d.insts++
+	d.stream.u32(ev.PC)
+	d.stream.u32(ev.NextPC)
+	if ev.Inst.IsMem() {
+		d.memRefs++
+		d.stream.u32(ev.MemAddr)
+		d.stream.byte(byte(ev.MemSize))
+	}
+	if ev.Taken {
+		d.stream.byte(1)
+	} else {
+		d.stream.byte(0)
+	}
+}
+
+func (d *digester) Write(p []byte) (int, error) {
+	for _, b := range p {
+		d.outh.byte(b)
+	}
+	return len(p), nil
+}
+
+func (d *digester) final(m *vm.Machine) ArchDigest {
+	regs := fnvOffset64
+	for r := 0; r < isa.NumRegs; r++ {
+		regs.u32(m.Reg(isa.Register(r)))
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		regs.u32(math.Float32bits(m.FReg(isa.Register(r))))
+	}
+	return ArchDigest{
+		Insts:  d.insts,
+		Stream: uint64(d.stream),
+		Regs:   uint64(regs),
+		Mem:    m.Mem.Hash64(),
+		Out:    uint64(d.outh),
+		Exit:   m.ExitCode(),
+	}
+}

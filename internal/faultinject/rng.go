@@ -1,0 +1,35 @@
+package faultinject
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike math/rand's
+// global state — a pure function of its seed, which is what makes every
+// fault plan byte-for-byte reproducible from a single uint64.
+type rng struct{ state uint64 }
+
+const golden64 = 0x9E3779B97F4A7C15
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += golden64
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n); n == 0 yields 0. The slight modulo
+// bias is irrelevant for fault placement.
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// mix hashes (seed, i) into an independent derived value — used both to
+// derive per-run plan seeds from a campaign seed and to make per-event
+// decisions in Storm without any sequential generator state.
+func mix(seed, i uint64) uint64 {
+	r := rng{state: seed ^ (i+1)*golden64}
+	return r.next()
+}

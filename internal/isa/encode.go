@@ -61,17 +61,6 @@ func Encode(in Inst) (uint32, error) {
 	return w, nil
 }
 
-// MustEncode is Encode for instructions known to be well-formed; it
-// panics on error and is intended for compiler/assembler internals and
-// tests.
-func MustEncode(in Inst) uint32 {
-	w, err := Encode(in)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // Decode unpacks a 32-bit word into an instruction.
 func Decode(w uint32) (Inst, error) {
 	op := Op(w >> opShift)

@@ -9,7 +9,10 @@
 // bytes.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PageBits is log2 of the page size. 4 KB pages match the TLB model.
 const PageBits = 12
@@ -50,6 +53,33 @@ func (m *Memory) Pages() int { return len(m.pages) }
 
 // Footprint reports the total bytes of allocated pages.
 func (m *Memory) Footprint() int { return len(m.pages) * PageSize }
+
+// Hash64 returns a 64-bit FNV-1a digest over every touched page, in
+// ascending address order, mixing in each page's base address. Two
+// runs of the same program touch the same pages in the same state, so
+// equal digests mean byte-identical memory images — the comparison
+// the differential fault-injection harness relies on.
+func (m *Memory) Hash64() uint64 {
+	nums := make([]uint32, 0, len(m.pages))
+	for n := range m.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, n := range nums {
+		for s := 0; s < 32; s += 8 {
+			h = (h ^ uint64(n>>s&0xFF)) * prime64
+		}
+		for _, b := range m.pages[n] {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
 
 func (m *Memory) page(addr uint32) *[PageSize]byte {
 	num := addr >> PageBits

@@ -1,0 +1,37 @@
+// Fuzz targets live in an external test package so they can seed the
+// corpus from the workload sources without a workload -> minicc import
+// cycle.
+package minicc_test
+
+import (
+	"testing"
+
+	"repro/internal/minicc"
+	"repro/internal/workload"
+)
+
+// FuzzCompile drives the full lexer -> parser -> checker -> codegen
+// path on arbitrary source: it must either compile or return an error,
+// never panic.
+func FuzzCompile(f *testing.F) {
+	for _, w := range workload.All() {
+		f.Add(w.Source(1))
+	}
+	f.Add("int main() { return 42; }")
+	f.Add("int g[10]; int main() { int i; for (i = 0; i < 10; i = i + 1) g[i] = i; return g[3]; }")
+	f.Add("float f(float x) { return x * 2.0; } int main() { return (int)f(1.5); }")
+	f.Add("int main() { /* unterminated")
+	f.Add("int main() { '\\") // unterminated escape at EOF (regression)
+	f.Add("int main() { return \"str\"; }")
+	f.Add("struct s { int a; }; int main() { struct s v; v.a = 1; return v.a; }")
+	f.Add("int main() { int x = 0x; }")       // bad literal
+	f.Add("\x00\x01 int main()")              // binary garbage
+	f.Add("int if(int while) { return for }") // keywords as identifiers
+	f.Add("int main() { return ((((((1)))))); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := minicc.Compile("fuzz.c", src)
+		if err == nil && p == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}

@@ -215,6 +215,9 @@ func (l *lexer) next() (token, error) {
 		var v byte
 		cc := l.advance()
 		if cc == '\\' {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated escape")
+			}
 			e := l.advance()
 			switch e {
 			case 'n':

@@ -7,6 +7,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -69,6 +70,14 @@ type Profile struct {
 // Run profiles program p. maxInsts bounds execution (0 uses the VM
 // default); out receives program output (nil discards it).
 func Run(p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
+	return RunContext(context.Background(), p, maxInsts, out)
+}
+
+// RunContext is Run under a context: cancellation (or a watchdog
+// deadline) is checked every few thousand instructions and surfaces
+// as a vm.FaultError wrapping the context's error, so a hung or
+// oversized workload aborts cleanly instead of pinning the process.
+func RunContext(ctx context.Context, p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
 	m, err := vm.New(p, out)
 	if err != nil {
 		return nil, err
@@ -78,6 +87,14 @@ func Run(p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
 		limit = vm.DefaultMaxInsts
 	}
 	m.MaxInsts = limit + 1 // the loop below truncates before the VM faults
+	if ctx != nil && ctx != context.Background() {
+		m.FaultHook = func(seq uint64, _ uint32) error {
+			if seq&0x3FF == 0 {
+				return ctx.Err()
+			}
+			return nil
+		}
+	}
 
 	pr := &Profile{
 		Name:    p.Name,
@@ -94,7 +111,11 @@ func Run(p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
 		pr.Windows[i].Size = size
 		tracks[i].stat = &pr.Windows[i]
 		for r := 0; r < region.Count; r++ {
-			tracks[i].ws[r] = stats.NewWindow(size)
+			w, err := stats.NewWindow(size)
+			if err != nil {
+				return nil, fmt.Errorf("profile: %w", err)
+			}
+			tracks[i].ws[r] = w
 		}
 	}
 

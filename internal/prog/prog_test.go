@@ -28,7 +28,11 @@ func tiny(t *testing.T) *Program {
 	}
 	p.Words = make([]uint32, len(insts))
 	for i, in := range insts {
-		p.Words[i] = isa.MustEncode(in)
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		p.Words[i] = w
 	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("tiny program invalid: %v", err)

@@ -148,13 +148,13 @@ type Window struct {
 	warm  int
 }
 
-// NewWindow returns a sliding window over the last size events.
-// It panics if size is not positive.
-func NewWindow(size int) *Window {
+// NewWindow returns a sliding window over the last size events. It
+// returns an error if size is not positive.
+func NewWindow(size int) (*Window, error) {
 	if size <= 0 {
-		panic(fmt.Sprintf("stats: invalid window size %d", size))
+		return nil, fmt.Errorf("stats: invalid window size %d", size)
 	}
-	return &Window{size: size, ring: make([]bool, size)}
+	return &Window{size: size, ring: make([]bool, size)}, nil
 }
 
 // Size reports the window length.

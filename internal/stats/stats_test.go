@@ -93,7 +93,7 @@ func TestHist(t *testing.T) {
 }
 
 func TestWindowCounts(t *testing.T) {
-	w := NewWindow(4)
+	w := mustWindow(t, 4)
 	seq := []bool{true, false, true, true, false, false, false, false}
 	want := []int{1, 1, 2, 3, 2, 2, 1, 0}
 	for i, hit := range seq {
@@ -107,7 +107,7 @@ func TestWindowCounts(t *testing.T) {
 }
 
 func TestWindowWarmup(t *testing.T) {
-	w := NewWindow(3)
+	w := mustWindow(t, 3)
 	w.Step(true)
 	w.Step(true)
 	if w.Warm() {
@@ -119,13 +119,21 @@ func TestWindowWarmup(t *testing.T) {
 	}
 }
 
-func TestWindowPanicsOnBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewWindow(0) did not panic")
+func mustWindow(t *testing.T, size int) *Window {
+	t.Helper()
+	w, err := NewWindow(size)
+	if err != nil {
+		t.Fatalf("NewWindow(%d): %v", size, err)
+	}
+	return w
+}
+
+func TestWindowRejectsBadSize(t *testing.T) {
+	for _, size := range []int{0, -1, -100} {
+		if _, err := NewWindow(size); err == nil {
+			t.Errorf("NewWindow(%d) accepted", size)
 		}
-	}()
-	NewWindow(0)
+	}
 }
 
 // Property: window count is always in [0, size] and equals the number
@@ -133,7 +141,10 @@ func TestWindowPanicsOnBadSize(t *testing.T) {
 func TestWindowCountProperty(t *testing.T) {
 	f := func(bits []bool) bool {
 		const size = 8
-		w := NewWindow(size)
+		w, err := NewWindow(size)
+		if err != nil {
+			return false
+		}
 		for i, b := range bits {
 			got := w.Step(b)
 			lo := i - size + 1

@@ -7,6 +7,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -79,7 +80,19 @@ type Machine struct {
 
 	// MaxInsts bounds execution; Step returns an error past it.
 	MaxInsts uint64
+
+	// FaultHook, when non-nil, is consulted before every instruction
+	// with the dynamic instruction number and PC about to execute. A
+	// non-nil return aborts the step with a FaultError wrapping the
+	// returned error. This is the library's deterministic injection
+	// point: the fault-injection engine plants architectural memory
+	// faults here, and watchdogs plant context-cancellation checks.
+	FaultHook func(seq uint64, pc uint32) error
 }
+
+// ErrMaxInsts is wrapped by the FaultError a run returns when it
+// exhausts its instruction budget (the MaxInsts watchdog).
+var ErrMaxInsts = errors.New("instruction budget exhausted")
 
 // DefaultMaxInsts bounds a run when the caller does not override it.
 const DefaultMaxInsts = 200_000_000
@@ -149,7 +162,12 @@ func (m *Machine) Step() (Event, error) {
 		return Event{Done: true, Exit: m.exit, Seq: m.seq, PC: m.pc}, nil
 	}
 	if m.seq >= m.MaxInsts {
-		return m.fault(fmt.Errorf("instruction budget %d exhausted", m.MaxInsts))
+		return m.fault(fmt.Errorf("%w (budget %d)", ErrMaxInsts, m.MaxInsts))
+	}
+	if m.FaultHook != nil {
+		if err := m.FaultHook(m.seq, m.pc); err != nil {
+			return m.fault(err)
+		}
 	}
 	idx, ok := m.Prog.PC2Index(m.pc)
 	if !ok {
