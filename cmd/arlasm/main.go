@@ -14,21 +14,23 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cliutil"
 )
 
 func main() {
+	c := cliutil.New("arlasm")
 	dis := flag.Bool("d", false, "disassemble the text segment")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatalf("usage: arlasm [-d] file.s")
+		c.Fatalf("usage: arlasm [-d] file.s")
 	}
 	b, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
 	p, err := asm.Assemble(flag.Arg(0), string(b))
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
 	if !*dis {
 		fmt.Printf("%s: %d instructions, %d data bytes, %d symbols, entry %#x\n",
@@ -46,9 +48,4 @@ func main() {
 		}
 		fmt.Printf("  %08x:  %08x  %s\n", pc, p.Words[i], in)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlasm: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -17,24 +17,29 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/cliutil"
 	"repro/internal/minicc"
 	"repro/internal/prog"
 	"repro/internal/workload"
 )
 
 func main() {
+	c := cliutil.New("arlcc")
 	emitAsm := flag.Bool("S", false, "emit assembly instead of a summary")
 	out := flag.String("o", "", "output file (default stdout)")
 	wl := flag.String("workload", "", "compile a built-in workload instead of a file")
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
+	defer c.Finish(nil)
 
 	var name, src string
 	switch {
 	case *wl != "":
 		w, ok := workload.ByName(*wl)
 		if !ok {
-			fatalf("unknown workload %q", *wl)
+			c.Fatalf("unknown workload %q", *wl)
 		}
 		s := *scale
 		if s <= 0 {
@@ -44,16 +49,16 @@ func main() {
 	case flag.NArg() == 1:
 		b, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		name, src = flag.Arg(0), string(b)
 	default:
-		fatalf("usage: arlcc [-S] [-o out.s] file.c | arlcc -workload NAME")
+		c.Fatalf("usage: arlcc [-S] [-o out.s] file.c | arlcc -workload NAME")
 	}
 
 	text, err := minicc.CompileToAsm(name, src)
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
 	if *emitAsm {
 		if *out == "" {
@@ -61,13 +66,13 @@ func main() {
 			return
 		}
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		return
 	}
 	p, err := asm.Assemble(name, text)
 	if err != nil {
-		fatalf("internal: %v", err)
+		c.Fatalf("internal: %v", err)
 	}
 	summarize(p)
 }
@@ -89,9 +94,4 @@ func summarize(p *prog.Program) {
 	fmt.Printf("    hinted stack:    %d\n", hints[prog.HintStack])
 	fmt.Printf("    hinted nonstack: %d\n", hints[prog.HintNonStack])
 	fmt.Printf("    hinted unknown:  %d\n", hints[prog.HintUnknown])
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlcc: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/prog"
 	"repro/internal/static"
@@ -36,12 +37,16 @@ import (
 )
 
 func main() {
+	c := cliutil.New("arlcheck")
 	workloads := flag.Bool("workloads", false, "lint the twelve built-in workload programs")
 	hints := flag.Bool("hints", false, "with -workloads: verify binary hints against the dynamic trace")
 	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
 	maxInsts := flag.Uint64("n", 0, "truncate -hints runs (0 = full)")
 	quiet := flag.Bool("q", false, "suppress per-file OK lines")
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
+	defer c.Finish(nil)
 
 	if *hints {
 		*workloads = true

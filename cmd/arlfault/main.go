@@ -19,37 +19,33 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/cliutil"
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "campaign seed (same seed, same campaign, same output)")
+	c := cliutil.New("arlfault")
 	runs := flag.Int("campaign", 200, "fault runs per workload")
 	faults := flag.Int("faults", 6, "planned faults per run")
-	wl := flag.String("w", "", "restrict to one workload")
-	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
-	maxInsts := flag.Uint64("n", 30_000, "truncate runs (0 = full)")
-	par := flag.Int("parallel", 0, "workloads in flight (0 = all)")
+	c.WorkloadFlags(30_000)
+	c.SeedFlag(1)
+	flag.IntVar(&c.Parallel, "parallel", 0, "workloads in flight (0 = all)")
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
 	if *runs <= 0 || *faults <= 0 {
-		fatalf("-campaign and -faults must be positive")
+		c.Fatalf("-campaign and -faults must be positive")
 	}
 
-	workloads := workload.All()
-	if *wl != "" {
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatalf("unknown workload %q", *wl)
-		}
-		workloads = []*workload.Workload{w}
-	}
+	workloads := c.Workloads()
 	cfg := cpu.Decoupled(3, 3)
 
 	summaries := make([]*faultinject.Summary, len(workloads))
 	errs := make([]error, len(workloads))
-	workers := *par
+	workers := c.Parallel
 	if workers <= 0 || workers > len(workloads) {
 		workers = len(workloads)
 	}
@@ -61,24 +57,28 @@ func main() {
 		go func(i int, w *workload.Workload) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			p, err := w.Compile(*scale)
+			p, err := w.Compile(c.Scale)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			summaries[i], errs[i] = faultinject.RunCampaign(
-				p, w.Name, *seed, *runs, *faults, *maxInsts, cfg)
+				p, w.Name, c.Seed, *runs, *faults, c.MaxInsts, cfg)
 		}(i, w)
 	}
 	wg.Wait()
 
 	fmt.Printf("arlfault: differential fault campaign, seed=%d, %d runs x %d faults per workload, config %s\n\n",
-		*seed, *runs, *faults, cfg.Name)
+		c.Seed, *runs, *faults, cfg.Name)
+	var reg *obs.Registry
+	if c.MetricsPath != "" {
+		reg = obs.NewRegistry()
+	}
 	var totalRuns, fired, aborted, divergent int
 	var recoveries uint64
 	for i := range workloads {
 		if errs[i] != nil {
-			fatalf("%s: %v", workloads[i].Name, errs[i])
+			c.Fatalf("%s: %v", workloads[i].Name, errs[i])
 		}
 		s := summaries[i]
 		fmt.Print(s)
@@ -87,17 +87,21 @@ func main() {
 		aborted += s.Aborted
 		divergent += s.Divergent
 		recoveries += s.Recoveries
+		if reg != nil {
+			l := obs.Labels{"workload": s.Workload}
+			reg.Counter("fault_runs_total", "differential fault runs", l).Add(uint64(s.Runs))
+			reg.Counter("fault_fired_runs_total", "runs with at least one fired fault", l).Add(uint64(s.Fired))
+			reg.Counter("fault_aborts_total", "correctly-surfaced architectural aborts", l).Add(uint64(s.Aborted))
+			reg.Counter("fault_divergent_total", "invariant-breaking runs", l).Add(uint64(s.Divergent))
+			reg.Counter("fault_recoveries_total", "completed mispredict recoveries", l).Add(s.Recoveries)
+		}
 	}
 	fmt.Printf("\ntotal: %d runs, %d fired (%.1f%%), %d structured aborts, %d recoveries, %d divergences\n",
 		totalRuns, fired, 100*float64(fired)/float64(totalRuns), aborted, recoveries, divergent)
+	c.Finish(reg)
 	if divergent > 0 {
 		fmt.Println("FAIL: architectural divergence detected")
 		os.Exit(1)
 	}
 	fmt.Println("PASS: all faulted runs architecturally equivalent or cleanly aborted")
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlfault: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,68 @@
+// Command arlmetrics validates and summarizes the metrics artifacts
+// (results/*.metrics.json) the other arl* commands write. CI uses it
+// to assert that every artifact parses against the embedded JSON
+// schema; -schema prints that schema for external tooling.
+//
+// Usage:
+//
+//	arlmetrics file.json [file.json ...]
+//	arlmetrics -schema
+//
+// The exit status is 1 if any artifact fails validation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/obs"
+)
+
+func main() {
+	c := cliutil.New("arlmetrics")
+	schema := flag.Bool("schema", false, "print the embedded metrics artifact schema and exit")
+	quiet := flag.Bool("q", false, "suppress per-file summaries")
+	flag.Parse()
+
+	if *schema {
+		os.Stdout.Write(obs.MetricsSchemaJSON())
+		return
+	}
+	if flag.NArg() == 0 {
+		c.Fatalf("usage: arlmetrics file.json [file.json ...] | arlmetrics -schema")
+	}
+
+	ok := true
+	for _, path := range flag.Args() {
+		if err := validate(path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "arlmetrics: %s: %v\n", path, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func validate(path string, quiet bool) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateMetrics(doc); err != nil {
+		return err
+	}
+	// Schema-valid by construction from here on; decode for the summary.
+	var a obs.Artifact
+	if err := json.Unmarshal(doc, &a); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("%s: ok (%s, cmd %q, go %s, %.1fs wall, %d metrics)\n",
+			path, a.Schema, a.Run.Cmd, a.Run.GoVersion, a.Run.WallSeconds, len(a.Metrics))
+	}
+	return nil
+}

@@ -12,45 +12,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/workload"
 )
 
 func main() {
+	c := cliutil.New("arlpredict")
 	f4 := flag.Bool("fig4", false, "Figure 4: per-scheme accuracy")
 	t3 := flag.Bool("table3", false, "Table 3: unlimited-ARPT occupancy")
 	f5 := flag.Bool("fig5", false, "Figure 5: accuracy vs ARPT size / hints")
 	ab2 := flag.Bool("ablation2bit", false, "1-bit vs 2-bit ablation")
 	abc := flag.Bool("ablationctx", false, "context-width sweep")
-	wl := flag.String("w", "", "restrict to one workload")
-	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
-	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
-	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	quiet := flag.Bool("q", false, "suppress progress output")
+	c.WorkloadFlags(0)
+	c.RunnerFlags()
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
 
 	all := !*f4 && !*t3 && !*f5 && !*ab2 && !*abc
-	r := experiments.NewRunner()
-	r.Scale = *scale
-	r.MaxInsts = *maxInsts
-	r.Parallel = *par
-	if !*quiet {
-		r.Log = os.Stderr
-	}
-	if *wl != "" {
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatalf("unknown workload %q", *wl)
-		}
-		r.Workloads = []*workload.Workload{w}
-	}
+	r := c.Runner()
 
 	if all || *f4 || *t3 || *f5 || *ab2 {
 		study, err := r.RunPredictorStudy()
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		if all || *f4 {
 			fmt.Println(experiments.RenderFigure4(study.Figure4))
@@ -68,13 +54,9 @@ func main() {
 	if all || *abc {
 		rows, err := r.ContextSweep([]int{0, 4, 8, 16}, []int{0, 7, 15, 24})
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		fmt.Println(experiments.RenderContextSweep(rows))
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlpredict: "+format+"\n", args...)
-	os.Exit(1)
+	c.Finish(r.Obs)
 }

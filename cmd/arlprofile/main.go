@@ -14,69 +14,51 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/workload"
 )
 
 func main() {
+	c := cliutil.New("arlprofile")
 	t1 := flag.Bool("table1", false, "Table 1: instruction counts and load/store mix")
 	f2 := flag.Bool("fig2", false, "Figure 2: static region-class breakdown")
 	t2 := flag.Bool("table2", false, "Table 2: window occupancy mean/stddev")
 	lvc := flag.Bool("lvc", false, "stack-cache hit rate (§3.3)")
-	wl := flag.String("w", "", "restrict to one workload")
-	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
-	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
-	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	quiet := flag.Bool("q", false, "suppress progress output")
+	c.WorkloadFlags(0)
+	c.RunnerFlags()
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
 
 	all := !*t1 && !*f2 && !*t2 && !*lvc
-	r := experiments.NewRunner()
-	r.Scale = *scale
-	r.MaxInsts = *maxInsts
-	r.Parallel = *par
-	if !*quiet {
-		r.Log = os.Stderr
-	}
-	if *wl != "" {
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatalf("unknown workload %q", *wl)
-		}
-		r.Workloads = []*workload.Workload{w}
-	}
+	r := c.Runner()
 
 	if all || *t1 {
 		rows, err := r.Table1()
-		check(err)
+		check(c, err)
 		fmt.Println(experiments.RenderTable1(rows))
 	}
 	if all || *f2 {
 		rows, err := r.Figure2()
-		check(err)
+		check(c, err)
 		fmt.Println(experiments.RenderFigure2(rows))
 	}
 	if all || *t2 {
 		rows, err := r.Table2()
-		check(err)
+		check(c, err)
 		fmt.Println(experiments.RenderTable2(rows))
 	}
 	if all || *lvc {
 		rows, err := r.LVCHitRate()
-		check(err)
+		check(c, err)
 		fmt.Println(experiments.RenderLVC(rows))
 	}
+	c.Finish(r.Obs)
 }
 
-func check(err error) {
+func check(c *cliutil.Common, err error) {
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlprofile: "+format+"\n", args...)
-	os.Exit(1)
 }

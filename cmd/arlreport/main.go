@@ -6,12 +6,18 @@
 // Usage:
 //
 //	arlreport [-scale N] [-n maxInsts] [-skip-timing] [-parallel N] [-timeout D]
+//	          [-metrics file.json] [-cpuprofile f] [-pprof addr]
 //
 // The timing study (E7, E11, E15) dominates the run time; -skip-timing
 // restricts the report to the profiling and prediction experiments.
 // -timeout arms a per-workload watchdog and degrades gracefully: a
 // workload that cannot finish a stage in time is reported in a
 // "workload errors" section instead of aborting the whole report.
+//
+// Every run writes a schema-validated metrics artifact (default
+// results/arlreport.metrics.json; -metrics "" disables) holding every
+// counter of every simulation performed, and ends with a run-statistics
+// table: per-workload trace build time and simulated cycles per second.
 package main
 
 import (
@@ -20,31 +26,21 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 )
 
 func main() {
-	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
-	maxInsts := flag.Uint64("n", 0, "truncate runs (0 = full)")
+	c := cliutil.New("arlreport")
 	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty / storm studies")
-	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	timeout := flag.Duration("timeout", 0,
-		"per-workload stage watchdog; implies graceful degradation (0 = off)")
-	quiet := flag.Bool("q", false, "suppress progress output")
+	c.WorkloadFlags(0)
+	c.RunnerFlags()
+	c.ObsFlags("results/arlreport.metrics.json")
 	flag.Parse()
+	c.Start()
 
-	r := experiments.NewRunner()
-	r.Scale = *scale
-	r.MaxInsts = *maxInsts
-	r.Parallel = *par
-	if *timeout > 0 {
-		r.WorkloadTimeout = *timeout
-		r.Degrade = true
-	}
-	if !*quiet {
-		r.Log = os.Stderr
-	}
+	r := c.Runner()
 
 	start := time.Now()
 	section := func(title string) {
@@ -53,22 +49,22 @@ func main() {
 
 	section("E1: Table 1")
 	t1, err := r.Table1()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderTable1(t1))
 
 	section("E2: Figure 2")
 	f2, err := r.Figure2()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderFigure2(f2))
 
 	section("E3: Table 2")
 	t2, err := r.Table2()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderTable2(t2))
 
 	section("E4/E5/E6/E9: predictor study")
 	study, err := r.RunPredictorStudy()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderFigure4(study.Figure4))
 	fmt.Println()
 	fmt.Print(experiments.RenderTable3(study.Table3))
@@ -79,33 +75,33 @@ func main() {
 
 	section("E8: LVC hit rate")
 	lvc, err := r.LVCHitRate()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderLVC(lvc))
 
 	section("E10: context sweep")
 	ctx, err := r.ContextSweep([]int{0, 8, 16}, []int{0, 7, 24})
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderContextSweep(ctx))
 
 	section("E14: binary-level static hints")
 	sh, err := r.StaticHintStudy()
-	check(err)
+	check(c, err)
 	fmt.Print(experiments.RenderStaticHints(sh))
 
 	if !*skipTiming {
 		section("E7: Figure 8")
 		f8, err := r.Figure8()
-		check(err)
+		check(c, err)
 		fmt.Print(experiments.RenderFigure8(f8, cpu.Figure8Configs()))
 
 		section("E11: misprediction penalty sweep")
 		pen, err := r.PenaltySweep([]int{1, 4, 16})
-		check(err)
+		check(c, err)
 		fmt.Print(experiments.RenderPenaltySweep(pen))
 
 		section("E15: misprediction storm / recovery penalty study")
 		storm, err := r.RecoveryStorm(1, []float64{0, 0.01, 0.05}, []int{2, 8, 16})
-		check(err)
+		check(c, err)
 		fmt.Print(experiments.RenderRecoveryStorm(storm))
 	}
 
@@ -114,12 +110,15 @@ func main() {
 		fmt.Print(experiments.RenderWorkloadErrors(errs))
 	}
 
+	section("run statistics")
+	experiments.RenderRunStats(os.Stdout, r.RunStats())
+
+	c.Finish(r.Obs)
 	fmt.Fprintf(os.Stderr, "\narlreport: completed in %s\n", time.Since(start).Round(time.Second))
 }
 
-func check(err error) {
+func check(c *cliutil.Common, err error) {
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "arlreport: %v\n", err)
-		os.Exit(1)
+		c.Fatalf("%v", err)
 	}
 }

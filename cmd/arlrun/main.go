@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/cliutil"
 	"repro/internal/minicc"
 	"repro/internal/prog"
 	"repro/internal/vm"
@@ -21,19 +22,23 @@ import (
 )
 
 func main() {
+	c := cliutil.New("arlrun")
 	maxInsts := flag.Uint64("n", 0, "instruction budget (0 = default)")
 	verbose := flag.Bool("v", false, "print per-region reference counts")
 	wl := flag.String("workload", "", "run a built-in workload")
 	scale := flag.Int("scale", 0, "workload scale (0 = default)")
+	c.ObsFlags("")
 	flag.Parse()
+	c.Start()
+	defer c.Finish(nil)
 
 	p, err := load(*wl, *scale)
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
-	m, err := vm.New(p, os.Stdout)
+	m, err := vm.New(vm.Config{Program: p, Out: os.Stdout})
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
 	if *maxInsts > 0 {
 		m.MaxInsts = *maxInsts
@@ -45,7 +50,7 @@ func main() {
 		}
 	})
 	if err != nil {
-		fatalf("%v", err)
+		c.Fatalf("%v", err)
 	}
 	fmt.Printf("\n[%s: exit %d after %d instructions]\n", p.Name, m.ExitCode(), m.Seq())
 	if *verbose {
@@ -75,9 +80,4 @@ func load(wl string, scale int) (*prog.Program, error) {
 		return asm.Assemble(path, string(b))
 	}
 	return minicc.Compile(path, string(b))
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlrun: "+format+"\n", args...)
-	os.Exit(1)
 }

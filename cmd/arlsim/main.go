@@ -5,7 +5,16 @@
 //
 // Usage:
 //
-//	arlsim [-fig8] [-ablationpenalty] [-w name] [-scale N] [-n maxInsts] [-parallel N]
+//	arlsim [-fig8] [-ablationpenalty] [-ablationsteer] [-ablationffwd]
+//	       [-w name] [-scale N] [-n maxInsts] [-parallel N] [-timeout D]
+//	arlsim -trace-events out.json [-config "(3+3)"] [-w name | name]
+//
+// With -trace-events, arlsim runs a single workload through one
+// configuration with the cycle-event tracer attached and writes a
+// Chrome trace-event JSON (load it in chrome://tracing or
+// ui.perfetto.dev). The run self-checks: the trace's misprediction
+// detect→cancel→replay spans must match the simulator's recovery
+// count.
 package main
 
 import (
@@ -13,76 +22,147 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/cpu"
+	"repro/internal/decouple"
 	"repro/internal/experiments"
-	"repro/internal/workload"
+	"repro/internal/obs"
 )
 
 func main() {
+	c := cliutil.New("arlsim")
 	f8 := flag.Bool("fig8", false, "Figure 8: (N+M) configuration study")
 	abp := flag.Bool("ablationpenalty", false, "ARPT misprediction penalty sweep")
 	abs := flag.Bool("ablationsteer", false, "steering policy ablation")
 	abf := flag.Bool("ablationffwd", false, "LVAQ fast-forwarding ablation")
-	wl := flag.String("w", "", "restrict to one workload")
-	scale := flag.Int("scale", 0, "workload scale (0 = defaults)")
-	maxInsts := flag.Uint64("n", 0, "truncate traces (0 = full)")
-	par := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	timeout := flag.Duration("timeout", 0,
-		"per-workload stage watchdog; implies graceful degradation (0 = off)")
-	quiet := flag.Bool("q", false, "suppress progress output")
+	cfgName := flag.String("config", "(3+3)",
+		`machine configuration for -trace-events, "(N+M)" (M=0 for conventional)`)
+	c.WorkloadFlags(0)
+	c.RunnerFlags()
+	c.ObsFlags("")
+	c.TraceFlags()
 	flag.Parse()
+	c.Start()
+
+	if c.TraceEvents != "" {
+		traceRun(c, *cfgName)
+		return
+	}
 
 	all := !*f8 && !*abp && !*abs && !*abf
-	r := experiments.NewRunner()
-	r.Scale = *scale
-	r.MaxInsts = *maxInsts
-	r.Parallel = *par
-	if *timeout > 0 {
-		r.WorkloadTimeout = *timeout
-		r.Degrade = true
-	}
-	if !*quiet {
-		r.Log = os.Stderr
-	}
-	if *wl != "" {
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatalf("unknown workload %q", *wl)
-		}
-		r.Workloads = []*workload.Workload{w}
-	}
+	r := c.Runner()
 
 	if all || *f8 {
 		rows, err := r.Figure8()
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		fmt.Println(experiments.RenderFigure8(rows, cpu.Figure8Configs()))
 	}
 	if all || *abp {
 		rows, err := r.PenaltySweep([]int{1, 4, 16})
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		fmt.Println(experiments.RenderPenaltySweep(rows))
 	}
 	if all || *abs {
 		rows, err := r.SteeringPolicies()
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		fmt.Println(experiments.RenderSteering(rows))
 	}
 	if all || *abf {
 		rows, err := r.FastForwardAblation()
 		if err != nil {
-			fatalf("%v", err)
+			c.Fatalf("%v", err)
 		}
 		fmt.Println(experiments.RenderFastForward(rows))
 	}
+	c.Finish(r.Obs)
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "arlsim: "+format+"\n", args...)
-	os.Exit(1)
+// parseConfig renders a "(N+M)" name into a machine configuration.
+func parseConfig(name string) (cpu.Config, error) {
+	var n, m int
+	if _, err := fmt.Sscanf(name, "(%d+%d)", &n, &m); err != nil || n <= 0 || m < 0 {
+		return cpu.Config{}, fmt.Errorf(`bad -config %q, want "(N+M)" like "(2+0)" or "(3+3)"`, name)
+	}
+	if m == 0 {
+		return cpu.Conventional(n, 2), nil
+	}
+	return cpu.Decoupled(n, m), nil
+}
+
+// traceRun is the -trace-events mode: one workload, one configuration,
+// full cycle-event capture.
+func traceRun(c *cliutil.Common, cfgName string) {
+	cfg, err := parseConfig(cfgName)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	if c.Workload == "" && flag.NArg() == 1 {
+		c.Workload = flag.Arg(0)
+	}
+	if c.Workload == "" {
+		c.Fatalf("-trace-events traces exactly one workload; name it with -w or as the argument")
+	}
+	w := c.Workloads()[0]
+	p, err := w.Compile(c.Scale)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	tr, err := cpu.BuildTrace(p, cpu.TraceOptions{MaxInsts: c.MaxInsts})
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+
+	ring := obs.NewRing(c.TraceCap)
+	rec := decouple.NewRecovery()
+	opts := []cpu.Option{cpu.WithTracer(ring), cpu.WithRecovery(rec)}
+	var reg *obs.Registry
+	if c.MetricsPath != "" {
+		reg = obs.NewRegistry()
+		opts = append(opts, cpu.WithMetrics(reg, nil))
+	}
+	sim, err := cpu.New(cfg, opts...)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	res, err := sim.Run(tr)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+
+	f, err := os.Create(c.TraceEvents)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	stats, err := obs.WriteChromeTrace(f, ring.Events(), obs.ChromeOptions{
+		ProcessName: fmt.Sprintf("arlsim %s %s", w.Name, cfg.Name),
+	})
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		c.Fatalf("%s: %v", c.TraceEvents, err)
+	}
+
+	if d := ring.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr,
+			"arlsim: ring dropped %d events (raise -trace-cap); recovery spans are never dropped\n", d)
+	}
+	fmt.Printf("%s %s: %d cycles, %d insts, IPC %.3f, %d recoveries\n",
+		w.Name, cfg.Name, res.Cycles, res.Insts, res.IPC(), res.Recoveries)
+	fmt.Printf("trace: %d events (%d op slices, %d recovery spans) -> %s\n",
+		stats.Events, stats.OpSlices, stats.RecoverySpans, c.TraceEvents)
+	if uint64(stats.RecoverySpans) != res.Recoveries {
+		c.Fatalf("self-check failed: trace has %d recovery spans, simulator reported %d recoveries",
+			stats.RecoverySpans, res.Recoveries)
+	}
+	if !rec.Complete() {
+		c.Fatalf("self-check failed: %d recoveries left incomplete", rec.Outstanding())
+	}
+	c.Finish(reg)
 }

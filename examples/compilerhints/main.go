@@ -86,7 +86,9 @@ func main() {
 	// Evaluate a deliberately tiny ARPT with no hints, compiler hints,
 	// and oracle hints.
 	mk := func(hints core.HintSource) *core.Classifier {
-		c, err := core.NewClassifierSized(core.Scheme1BitHybrid, 64, hints)
+		c, err := core.NewClassifier(
+			core.ClassifierConfig{Scheme: core.Scheme1BitHybrid, Entries: 64},
+			core.WithHints(hints))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +96,7 @@ func main() {
 	}
 	none, compiler, oracleC := mk(nil), mk(p.HintAt), mk(oracle)
 
-	m, err := vm.New(p, nil)
+	m, err := vm.New(vm.Config{Program: p})
 	if err != nil {
 		log.Fatal(err)
 	}

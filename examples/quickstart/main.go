@@ -52,7 +52,7 @@ func main() {
 	fmt.Printf("compiled figure1.c: %d instructions, %d bytes of data\n\n",
 		len(p.Text), len(p.Data))
 
-	m, err := vm.New(p, os.Stdout)
+	m, err := vm.New(vm.Config{Program: p, Out: os.Stdout})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +63,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cls := &core.Classifier{Scheme: core.Scheme1BitHybrid, Table: table}
+	cls, err := core.NewClassifier(
+		core.ClassifierConfig{Scheme: core.Scheme1BitHybrid}, core.WithTable(table))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	err = core.Trace(m, func(ev core.RefEvent) {
 		cls.Classify(ev.Index, ev.PC, ev.Inst, ev.Ctx, ev.Actual)

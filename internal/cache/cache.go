@@ -6,7 +6,11 @@
 // tracks contents and statistics.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -54,6 +58,19 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// Publish copies the counters into r under the given labels. The caller
+// labels which cache this is (conventionally labels["cache"]); call it
+// once when a run finishes.
+func (s Stats) Publish(r *obs.Registry, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	r.Counter("cache_accesses_total", "cache accesses", labels).Add(s.Accesses)
+	r.Counter("cache_hits_total", "cache hits", labels).Add(s.Hits)
+	r.Counter("cache_misses_total", "cache misses", labels).Add(s.Misses)
+	r.Counter("cache_writebacks_total", "dirty lines evicted toward the next level", labels).Add(s.Writebacks)
+}
+
 type line struct {
 	tag   uint32
 	valid bool
@@ -69,10 +86,25 @@ type Cache struct {
 	setMask  uint32
 	clock    uint64
 	stats    Stats
+
+	reg       *obs.Registry
+	regLabels obs.Labels
+}
+
+// Option configures a Cache beyond its geometry.
+type Option func(*Cache)
+
+// WithRegistry attaches a metrics registry: PublishStats will record the
+// cache's counters there, labeled with the cache name plus labels.
+func WithRegistry(r *obs.Registry, labels obs.Labels) Option {
+	return func(c *Cache) {
+		c.reg = r
+		c.regLabels = labels
+	}
 }
 
 // New builds a cache; the configuration must validate.
-func New(cfg Config) (*Cache, error) {
+func New(cfg Config, opts ...Option) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,7 +116,20 @@ func New(cfg Config) (*Cache, error) {
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		c.setShift++
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
 	return c, nil
+}
+
+// PublishStats records the current counters into the registry attached
+// via WithRegistry (no-op without one). Call it once at end of run:
+// obs counters are cumulative, so repeated calls would double-count.
+func (c *Cache) PublishStats() {
+	if c.reg == nil {
+		return
+	}
+	c.stats.Publish(c.reg, c.regLabels.With(obs.Labels{"cache": c.cfg.Name}))
 }
 
 // Config reports the cache's configuration.

@@ -1,0 +1,232 @@
+// Package cliutil centralizes the flag surface and observability
+// plumbing shared by the arl* commands: workload selection, harness
+// shaping (-parallel, -timeout, -seed), Go profiling hooks
+// (-cpuprofile, -memprofile, -pprof), the per-run metrics artifact
+// (-metrics, see obs.Artifact) and the cycle-event trace
+// (-trace-events). Each command registers only the flag groups it
+// supports, so `arlasm -h` stays small while the shared flags spell
+// and behave identically across every binary.
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Common carries the shared command state: the parsed flag values plus
+// the run clock and profiling handles. Build one with New before
+// registering flags, call Start after flag.Parse, and Finish (usually
+// deferred) before exit.
+type Common struct {
+	Cmd string // command name, used in error prefixes and artifact metadata
+
+	// Workload selection (WorkloadFlags).
+	Workload string
+	Scale    int
+	MaxInsts uint64
+
+	// Harness shaping (RunnerFlags / SeedFlag).
+	Parallel int
+	Timeout  time.Duration
+	Quiet    bool
+	Seed     uint64
+
+	// Observability (ObsFlags / TraceFlags).
+	CPUProfile  string
+	MemProfile  string
+	PprofAddr   string
+	MetricsPath string
+	TraceEvents string
+	TraceCap    int
+
+	start  time.Time
+	cpuOut *os.File
+}
+
+// New returns the shared state for one command invocation and starts
+// its wall clock.
+func New(cmd string) *Common {
+	return &Common{Cmd: cmd, start: time.Now()}
+}
+
+// WorkloadFlags registers -w, -scale and -n. defMaxInsts is the -n
+// default (0 = full runs).
+func (c *Common) WorkloadFlags(defMaxInsts uint64) {
+	flag.StringVar(&c.Workload, "w", "", "restrict to one workload")
+	flag.IntVar(&c.Scale, "scale", 0, "workload scale (0 = defaults)")
+	flag.Uint64Var(&c.MaxInsts, "n", defMaxInsts, "truncate runs (0 = full)")
+}
+
+// RunnerFlags registers the harness-shaping flags -parallel, -timeout
+// and -q.
+func (c *Common) RunnerFlags() {
+	flag.IntVar(&c.Parallel, "parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	flag.DurationVar(&c.Timeout, "timeout", 0,
+		"per-workload stage watchdog; implies graceful degradation (0 = off)")
+	flag.BoolVar(&c.Quiet, "q", false, "suppress progress output")
+}
+
+// SeedFlag registers -seed with the given default.
+func (c *Common) SeedFlag(def uint64) {
+	flag.Uint64Var(&c.Seed, "seed", def, "campaign seed (same seed, same campaign, same output)")
+}
+
+// ObsFlags registers the profiling and metrics flags. defMetrics is
+// the -metrics default ("" disables the artifact unless requested).
+func (c *Common) ObsFlags(defMetrics string) {
+	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&c.MetricsPath, "metrics", defMetrics,
+		"write the run's metrics artifact (JSON) to this file (empty = off)")
+}
+
+// TraceFlags registers the cycle-event trace flags -trace-events and
+// -trace-cap.
+func (c *Common) TraceFlags() {
+	flag.StringVar(&c.TraceEvents, "trace-events", "",
+		"write a Chrome trace-event JSON of one simulation to this file")
+	flag.IntVar(&c.TraceCap, "trace-cap", 0,
+		fmt.Sprintf("cycle-event ring capacity (0 = %d)", obs.DefaultRingCap))
+}
+
+// Start begins the instrumentation selected by the parsed flags: the
+// CPU profile and the background pprof server. Call it once, right
+// after flag.Parse.
+func (c *Common) Start() {
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			c.Fatalf("cpuprofile: %v", err)
+		}
+		c.cpuOut = f
+	}
+	if c.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(c.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", c.Cmd, err)
+			}
+		}()
+	}
+}
+
+// Finish flushes the instrumentation: stops the CPU profile, writes
+// the heap profile, and — when reg is non-nil and -metrics selected a
+// path — writes the schema-validated metrics artifact. Safe to call
+// when Start was not.
+func (c *Common) Finish(reg *obs.Registry) {
+	if c.cpuOut != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuOut.Close(); err != nil {
+			c.Fatalf("cpuprofile: %v", err)
+		}
+		c.cpuOut = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			c.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			c.Fatalf("memprofile: %v", err)
+		}
+	}
+	if reg != nil && c.MetricsPath != "" {
+		if err := c.WriteMetrics(reg); err != nil {
+			c.Fatalf("metrics: %v", err)
+		}
+		if !c.Quiet {
+			fmt.Fprintf(os.Stderr, "%s: metrics artifact written to %s\n", c.Cmd, c.MetricsPath)
+		}
+	}
+}
+
+// RunMeta describes this invocation for the metrics artifact.
+func (c *Common) RunMeta() obs.RunMeta {
+	return obs.RunMeta{
+		Cmd:         c.Cmd,
+		Args:        os.Args[1:],
+		GoVersion:   runtime.Version(),
+		StartedAt:   c.start.UTC().Format(time.RFC3339),
+		WallSeconds: time.Since(c.start).Seconds(),
+	}
+}
+
+// WriteMetrics serializes reg to the -metrics path, validating the
+// encoded artifact against the embedded schema before anything touches
+// disk — a command can never publish an artifact arlmetrics rejects.
+func (c *Common) WriteMetrics(reg *obs.Registry) error {
+	var buf bytes.Buffer
+	if err := obs.EncodeArtifact(&buf, reg.Artifact(c.RunMeta())); err != nil {
+		return err
+	}
+	if err := obs.ValidateMetrics(buf.Bytes()); err != nil {
+		return fmt.Errorf("artifact does not validate against its own schema: %w", err)
+	}
+	if dir := filepath.Dir(c.MetricsPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(c.MetricsPath, buf.Bytes(), 0o644)
+}
+
+// Runner builds the experiment Runner the parsed flags describe,
+// including the metrics registry when -metrics selected a path (read
+// it back via Runner.Obs and hand it to Finish).
+func (c *Common) Runner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.Scale = c.Scale
+	r.MaxInsts = c.MaxInsts
+	r.Parallel = c.Parallel
+	if c.Timeout > 0 {
+		r.WorkloadTimeout = c.Timeout
+		r.Degrade = true
+	}
+	if !c.Quiet {
+		r.Log = os.Stderr
+	}
+	if c.MetricsPath != "" {
+		r.Obs = obs.NewRegistry()
+	}
+	r.Workloads = c.Workloads()
+	return r
+}
+
+// Workloads resolves the -w selection (all workloads when unset); an
+// unknown name is fatal.
+func (c *Common) Workloads() []*workload.Workload {
+	if c.Workload == "" {
+		return workload.All()
+	}
+	w, ok := workload.ByName(c.Workload)
+	if !ok {
+		c.Fatalf("unknown workload %q (see internal/workload)", c.Workload)
+	}
+	return []*workload.Workload{w}
+}
+
+// Fatalf prints "<cmd>: <message>" to stderr and exits 1.
+func (c *Common) Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWriteMetricsValidates: the artifact lands schema-valid, in a
+// directory created on demand, carrying this command's run metadata.
+func TestWriteMetricsValidates(t *testing.T) {
+	c := New("testcmd")
+	c.MetricsPath = filepath.Join(t.TempDir(), "results", "testcmd.metrics.json")
+	reg := obs.NewRegistry()
+	reg.Counter("sim_cycles_total", "simulated cycles", obs.Labels{"workload": "x"}).Add(42)
+	reg.Gauge("sim_ipc", "ipc", nil).Set(1.5)
+
+	if err := c.WriteMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(c.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMetrics(doc); err != nil {
+		t.Fatalf("artifact failed its own schema: %v", err)
+	}
+	var a obs.Artifact
+	if err := json.Unmarshal(doc, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != obs.ArtifactSchema {
+		t.Errorf("schema = %q, want %q", a.Schema, obs.ArtifactSchema)
+	}
+	if a.Run.Cmd != "testcmd" || a.Run.GoVersion != runtime.Version() {
+		t.Errorf("run meta = %+v", a.Run)
+	}
+	if len(a.Metrics) != 2 {
+		t.Errorf("artifact carries %d metrics, want 2", len(a.Metrics))
+	}
+}
+
+// TestRunnerReflectsFlags: the Runner inherits the parsed flag state,
+// including the metrics registry when -metrics selects a path.
+func TestRunnerReflectsFlags(t *testing.T) {
+	c := New("testcmd")
+	c.Scale = 2
+	c.MaxInsts = 1000
+	c.Parallel = 3
+	c.Quiet = true
+	c.Timeout = 5e9
+	c.MetricsPath = "m.json"
+	r := c.Runner()
+	if r.Scale != 2 || r.MaxInsts != 1000 || r.Parallel != 3 {
+		t.Errorf("runner shape = scale %d n %d parallel %d", r.Scale, r.MaxInsts, r.Parallel)
+	}
+	if !r.Degrade || r.WorkloadTimeout != c.Timeout {
+		t.Error("timeout did not arm degradation")
+	}
+	if r.Log != nil {
+		t.Error("quiet runner still logs")
+	}
+	if r.Obs == nil {
+		t.Error("-metrics did not attach a registry")
+	}
+	if len(r.Workloads) == 0 {
+		t.Error("no workloads selected by default")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/vm"
 )
@@ -61,6 +62,21 @@ func (s ClassifyStats) TableAccuracy() float64 {
 	return 100 * float64(s.TableCorrect) / float64(s.TableLookups)
 }
 
+// Publish copies the counters into r under the given labels; call once
+// when a run finishes.
+func (s ClassifyStats) Publish(r *obs.Registry, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	r.Counter("classify_refs_total", "dynamic memory references classified", labels).Add(s.Total)
+	r.Counter("classify_correct_total", "references put in the right stack/non-stack bin", labels).Add(s.Correct)
+	r.Counter("classify_static_covered_total", "references manifest in the addressing mode", labels).Add(s.StaticCovered)
+	r.Counter("classify_hint_covered_total", "references resolved by a compiler hint", labels).Add(s.HintCovered)
+	r.Counter("classify_hint_correct_total", "hint-resolved references the hint got right", labels).Add(s.HintCorrect)
+	r.Counter("classify_table_lookups_total", "references that fell through to the ARPT", labels).Add(s.TableLookups)
+	r.Counter("classify_table_correct_total", "ARPT lookups predicted correctly", labels).Add(s.TableCorrect)
+}
+
 // Classifier composes the three §4.2 dispatch-stage information
 // sources in priority order: compiler hints (when present), the
 // addressing-mode rules, then the ARPT (or the static default for
@@ -72,31 +88,73 @@ type Classifier struct {
 	Stats  ClassifyStats
 }
 
-// NewClassifier builds a classifier for scheme with an unlimited-table
-// configuration (the Figure 4 / Table 3 setup). Use NewClassifierSized
-// for the Figure 5 size sweep.
-func NewClassifier(scheme Scheme, hints HintSource) (*Classifier, error) {
-	return NewClassifierSized(scheme, 0, hints)
+// ClassifierConfig parameterizes a Classifier.
+type ClassifierConfig struct {
+	// Scheme selects the §3.4.1 prediction scheme.
+	Scheme Scheme
+	// Entries sizes the ARPT (0 = unlimited, the Figure 4 / Table 3
+	// setup; powers of two give the Figure 5 size sweep). Ignored for
+	// SchemeStatic, which has no table.
+	Entries int
+}
+
+// Validate checks structural sanity.
+func (c ClassifierConfig) Validate() error {
+	if c.Scheme != SchemeStatic && SchemeConfig(c.Scheme).Bits == 0 {
+		return fmt.Errorf("core: unknown scheme %v", c.Scheme)
+	}
+	if c.Entries < 0 || (c.Entries != 0 && c.Entries&(c.Entries-1) != 0) {
+		return fmt.Errorf("core: classifier entries must be 0 or a power of two, got %d", c.Entries)
+	}
+	return nil
+}
+
+// ClassifierOption configures a Classifier beyond its scheme.
+type ClassifierOption func(*Classifier)
+
+// WithHints installs a compiler-hint source consulted before the
+// addressing-mode rules.
+func WithHints(hints HintSource) ClassifierOption {
+	return func(c *Classifier) { c.Hints = hints }
+}
+
+// WithTable installs a pre-built ARPT in place of the one the scheme
+// configuration would build — the pipeline model uses this to run the
+// Table 4 ARPT (context bits and all) under the hybrid scheme.
+func WithTable(t *ARPT) ClassifierOption {
+	return func(c *Classifier) { c.Table = t }
+}
+
+// NewClassifier builds a classifier from cfg; the configuration must
+// validate. Unless WithTable overrides it, non-static schemes get the
+// ARPT that SchemeConfig prescribes, sized by cfg.Entries.
+func NewClassifier(cfg ClassifierConfig, opts ...ClassifierOption) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Classifier{Scheme: cfg.Scheme}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.Table == nil && cfg.Scheme != SchemeStatic {
+		tcfg := SchemeConfig(cfg.Scheme)
+		tcfg.Entries = cfg.Entries
+		t, err := NewARPT(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Table = t
+	}
+	return c, nil
 }
 
 // NewClassifierSized builds a classifier whose ARPT has the given
 // number of entries (0 = unlimited).
+//
+// Deprecated: use NewClassifier(ClassifierConfig{Scheme: scheme,
+// Entries: entries}, WithHints(hints)).
 func NewClassifierSized(scheme Scheme, entries int, hints HintSource) (*Classifier, error) {
-	c := &Classifier{Scheme: scheme, Hints: hints}
-	if scheme == SchemeStatic {
-		return c, nil
-	}
-	cfg := SchemeConfig(scheme)
-	if cfg.Bits == 0 {
-		return nil, fmt.Errorf("core: unknown scheme %v", scheme)
-	}
-	cfg.Entries = entries
-	t, err := NewARPT(cfg)
-	if err != nil {
-		return nil, err
-	}
-	c.Table = t
-	return c, nil
+	return NewClassifier(ClassifierConfig{Scheme: scheme, Entries: entries}, WithHints(hints))
 }
 
 // Classify predicts the access region of one dynamic memory reference

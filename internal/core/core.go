@@ -161,7 +161,7 @@ func SchemeConfig(s Scheme) Config {
 	return Config{}
 }
 
-func (c Config) validate() error {
+func (c Config) Validate() error {
 	if c.Bits != 1 && c.Bits != 2 {
 		return fmt.Errorf("core: counter width must be 1 or 2 bits, got %d", c.Bits)
 	}
@@ -184,10 +184,9 @@ type ARPT struct {
 	touched map[uint32]bool  // occupied-entry accounting (Table 3)
 }
 
-// NewARPT builds a table from cfg. It panics on invalid configurations
-// (they are programmer errors, caught by Config.validate in tests).
+// NewARPT builds a table from cfg; the configuration must validate.
 func NewARPT(cfg Config) (*ARPT, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	t := &ARPT{cfg: cfg, touched: make(map[uint32]bool)}

@@ -263,14 +263,14 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := vm.New(p, nil)
+	m, err := vm.New(vm.Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	static, _ := NewClassifier(SchemeStatic, nil)
-	oneBit, _ := NewClassifier(Scheme1Bit, nil)
-	hybrid, _ := NewClassifier(Scheme1BitHybrid, nil)
+	static, _ := NewClassifier(ClassifierConfig{Scheme: SchemeStatic})
+	oneBit, _ := NewClassifier(ClassifierConfig{Scheme: Scheme1Bit})
+	hybrid, _ := NewClassifier(ClassifierConfig{Scheme: Scheme1BitHybrid})
 	all := []*Classifier{static, oneBit, hybrid}
 
 	err = Trace(m, func(ev RefEvent) {
@@ -319,11 +319,11 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := vm.New(p, nil)
+	m, err := vm.New(vm.Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hinted, _ := NewClassifier(Scheme1Bit, p.HintAt)
+	hinted, _ := NewClassifier(ClassifierConfig{Scheme: Scheme1Bit}, WithHints(p.HintAt))
 	if err := core_trace(m, hinted); err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // ErrInvariant marks a violated internal pipeline invariant: the
@@ -48,6 +49,9 @@ type RecoveryObserver interface {
 
 // SimOptions carries the optional instrumentation of one simulation.
 // The zero value is a plain run.
+//
+// Deprecated: build a Sim with New and the WithContext / WithFaults /
+// WithRecovery options instead.
 type SimOptions struct {
 	// Ctx cancels the simulation cooperatively (checked every few
 	// thousand cycles); nil means no cancellation.
@@ -197,8 +201,22 @@ type simulator struct {
 	lvc *cache.Cache
 	l2  *cache.Cache
 
-	opts   SimOptions
-	nGrant uint64 // cache-port grant ordinal (MemFaulter hook index)
+	ctx      context.Context
+	faults   MemFaulter
+	recovery RecoveryObserver
+	nGrant   uint64 // cache-port grant ordinal (MemFaulter hook index)
+
+	// trc is nil for uninstrumented runs: every emission site is behind
+	// a nil check, so the no-op path does no interface calls.
+	trc obs.Tracer
+
+	// Per-cycle occupancy histograms, nil without WithMetrics.
+	occLSQ  *obs.Hist
+	occLVAQ *obs.Hist
+}
+
+func (s *simulator) emit(seq int64, kind obs.EventKind, arg int64) {
+	s.trc.Emit(obs.Event{Cycle: s.now, Seq: seq, Kind: kind, Arg: arg})
 }
 
 func (s *simulator) slot(seq int64) *robEntry { return &s.rob[seq%int64(len(s.rob))] }
@@ -214,20 +232,36 @@ func (s *simulator) writerOutstanding(seq int64) bool {
 	return s.slot(seq).state != stDone
 }
 
-// Simulate runs trace tr on configuration cfg. All mutable machine
-// state (ROB, queues, caches, statistics) lives in the per-call
-// simulator; tr is never written, so concurrent Simulate calls may
-// share one trace.
+// Simulate runs trace tr on configuration cfg with no instrumentation
+// attached. All mutable machine state (ROB, queues, caches, statistics)
+// lives in the per-call simulator; tr is never written, so concurrent
+// Simulate calls may share one trace.
 func Simulate(tr *Trace, cfg Config) (*Result, error) {
-	return SimulateOpts(tr, cfg, SimOptions{})
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.run(tr)
 }
 
 // SimulateOpts is Simulate with cancellation, fault injection and
 // recovery-protocol validation attached.
+//
+// Deprecated: use New(cfg, WithContext(...), WithFaults(...),
+// WithRecovery(...)) and Sim.Run.
 func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	sim, err := New(cfg,
+		WithContext(opts.Ctx), WithFaults(opts.Faults), WithRecovery(opts.Recovery))
+	if err != nil {
 		return nil, err
 	}
+	return sim.Run(tr)
+}
+
+// run is the simulation engine behind Sim.Run (which adds metrics
+// publication on top).
+func (sm *Sim) run(tr *Trace) (*Result, error) {
+	cfg := sm.cfg
 	if len(tr.Insts) == 0 {
 		return nil, fmt.Errorf("cpu: empty trace %q", tr.Name)
 	}
@@ -240,17 +274,27 @@ func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
 		return nil, err
 	}
 	s := &simulator{
-		cfg:  cfg,
-		tr:   tr,
-		res:  &Result{Config: cfg, Name: tr.Name},
-		rob:  make([]robEntry, cfg.ROBSize),
-		l1:   l1,
-		l2:   l2,
-		opts: opts,
+		cfg:      cfg,
+		tr:       tr,
+		res:      &Result{Config: cfg, Name: tr.Name},
+		rob:      make([]robEntry, cfg.ROBSize),
+		l1:       l1,
+		l2:       l2,
+		ctx:      sm.ctx,
+		faults:   sm.faults,
+		recovery: sm.recovery,
+		trc:      sm.tracer,
 	}
 	if cfg.Decoupled() {
 		if s.lvc, err = cache.New(cache.LVCConfig(cfg.LVCPorts)); err != nil {
 			return nil, err
+		}
+	}
+	if sm.reg != nil {
+		l := sm.labels.With(obs.Labels{"workload": tr.Name, "config": cfg.Name})
+		s.occLSQ = sm.reg.Hist("sim_lsq_occupancy", "LSQ entries per cycle", l)
+		if cfg.Decoupled() {
+			s.occLVAQ = sm.reg.Hist("sim_lvaq_occupancy", "LVAQ entries per cycle", l)
 		}
 	}
 	for i := range s.lastWriter {
@@ -261,8 +305,8 @@ func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
 	idle := 0
 	for s.headSeq < total {
 		s.now++
-		if opts.Ctx != nil && s.now&0x3FFF == 0 {
-			if err := opts.Ctx.Err(); err != nil {
+		if s.ctx != nil && s.now&0x3FFF == 0 {
+			if err := s.ctx.Err(); err != nil {
 				return nil, fmt.Errorf("cpu: simulate %s: %w", tr.Name, err)
 			}
 		}
@@ -276,6 +320,12 @@ func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
 		s.memScan()
 		i := s.issue()
 		d := s.dispatch()
+		if s.occLSQ != nil {
+			s.occLSQ.Observe(int64(len(s.lsq)))
+			if s.occLVAQ != nil {
+				s.occLVAQ.Observe(int64(len(s.lvaq)))
+			}
+		}
 		if c == 0 && i == 0 && d == 0 && len(s.events) == 0 {
 			idle++
 			if idle > 10_000 {
@@ -315,6 +365,9 @@ func (s *simulator) commit() (int, error) {
 		if err != nil {
 			return n, err
 		}
+		if s.trc != nil {
+			s.emit(s.headSeq, obs.EvCommit, 0)
+		}
 		s.headSeq++
 		n++
 	}
@@ -347,6 +400,9 @@ func (s *simulator) processEvents() error {
 		case evAddrDone:
 			e.addrDone = true
 			ti := s.inst(ev.seq)
+			if s.trc != nil {
+				s.emit(ev.seq, obs.EvAddrReady, 0)
+			}
 			// The extended TLB verifies the steering prediction at
 			// address translation; a mismatch starts recovery and the
 			// access is re-steered to the correct pipeline.
@@ -371,9 +427,12 @@ func (s *simulator) processEvents() error {
 // so occupancy self-corrects.
 func (s *simulator) recoverSteering(seq int64, e *robEntry, ti *TraceInst) error {
 	s.res.ARPTMispredicts++
-	obs := s.opts.Recovery
-	if obs != nil {
-		if err := obs.Detect(seq); err != nil {
+	rec := s.recovery
+	if s.trc != nil {
+		s.emit(seq, obs.EvRecoveryDetect, 0)
+	}
+	if rec != nil {
+		if err := rec.Detect(seq); err != nil {
 			return err
 		}
 	}
@@ -388,8 +447,11 @@ func (s *simulator) recoverSteering(seq int64, e *robEntry, ti *TraceInst) error
 		return fmt.Errorf("%w: seq %d absent from its steering queue during recovery",
 			ErrInvariant, seq)
 	}
-	if obs != nil {
-		if err := obs.Cancel(seq); err != nil {
+	if s.trc != nil {
+		s.emit(seq, obs.EvRecoveryCancel, 0)
+	}
+	if rec != nil {
+		if err := rec.Cancel(seq); err != nil {
 			return err
 		}
 	}
@@ -399,8 +461,16 @@ func (s *simulator) recoverSteering(seq int64, e *robEntry, ti *TraceInst) error
 		(ti.Flags&FlagEarlyAddr != 0 || (toQ == qLVAQ && s.cfg.FastForward))
 	e.readyAt = s.now + int64(s.cfg.MispredictPenalty)
 	s.res.Recoveries++
-	if obs != nil {
-		if err := obs.Replay(seq, s.cfg.MispredictPenalty); err != nil {
+	if s.trc != nil {
+		s.emit(seq, obs.EvRecoveryReplay, int64(s.cfg.MispredictPenalty))
+		queueArg := int64(obs.QueueLVAQ)
+		if toQ == qLSQ {
+			queueArg = obs.QueueLSQ
+		}
+		s.emit(seq, obs.EvQueueEnter, queueArg)
+	}
+	if rec != nil {
+		if err := rec.Replay(seq, s.cfg.MispredictPenalty); err != nil {
 			return err
 		}
 	}
@@ -435,6 +505,9 @@ func insertSeq(q []int64, seq int64) []int64 {
 func (s *simulator) finish(seq int64) {
 	e := s.slot(seq)
 	e.state = stDone
+	if s.trc != nil {
+		s.emit(seq, obs.EvComplete, 0)
+	}
 	for _, c := range e.consumers {
 		cseq, bit := c>>1, uint8(depA)
 		if c&1 != 0 {
@@ -502,19 +575,32 @@ func (s *simulator) memScan() {
 				keep = append(keep, seq)
 				continue
 			case loadForwarded:
+				if s.trc != nil {
+					s.emit(seq, obs.EvForward, 0)
+				}
 				s.schedule(evComplete, seq, s.now+1)
 				continue
 			}
 		}
+		pool := int64(obs.PoolL1)
+		if toLVC {
+			pool = obs.PoolLVC
+		}
 		if toLVC && lvcPorts == 0 || !toLVC && l1Ports == 0 {
+			if s.trc != nil {
+				s.emit(seq, obs.EvPortStall, pool)
+			}
 			keep = append(keep, seq)
 			continue
 		}
 		grant := s.nGrant
 		s.nGrant++
-		if s.opts.Faults != nil && s.opts.Faults.PortDenied(grant, toLVC) {
+		if s.faults != nil && s.faults.PortDenied(grant, toLVC) {
 			// Injected port fault: the grant is withdrawn this cycle and
 			// the access retries later under a fresh grant ordinal.
+			if s.trc != nil {
+				s.emit(seq, obs.EvPortStall, pool)
+			}
 			keep = append(keep, seq)
 			continue
 		}
@@ -523,10 +609,13 @@ func (s *simulator) memScan() {
 		} else {
 			l1Ports--
 		}
-		lat := s.accessLatency(ti.Addr, !ti.IsLoad(), toLVC)
+		lat, level := s.accessLatency(ti.Addr, !ti.IsLoad(), toLVC)
+		if s.trc != nil {
+			s.emit(seq, obs.EvCacheAccess, obs.CacheArg(toLVC, !ti.IsLoad(), level))
+		}
 		if ti.IsLoad() {
-			if s.opts.Faults != nil {
-				lat += s.opts.Faults.ExtraLatency(grant)
+			if s.faults != nil {
+				lat += s.faults.ExtraLatency(grant)
 			}
 			s.schedule(evComplete, seq, s.now+int64(lat))
 		} else {
@@ -587,23 +676,24 @@ func (s *simulator) resolveLoad(seq int64, e *robEntry, ti *TraceInst) int {
 }
 
 // accessLatency charges the hierarchy: L1 or LVC first, then the shared
-// L2, then memory.
-func (s *simulator) accessLatency(addr uint32, write, toLVC bool) int {
+// L2, then memory. It also reports the level that satisfied the access
+// (obs.LevelFirst / LevelL2 / LevelMem).
+func (s *simulator) accessLatency(addr uint32, write, toLVC bool) (lat, level int) {
 	first := s.l1
-	lat := s.cfg.L1Latency
+	lat = s.cfg.L1Latency
 	if toLVC {
 		first = s.lvc
 		lat = s.cfg.LVCLatency
 	}
 	hit, _ := first.Access(addr, write)
 	if hit {
-		return lat
+		return lat, obs.LevelFirst
 	}
 	l2hit, _ := s.l2.Access(addr, write)
 	if l2hit {
-		return lat + LatL2
+		return lat + LatL2, obs.LevelL2
 	}
-	return lat + LatL2 + LatMem
+	return lat + LatL2 + LatMem, obs.LevelMem
 }
 
 // issue moves ready entries to the function units, oldest first,
@@ -651,6 +741,9 @@ func (s *simulator) issue() int {
 		budget--
 		issued++
 		e.state = stIssued
+		if s.trc != nil {
+			s.emit(seq, obs.EvIssue, 0)
+		}
 		if ti.IsMem() {
 			s.schedule(evAddrDone, seq, s.now+1)
 			continue
@@ -708,6 +801,15 @@ func (s *simulator) dispatch() int {
 		*e = robEntry{ti: s.nextDisp, queue: queue, consumers: e.consumers[:0]}
 		s.nextDisp++
 		n++
+		if s.trc != nil {
+			s.emit(seq, obs.EvDispatch, obs.DispatchArg(ti.IsMem(), ti.IsLoad()))
+			switch queue {
+			case qLSQ:
+				s.emit(seq, obs.EvQueueEnter, obs.QueueLSQ)
+			case qLVAQ:
+				s.emit(seq, obs.EvQueueEnter, obs.QueueLVAQ)
+			}
+		}
 
 		for bit, src := range []int8{ti.Src1, ti.Src2} {
 			if src == noReg {

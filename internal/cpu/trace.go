@@ -187,7 +187,7 @@ func depReg(r isa.Register, fp bool) int8 {
 
 // BuildTrace runs program p functionally and produces its timing trace.
 func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
-	m, err := vm.New(p, opts.Out)
+	m, err := vm.New(vm.Config{Program: p, Out: opts.Out})
 	if err != nil {
 		return nil, err
 	}
@@ -212,12 +212,16 @@ func BuildTrace(p *prog.Program, opts TraceOptions) (*Trace, error) {
 	}
 	cls := opts.Classifier
 	if cls == nil {
-		cfg := core.DefaultPipelineConfig()
-		table, err := core.NewARPT(cfg)
+		table, err := core.NewARPT(core.DefaultPipelineConfig())
 		if err != nil {
 			return nil, err
 		}
-		cls = &core.Classifier{Scheme: Scheme1BitHybridPipeline, Table: table}
+		cls, err = core.NewClassifier(
+			core.ClassifierConfig{Scheme: Scheme1BitHybridPipeline},
+			core.WithTable(table))
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	tr := &Trace{Name: p.Name}

@@ -70,19 +70,19 @@ func Classifier(policy Policy, p *prog.Program, pr *profile.Profile) (*core.Clas
 		if err != nil {
 			return nil, err
 		}
-		c := &core.Classifier{Scheme: core.Scheme1BitHybrid, Table: table}
+		opts := []core.ClassifierOption{core.WithTable(table)}
 		if policy == PolicyCompiler {
-			c.Hints = p.HintAt
+			opts = append(opts, core.WithHints(p.HintAt))
 		}
 		if policy == PolicyOracle {
 			if pr == nil {
 				return nil, fmt.Errorf("decouple: oracle policy requires a profile")
 			}
-			c.Hints = pr.Oracle()
+			opts = append(opts, core.WithHints(pr.Oracle()))
 		}
-		return c, nil
+		return core.NewClassifier(core.ClassifierConfig{Scheme: core.Scheme1BitHybrid}, opts...)
 	case PolicyStaticOnly:
-		return &core.Classifier{Scheme: core.SchemeStatic}, nil
+		return core.NewClassifier(core.ClassifierConfig{Scheme: core.SchemeStatic})
 	case PolicyPerfect:
 		return nil, nil
 	}
@@ -142,7 +142,11 @@ func ComparePoliciesReusing(p *prog.Program, pr *profile.Profile, maxInsts uint6
 			}
 		}
 		rec := NewRecovery()
-		res, err := cpu.SimulateOpts(tr, cfg, cpu.SimOptions{Recovery: rec})
+		sim, err := cpu.New(cfg, cpu.WithRecovery(rec))
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(tr)
 		if err != nil {
 			return nil, err
 		}

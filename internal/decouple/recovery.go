@@ -34,7 +34,7 @@ func (s recoveryState) String() string {
 // Recovery is the explicit ARPT misprediction-recovery state machine:
 // each mispredicted instruction must move detect → cancel → replay, in
 // that order, exactly once. It implements cpu.RecoveryObserver, so
-// attaching it to a simulation (SimOptions.Recovery) turns any protocol
+// attaching it to a simulation (cpu.WithRecovery) turns any protocol
 // violation — a cancel without a detect, a double replay, a skipped
 // cancel — into a hard simulation error instead of a silently
 // mis-modelled penalty. After the run, Complete reports whether every

@@ -120,7 +120,11 @@ func TestSimulationDrivesRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := NewRecovery()
-	res, err := cpu.SimulateOpts(tr, cpu.Decoupled(3, 3), cpu.SimOptions{Recovery: rec})
+	sim, err := cpu.New(cpu.Decoupled(3, 3), cpu.WithRecovery(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tr)
 	if err != nil {
 		t.Fatal(err)
 	}

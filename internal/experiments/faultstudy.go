@@ -64,11 +64,15 @@ func (r *Runner) RecoveryStorm(seed uint64, rates []float64, penalties []int) ([
 				cfg := cpu.Decoupled(3, 3)
 				cfg.MispredictPenalty = pen
 				rec := decouple.NewRecovery()
-				simOpts := cpu.SimOptions{Recovery: rec}
+				simOpts := []cpu.Option{cpu.WithRecovery(rec)}
 				if watched {
-					simOpts.Ctx = ctx
+					simOpts = append(simOpts, cpu.WithContext(ctx))
 				}
-				res, err := cpu.SimulateOpts(tr, cfg, simOpts)
+				sim, err := cpu.New(cfg, simOpts...)
+				if err != nil {
+					return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+				}
+				res, err := sim.Run(tr)
 				if err != nil {
 					return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
 				}

@@ -110,14 +110,14 @@ func buildClassifiers(p *prog.Program, oracle core.HintSource) (*classifierSet, 
 		twoBit:  make(map[core.Scheme]*core.Classifier),
 	}
 	for _, s := range core.AllSchemes {
-		c, err := core.NewClassifier(s, nil)
+		c, err := core.NewClassifier(core.ClassifierConfig{Scheme: s})
 		if err != nil {
 			return nil, err
 		}
 		cs.schemes[s] = c
 	}
 	for _, s := range []core.Scheme{core.Scheme2Bit, core.Scheme2BitHybrid} {
-		c, err := core.NewClassifier(s, nil)
+		c, err := core.NewClassifier(core.ClassifierConfig{Scheme: s})
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +133,9 @@ func buildClassifiers(p *prog.Program, oracle core.HintSource) (*classifierSet, 
 			case HintsCompiler:
 				hints = p.HintAt
 			}
-			c, err := core.NewClassifierSized(core.Scheme1BitHybrid, size, hints)
+			c, err := core.NewClassifier(
+				core.ClassifierConfig{Scheme: core.Scheme1BitHybrid, Entries: size},
+				core.WithHints(hints))
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +204,7 @@ func (r *Runner) predictorPass(w *workload.Workload) (predictorRows, error) {
 	}
 
 	r.logf("predictor study %s ...", w.Name)
-	m, err := vm.New(p, nil)
+	m, err := vm.New(vm.Config{Program: p})
 	if err != nil {
 		return rows, err
 	}
@@ -289,10 +291,15 @@ func (r *Runner) ContextSweep(gbhWidths, cidWidths []int) ([]ContextRow, error) 
 				if err != nil {
 					return nil, err
 				}
-				cells = append(cells, cell{g, ci, &core.Classifier{Scheme: core.Scheme1BitHybrid, Table: t}})
+				c, err := core.NewClassifier(
+					core.ClassifierConfig{Scheme: core.Scheme1BitHybrid}, core.WithTable(t))
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell{g, ci, c})
 			}
 		}
-		m, err := vm.New(p, nil)
+		m, err := vm.New(vm.Config{Program: p})
 		if err != nil {
 			return nil, err
 		}

@@ -155,7 +155,7 @@ func (r *Runner) LVCHitRate() ([]LVCRow, error) {
 		if err != nil {
 			return LVCRow{}, err
 		}
-		m, err := vm.New(p, nil)
+		m, err := vm.New(vm.Config{Program: p})
 		if err != nil {
 			return LVCRow{}, err
 		}

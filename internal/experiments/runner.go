@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/workload"
@@ -80,6 +81,12 @@ type Runner struct {
 	// then report the surviving workloads.
 	Degrade bool
 
+	// Obs, when non-nil, receives the metrics of every simulation the
+	// runner performs (memo misses only — a memoized result is
+	// published exactly once). Drivers render or archive the registry
+	// after the batch; see obs.EncodeArtifact.
+	Obs *obs.Registry
+
 	logMu    sync.Mutex
 	programs memo[*prog.Program]
 	profiles memo[*profile.Profile]
@@ -88,6 +95,94 @@ type Runner struct {
 
 	errMu  sync.Mutex
 	wlErrs []*WorkloadError
+
+	statMu   sync.Mutex
+	runStats map[string]*RunStat
+}
+
+// RunStat aggregates the harness-side cost of one workload across a
+// batch: how long the expensive memoized stages took and how fast the
+// timing model ran. Memo hits cost nothing and are not counted.
+type RunStat struct {
+	Workload   string
+	TraceInsts uint64        // instructions in the memoized trace
+	TraceWall  time.Duration // wall time spent building the trace
+	Sims       int           // timing simulations run
+	SimCycles  uint64        // simulated cycles summed over them
+	SimWall    time.Duration // wall time summed over them
+}
+
+// CyclesPerSecond reports the aggregate simulation speed of the
+// workload: simulated cycles per wall-clock second.
+func (s RunStat) CyclesPerSecond() float64 {
+	if s.SimWall <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.SimWall.Seconds()
+}
+
+func (r *Runner) stat(name string) *RunStat {
+	if r.runStats == nil {
+		r.runStats = make(map[string]*RunStat)
+	}
+	s := r.runStats[name]
+	if s == nil {
+		s = &RunStat{Workload: name}
+		r.runStats[name] = s
+	}
+	return s
+}
+
+func (r *Runner) noteTrace(name string, insts uint64, d time.Duration) {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	s := r.stat(name)
+	s.TraceInsts = insts
+	s.TraceWall += d
+}
+
+func (r *Runner) noteSim(name string, cycles uint64, d time.Duration) {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	s := r.stat(name)
+	s.Sims++
+	s.SimCycles += cycles
+	s.SimWall += d
+}
+
+// RunStats reports the per-workload run statistics collected so far,
+// sorted by workload name.
+func (r *Runner) RunStats() []RunStat {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	out := make([]RunStat, 0, len(r.runStats))
+	for _, s := range r.runStats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// RenderRunStats prints the per-workload harness cost table: trace
+// build time, simulation count, and simulated-cycles-per-second.
+func RenderRunStats(w io.Writer, rows []RunStat) {
+	fmt.Fprintln(w, "Run statistics (per workload; memoized stages counted once)")
+	fmt.Fprintf(w, "%-12s %12s %9s %5s %14s %9s %12s\n",
+		"workload", "trace insts", "trace s", "sims", "sim cycles", "sim s", "Mcycles/s")
+	var tot RunStat
+	for _, s := range rows {
+		fmt.Fprintf(w, "%-12s %12d %9.3f %5d %14d %9.3f %12.2f\n",
+			s.Workload, s.TraceInsts, s.TraceWall.Seconds(), s.Sims,
+			s.SimCycles, s.SimWall.Seconds(), s.CyclesPerSecond()/1e6)
+		tot.TraceInsts += s.TraceInsts
+		tot.TraceWall += s.TraceWall
+		tot.Sims += s.Sims
+		tot.SimCycles += s.SimCycles
+		tot.SimWall += s.SimWall
+	}
+	fmt.Fprintf(w, "%-12s %12d %9.3f %5d %14d %9.3f %12.2f\n",
+		"total", tot.TraceInsts, tot.TraceWall.Seconds(), tot.Sims,
+		tot.SimCycles, tot.SimWall.Seconds(), tot.CyclesPerSecond()/1e6)
 }
 
 // NewRunner returns a Runner over all twelve workloads.
@@ -251,10 +346,12 @@ func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 		if watched {
 			opts.Ctx = ctx
 		}
+		start := time.Now()
 		tr, err := cpu.BuildTrace(p, opts)
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name, Stage: "trace", Err: err}
 		}
+		r.noteTrace(w.Name, uint64(len(tr.Insts)), time.Since(start))
 		return tr, nil
 	})
 }
@@ -274,15 +371,25 @@ func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Resu
 		r.logf("  %s %s ...", w.Name, cfg.Name)
 		ctx, cancel, watched := r.stageCtx()
 		defer cancel()
-		var opts cpu.SimOptions
+		var simOpts []cpu.Option
 		if watched {
-			opts.Ctx = ctx
+			simOpts = append(simOpts, cpu.WithContext(ctx))
 		}
-		res, err := cpu.SimulateOpts(tr, cfg, opts)
+		if r.Obs != nil {
+			simOpts = append(simOpts, cpu.WithMetrics(r.Obs, nil))
+		}
+		sim, err := cpu.New(cfg, simOpts...)
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name,
 				Stage: "simulate " + cfg.Name, Err: err}
 		}
+		start := time.Now()
+		res, err := sim.Run(tr)
+		if err != nil {
+			return nil, &WorkloadError{Workload: w.Name,
+				Stage: "simulate " + cfg.Name, Err: err}
+		}
+		r.noteSim(w.Name, res.Cycles, time.Since(start))
 		return res, nil
 	})
 }

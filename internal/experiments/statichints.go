@@ -76,7 +76,7 @@ func (r *Runner) staticHintPass(w *workload.Workload) (StaticHintRow, error) {
 		case HintsBinary:
 			hints = an.HintAt
 		}
-		c, err := core.NewClassifier(core.Scheme1BitHybrid, hints)
+		c, err := core.NewClassifier(core.ClassifierConfig{Scheme: core.Scheme1BitHybrid}, core.WithHints(hints))
 		if err != nil {
 			return row, err
 		}
@@ -84,7 +84,7 @@ func (r *Runner) staticHintPass(w *workload.Workload) (StaticHintRow, error) {
 	}
 
 	r.logf("static hint study %s ...", w.Name)
-	m, err := vm.New(p, nil)
+	m, err := vm.New(vm.Config{Program: p})
 	if err != nil {
 		return row, err
 	}

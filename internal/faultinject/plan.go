@@ -2,7 +2,7 @@
 // differential-validation harness for the memory pipeline. A seeded
 // PRNG expands into a Plan of timing- and architectural-level faults;
 // an Injector realizes the plan through the library's deterministic
-// hooks (cpu.TraceOptions.SteerFault/VMFault, cpu.SimOptions.Faults);
+// hooks (cpu.TraceOptions.SteerFault/VMFault, cpu.WithFaults);
 // and RunOne replays every faulted run against the functional VM's
 // golden digest, asserting that timing-layer faults never change
 // architectural results. The whole pipeline is a pure function of the

@@ -26,7 +26,7 @@ type Golden struct {
 // the VM default) and digests its architectural outcome.
 func GoldenRun(p *prog.Program, maxInsts uint64) (*Golden, error) {
 	d := newDigester()
-	m, err := vm.New(p, d)
+	m, err := vm.New(vm.Config{Program: p, Out: d})
 	if err != nil {
 		return nil, err
 	}
@@ -95,13 +95,18 @@ func RunOne(p *prog.Program, maxInsts uint64, golden *Golden, plan *Plan, cfg cp
 	}
 	inj := NewInjector(plan)
 	inj.Table = table
+	cls, err := core.NewClassifier(
+		core.ClassifierConfig{Scheme: core.Scheme1BitHybrid}, core.WithTable(table))
+	if err != nil {
+		return nil, err
+	}
 
 	d := newDigester()
 	var faulted ArchDigest
 	var finalSeen bool
 	tr, err := cpu.BuildTrace(p, cpu.TraceOptions{
 		MaxInsts:   maxInsts,
-		Classifier: &core.Classifier{Scheme: core.Scheme1BitHybrid, Table: table},
+		Classifier: cls,
 		SteerFault: inj.SteerFault,
 		VMFault:    inj.VMFault,
 		Observer:   d.observe,
@@ -143,7 +148,11 @@ func RunOne(p *prog.Program, maxInsts uint64, golden *Golden, plan *Plan, cfg cp
 	}
 
 	rec := decouple.NewRecovery()
-	sres, err := cpu.SimulateOpts(tr, cfg, cpu.SimOptions{Faults: inj, Recovery: rec})
+	sim, err := cpu.New(cfg, cpu.WithFaults(inj), cpu.WithRecovery(rec))
+	if err != nil {
+		return nil, err
+	}
+	sres, err := sim.Run(tr)
 	if err != nil {
 		res.Divergence = fmt.Sprintf("faulted timing simulation failed: %v", err)
 		return res, nil

@@ -17,7 +17,7 @@ func compileRun(t *testing.T, src string) (int, string) {
 		t.Fatalf("compile: %v", err)
 	}
 	var out bytes.Buffer
-	m, err := vm.New(p, &out)
+	m, err := vm.New(vm.Config{Program: p, Out: &out})
 	if err != nil {
 		t.Fatalf("vm.New: %v", err)
 	}
@@ -256,7 +256,7 @@ int main() {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	m, err := vm.New(p, &out)
+	m, err := vm.New(vm.Config{Program: p, Out: &out})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the "JSON Array Format with metadata" that
+// chrome://tracing and ui.perfetto.dev both load. One simulated cycle
+// maps to one microsecond of trace time, so the timeline's time axis
+// reads directly in cycles.
+//
+// The exporter renders three layers from the event stream:
+//
+//   - one "X" (complete) slice per op, dispatch → commit, laid out on
+//     opLanes round-robin thread lanes so overlapping ops stay visible;
+//   - instant events for the intra-op milestones (queue enter, issue,
+//     address ready, forwards, port stalls, cache accesses) on the
+//     op's lane;
+//   - one "X" slice per misprediction recovery, detect → replay, on a
+//     dedicated "ARPT recovery" lane, with the cancel as an instant.
+//     The span count equals the simulation's completed recoveries
+//     (cpu.Result.Recoveries), which the arlsim -trace-events path
+//     asserts.
+
+// ChromeOptions configures the export.
+type ChromeOptions struct {
+	// ProcessName labels the trace's process row (e.g. "arlsim 130.li
+	// (3+3)").
+	ProcessName string
+	// OpLanes is the number of round-robin pipeline lanes (<= 0 selects
+	// 32).
+	OpLanes int
+}
+
+// ChromeStats summarizes what an export produced.
+type ChromeStats struct {
+	Events        int // trace-event records written (excluding metadata)
+	OpSlices      int // per-op dispatch→commit slices
+	RecoverySpans int // detect→replay recovery slices
+}
+
+const recoveryTid = 1000
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func cacheAccessName(arg int64) string {
+	lvc, write, level := CacheArgParts(arg)
+	first := "L1"
+	if lvc {
+		first = "LVC"
+	}
+	op := "read"
+	if write {
+		op = "write"
+	}
+	switch level {
+	case LevelFirst:
+		return fmt.Sprintf("%s %s hit", first, op)
+	case LevelL2:
+		return fmt.Sprintf("%s %s miss→L2", first, op)
+	default:
+		return fmt.Sprintf("%s %s miss→mem", first, op)
+	}
+}
+
+func instantName(ev Event) string {
+	switch ev.Kind {
+	case EvQueueEnter:
+		if ev.Arg == QueueLVAQ {
+			return "enter LVAQ"
+		}
+		return "enter LSQ"
+	case EvPortStall:
+		if ev.Arg == int64(PoolLVC) {
+			return "LVC port stall"
+		}
+		return "L1 port stall"
+	case EvCacheAccess:
+		return cacheAccessName(ev.Arg)
+	default:
+		return ev.Kind.String()
+	}
+}
+
+// WriteChromeTrace exports events as a Chrome trace-event JSON document.
+// Events must carry non-decreasing emission order per seq (the order a
+// Tracer received them); cycle stamps drive the timeline.
+func WriteChromeTrace(w io.Writer, events []Event, opt ChromeOptions) (ChromeStats, error) {
+	lanes := opt.OpLanes
+	if lanes <= 0 {
+		lanes = 32
+	}
+	var stats ChromeStats
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	name := opt.ProcessName
+	if name == "" {
+		name = "arl pipeline"
+	}
+	out = append(out,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: 0, Args: map[string]any{"name": name}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: recoveryTid,
+			Args: map[string]any{"name": "ARPT recovery"}},
+	)
+
+	// Pass 1: pair dispatch/commit per seq into op slices, and
+	// detect/replay per seq into recovery spans. The ring may have
+	// evicted a slice's dispatch; such ops render as instants only.
+	type opSpan struct {
+		start   int64
+		started bool
+		mem     bool
+		load    bool
+	}
+	ops := make(map[int64]*opSpan)
+	recovStart := make(map[int64]int64)
+
+	laneOf := func(seq int64) int { return int(seq%int64(lanes)) + 1 }
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvDispatch:
+			mem, load := DispatchArgParts(ev.Arg)
+			ops[ev.Seq] = &opSpan{start: ev.Cycle, started: true, mem: mem, load: load}
+		case EvCommit:
+			op, ok := ops[ev.Seq]
+			if !ok || !op.started {
+				break
+			}
+			delete(ops, ev.Seq)
+			sliceName := "op"
+			if op.mem {
+				sliceName = "store"
+				if op.load {
+					sliceName = "load"
+				}
+			}
+			dur := ev.Cycle - op.start
+			if dur < 1 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{
+				Name: sliceName, Cat: "op", Ph: "X",
+				Ts: op.start, Dur: dur, Pid: 0, Tid: laneOf(ev.Seq),
+				Args: map[string]any{"seq": ev.Seq},
+			})
+			stats.OpSlices++
+		case EvQueueEnter, EvIssue, EvAddrReady, EvForward, EvPortStall, EvCacheAccess, EvComplete:
+			out = append(out, chromeEvent{
+				Name: instantName(ev), Cat: "pipe", Ph: "i",
+				Ts: ev.Cycle, Pid: 0, Tid: laneOf(ev.Seq), S: "t",
+				Args: map[string]any{"seq": ev.Seq},
+			})
+		case EvRecoveryDetect:
+			recovStart[ev.Seq] = ev.Cycle
+		case EvRecoveryCancel:
+			out = append(out, chromeEvent{
+				Name: "cancel", Cat: "recovery", Ph: "i",
+				Ts: ev.Cycle, Pid: 0, Tid: recoveryTid, S: "t",
+				Args: map[string]any{"seq": ev.Seq},
+			})
+		case EvRecoveryReplay:
+			start, ok := recovStart[ev.Seq]
+			if !ok {
+				start = ev.Cycle
+			}
+			delete(recovStart, ev.Seq)
+			dur := ev.Cycle - start + ev.Arg
+			if dur < 1 {
+				dur = 1
+			}
+			out = append(out, chromeEvent{
+				Name: "recovery", Cat: "recovery", Ph: "X",
+				Ts: start, Dur: dur, Pid: 0, Tid: recoveryTid,
+				Args: map[string]any{"seq": ev.Seq, "penalty": ev.Arg},
+			})
+			stats.RecoverySpans++
+		}
+	}
+	// Detections whose replay never happened (aborted run) surface as
+	// instants so they are not silently lost; sorted for deterministic
+	// output.
+	orphans := make([]int64, 0, len(recovStart))
+	for seq := range recovStart {
+		orphans = append(orphans, seq)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, seq := range orphans {
+		out = append(out, chromeEvent{
+			Name: "detect (no replay)", Cat: "recovery", Ph: "i",
+			Ts: recovStart[seq], Pid: 0, Tid: recoveryTid, S: "t",
+			Args: map[string]any{"seq": seq},
+		})
+	}
+	stats.Events = len(out) - 2 // metadata records excluded
+
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"format":    "1 simulated cycle = 1us",
+			"generator": "repro/internal/obs",
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticEvents is a small, fully deterministic pipeline episode:
+// three ops (an ALU op, a load that misses to L2, and a store that is
+// mispredicted and recovered), exercising every exporter branch.
+func syntheticEvents() []Event {
+	return []Event{
+		{Cycle: 1, Seq: 0, Kind: EvDispatch, Arg: DispatchArg(false, false)},
+		{Cycle: 1, Seq: 1, Kind: EvDispatch, Arg: DispatchArg(true, true)},
+		{Cycle: 1, Seq: 1, Kind: EvQueueEnter, Arg: QueueLSQ},
+		{Cycle: 1, Seq: 2, Kind: EvDispatch, Arg: DispatchArg(true, false)},
+		{Cycle: 1, Seq: 2, Kind: EvQueueEnter, Arg: QueueLSQ},
+		{Cycle: 2, Seq: 0, Kind: EvIssue},
+		{Cycle: 2, Seq: 1, Kind: EvIssue},
+		{Cycle: 3, Seq: 0, Kind: EvComplete},
+		{Cycle: 3, Seq: 1, Kind: EvAddrReady},
+		{Cycle: 3, Seq: 2, Kind: EvIssue},
+		{Cycle: 4, Seq: 1, Kind: EvPortStall, Arg: PoolL1},
+		{Cycle: 4, Seq: 2, Kind: EvAddrReady},
+		{Cycle: 4, Seq: 2, Kind: EvRecoveryDetect},
+		{Cycle: 4, Seq: 2, Kind: EvRecoveryCancel},
+		{Cycle: 4, Seq: 2, Kind: EvRecoveryReplay, Arg: 4},
+		{Cycle: 4, Seq: 2, Kind: EvQueueEnter, Arg: QueueLVAQ},
+		{Cycle: 5, Seq: 1, Kind: EvCacheAccess, Arg: CacheArg(false, false, LevelL2)},
+		{Cycle: 8, Seq: 2, Kind: EvCacheAccess, Arg: CacheArg(true, true, LevelFirst)},
+		{Cycle: 8, Seq: 2, Kind: EvComplete},
+		{Cycle: 19, Seq: 1, Kind: EvComplete},
+		{Cycle: 20, Seq: 0, Kind: EvCommit},
+		{Cycle: 20, Seq: 1, Kind: EvCommit},
+		{Cycle: 21, Seq: 2, Kind: EvCommit},
+	}
+}
+
+// TestChromeTraceGolden pins the exact exporter output. Regenerate with
+//
+//	go test ./internal/obs -run TestChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	stats, err := WriteChromeTrace(&buf, syntheticEvents(), ChromeOptions{
+		ProcessName: "golden (3+3)", OpLanes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OpSlices != 3 || stats.RecoverySpans != 1 {
+		t.Fatalf("stats = %+v, want 3 op slices and 1 recovery span", stats)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract every
+// consumer (chrome://tracing, Perfetto) relies on, independent of the
+// golden bytes.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteChromeTrace(&buf, syntheticEvents(), ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter did not produce valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d missing ph: %v", i, ev)
+		}
+		phases[ph] = true
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d missing name: %v", i, ev)
+		}
+		if ph == "X" {
+			if dur, ok := ev["dur"].(float64); !ok || dur < 1 {
+				t.Fatalf("complete event %d has bad dur: %v", i, ev)
+			}
+		}
+	}
+	for _, want := range []string{"M", "X", "i"} {
+		if !phases[want] {
+			t.Errorf("no %q phase events emitted", want)
+		}
+	}
+}
+
+// TestChromeTraceRecoverySpansSurviveRingEviction: even when the ring
+// evicts everything else, recovery spans still pair up.
+func TestChromeTraceRecoverySpansSurviveRingEviction(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{Cycle: 10, Seq: 5, Kind: EvRecoveryDetect})
+	for i := 0; i < 50; i++ {
+		r.Emit(Event{Cycle: int64(11 + i), Seq: int64(100 + i), Kind: EvCommit})
+	}
+	r.Emit(Event{Cycle: 70, Seq: 5, Kind: EvRecoveryReplay, Arg: 8})
+	var buf bytes.Buffer
+	stats, err := WriteChromeTrace(&buf, r.Events(), ChromeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoverySpans != 1 {
+		t.Fatalf("recovery spans = %d, want 1", stats.RecoverySpans)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryHandlesAreIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sim_cycles_total", "cycles", Labels{"workload": "x"})
+	b := r.Counter("sim_cycles_total", "", Labels{"workload": "x"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	other := r.Counter("sim_cycles_total", "", Labels{"workload": "y"})
+	if a == other {
+		t.Fatal("distinct labels shared a handle")
+	}
+	a.Add(41)
+	b.Inc()
+	if got := a.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter and gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	r.Gauge("m", "", nil)
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits_total", "", Labels{"k": "v"}).Inc()
+				r.Hist("occ", "", nil).Observe(int64(j % 4))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "", Labels{"k": "v"}).Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Hist("occ", "", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z_gauge", "last", nil).Set(1.5)
+	r.Counter("a_counter", "first", Labels{"b": "2", "a": "1"}).Add(7)
+	r.Hist("m_hist", "middle", nil).Observe(3)
+	r.Hist("m_hist", "", nil).Observe(3)
+	r.Hist("m_hist", "", nil).Observe(-1)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	j1, _ := json.Marshal(s1)
+	j2, _ := json.Marshal(s2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("snapshots differ across calls")
+	}
+	if len(s1) != 3 {
+		t.Fatalf("%d samples, want 3", len(s1))
+	}
+	if s1[0].Name != "a_counter" || s1[1].Name != "m_hist" || s1[2].Name != "z_gauge" {
+		t.Fatalf("unsorted snapshot: %s, %s, %s", s1[0].Name, s1[1].Name, s1[2].Name)
+	}
+	h := s1[1]
+	if h.Count == nil || *h.Count != 3 || len(h.Buckets) != 2 {
+		t.Fatalf("hist sample = %+v", h)
+	}
+	if h.Buckets[0].Value != -1 || h.Buckets[1].Value != 3 || h.Buckets[1].Count != 2 {
+		t.Fatalf("hist buckets = %+v", h.Buckets)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_cycles_total", "total simulated cycles", Labels{"config": "(3+3)"}).Add(100)
+	r.Hist("sim_lsq_occupancy", "LSQ entries per cycle", nil).Observe(5)
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# sim_cycles_total: total simulated cycles",
+		"sim_cycles_total{config=(3+3)} 100",
+		"sim_lsq_occupancy count=1 mean=5.00 buckets=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestArtifactMatchesSchema pins the writer and the checked-in JSON
+// schema together: an artifact produced by this package must validate,
+// and known corruptions must not.
+func TestArtifactMatchesSchema(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_cycles_total", "cycles", Labels{"workload": "130.li", "config": "(3+3)"}).Add(12345)
+	r.Gauge("harness_wall_seconds", "stage wall time", Labels{"stage": "trace"}).Set(0.25)
+	r.Hist("sim_lsq_occupancy", "", nil).Observe(17)
+
+	var buf bytes.Buffer
+	a := r.Artifact(RunMeta{Cmd: "arlsim", Args: []string{"-fig8"}, GoVersion: "go1.22", WallSeconds: 1.25})
+	if err := EncodeArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("artifact does not validate against embedded schema: %v\n%s", err, buf.String())
+	}
+
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"wrong schema tag", `{"schema":"other/v9","run":{"cmd":"x","go_version":"g","wall_seconds":1},"metrics":[]}`},
+		{"missing run.cmd", `{"schema":"arl-metrics/v1","run":{"go_version":"g","wall_seconds":1},"metrics":[]}`},
+		{"bad metric type", `{"schema":"arl-metrics/v1","run":{"cmd":"x","go_version":"g","wall_seconds":1},"metrics":[{"name":"a","type":"timer"}]}`},
+		{"bad metric name", `{"schema":"arl-metrics/v1","run":{"cmd":"x","go_version":"g","wall_seconds":1},"metrics":[{"name":"Bad Name","type":"counter"}]}`},
+		{"negative wall", `{"schema":"arl-metrics/v1","run":{"cmd":"x","go_version":"g","wall_seconds":-1},"metrics":[]}`},
+		{"extra top-level key", `{"schema":"arl-metrics/v1","run":{"cmd":"x","go_version":"g","wall_seconds":1},"metrics":[],"extra":1}`},
+	}
+	for _, tc := range bad {
+		if err := ValidateMetrics([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: invalid artifact passed validation", tc.name)
+		}
+	}
+}
+
+func TestLabelsWith(t *testing.T) {
+	base := Labels{"a": "1"}
+	ext := base.With(Labels{"b": "2", "a": "override"})
+	if ext["a"] != "override" || ext["b"] != "2" {
+		t.Fatalf("With = %v", ext)
+	}
+	if base["a"] != "1" || len(base) != 1 {
+		t.Fatalf("With mutated receiver: %v", base)
+	}
+}

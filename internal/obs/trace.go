@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// EventKind enumerates the pipeline event taxonomy (DESIGN.md §9). The
+// emitting subsystem is internal/cpu; the kinds mirror the stages a
+// dynamic instruction moves through in the Table 4 machine.
+type EventKind uint8
+
+const (
+	// EvDispatch: the op enters the ROB. Arg packs DispatchArg.
+	EvDispatch EventKind = iota
+	// EvQueueEnter: a memory op enters a steering queue. Arg is
+	// QueueLSQ or QueueLVAQ.
+	EvQueueEnter
+	// EvIssue: the op wins a function unit (memory ops: the AGU slot).
+	EvIssue
+	// EvAddrReady: a memory op's effective address is generated.
+	EvAddrReady
+	// EvForward: a load is satisfied by store-to-load forwarding.
+	EvForward
+	// EvPortStall: a ready memory op could not obtain a cache port this
+	// cycle. Arg is PoolL1 or PoolLVC.
+	EvPortStall
+	// EvCacheAccess: the op was granted a port and charged the
+	// hierarchy. Arg packs CacheArg.
+	EvCacheAccess
+	// EvComplete: the op's result is available (loads: data returned;
+	// stores: write buffered; ALU: executed).
+	EvComplete
+	// EvCommit: the op retires from the ROB head.
+	EvCommit
+	// EvRecoveryDetect: address translation exposed an ARPT steering
+	// misprediction.
+	EvRecoveryDetect
+	// EvRecoveryCancel: the mispredicted op left its wrong queue.
+	EvRecoveryCancel
+	// EvRecoveryReplay: the op re-entered the correct queue. Arg is the
+	// recovery penalty in cycles.
+	EvRecoveryReplay
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"dispatch", "queue-enter", "issue", "addr-ready", "forward",
+	"port-stall", "cache-access", "complete", "commit",
+	"recovery-detect", "recovery-cancel", "recovery-replay",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Queue identifiers for EvQueueEnter args.
+const (
+	QueueLSQ  = 1
+	QueueLVAQ = 2
+)
+
+// Port-pool identifiers for EvPortStall args.
+const (
+	PoolL1  = 1
+	PoolLVC = 2
+)
+
+// Cache levels for CacheArg.
+const (
+	LevelFirst = 1 // L1 or LVC hit
+	LevelL2    = 2 // first-level miss, L2 hit
+	LevelMem   = 3 // missed to memory
+)
+
+// DispatchArg packs the op shape into an EvDispatch argument.
+func DispatchArg(mem, load bool) int64 {
+	arg := int64(0)
+	if mem {
+		arg |= 1
+	}
+	if load {
+		arg |= 2
+	}
+	return arg
+}
+
+// DispatchArgParts unpacks a DispatchArg.
+func DispatchArgParts(arg int64) (mem, load bool) {
+	return arg&1 != 0, arg&2 != 0
+}
+
+// CacheArg packs an EvCacheAccess argument: which first-level cache,
+// read or write, and the level that satisfied the access.
+func CacheArg(lvc, write bool, level int) int64 {
+	arg := int64(level & 3)
+	if lvc {
+		arg |= 4
+	}
+	if write {
+		arg |= 8
+	}
+	return arg
+}
+
+// CacheArgParts unpacks a CacheArg.
+func CacheArgParts(arg int64) (lvc, write bool, level int) {
+	return arg&4 != 0, arg&8 != 0, int(arg & 3)
+}
+
+// Event is one cycle-stamped pipeline event. Seq is the dynamic
+// instruction sequence number; Arg is kind-specific (see the kind
+// constants).
+type Event struct {
+	Cycle int64
+	Seq   int64
+	Kind  EventKind
+	Arg   int64
+}
+
+// Recovery reports whether the event belongs to the misprediction
+// recovery protocol. Recovery events are rare and load-bearing (the
+// Chrome exporter builds detect→replay spans from them, and the
+// acceptance check compares span count against Result.Recoveries), so
+// the Ring tracer retains them unconditionally.
+func (e Event) Recovery() bool {
+	return e.Kind == EvRecoveryDetect || e.Kind == EvRecoveryCancel || e.Kind == EvRecoveryReplay
+}
+
+// Tracer receives pipeline events. Implementations must tolerate the
+// emission rate of a full simulation (several events per committed
+// instruction). Emit is called from the simulation goroutine only, but
+// implementations here lock anyway so one tracer could aggregate
+// several concurrent runs.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Nop is the no-op tracer: every Emit is discarded. The timing core
+// recognizes Nop and strips it at construction, so a simulation built
+// with WithTracer(obs.Nop{}) runs the identical uninstrumented path as
+// one built with no tracer at all.
+type Nop struct{}
+
+// Emit discards the event.
+func (Nop) Emit(Event) {}
+
+// DefaultRingCap bounds a Ring tracer when the caller does not: 4 Mi
+// events (~128 MB) comfortably holds a truncated workload's full
+// pipeline timeline.
+const DefaultRingCap = 4 << 20
+
+type ringRec struct {
+	ev Event
+	n  uint64 // global emission ordinal, for stable merging
+}
+
+// Ring is the sampling tracer: a bounded buffer that keeps the most
+// recent high-volume events (growing lazily up to its capacity), plus a
+// side list that keeps every recovery-protocol event regardless of age
+// (see Event.Recovery). Dropped reports how many old events were
+// evicted.
+type Ring struct {
+	mu      sync.Mutex
+	capa    int
+	buf     []ringRec
+	pos     int // next overwrite index once len(buf) == capa
+	n       uint64
+	recov   []ringRec
+	dropped uint64
+}
+
+// NewRing builds a ring tracer holding the last cap high-volume events
+// (cap <= 0 selects DefaultRingCap). Storage grows with use, so a short
+// run never pays for the full capacity.
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Ring{capa: cap}
+}
+
+// Emit records the event.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	rec := ringRec{ev: ev, n: r.n}
+	r.n++
+	switch {
+	case ev.Recovery():
+		r.recov = append(r.recov, rec)
+	case len(r.buf) < r.capa:
+		r.buf = append(r.buf, rec)
+	default:
+		r.buf[r.pos] = rec
+		r.pos++
+		if r.pos == len(r.buf) {
+			r.pos = 0
+		}
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Dropped reports how many events were evicted from the ring.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports how many events Events would return.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recov) + len(r.buf)
+}
+
+// Events returns the retained events in emission order (ring contents
+// merged with the always-retained recovery events).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	recs := make([]ringRec, 0, len(r.buf)+len(r.recov))
+	recs = append(recs, r.buf...)
+	recs = append(recs, r.recov...)
+	r.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].n < recs[j].n })
+	out := make([]Event, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.ev
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "testing"
+
+func TestRingKeepsRecentAndAllRecovery(t *testing.T) {
+	r := NewRing(4)
+	// 10 high-volume events; only the last 4 survive.
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i), Seq: int64(i), Kind: EvCommit})
+	}
+	// Recovery events interleaved early would also survive.
+	r.Emit(Event{Cycle: 100, Seq: 3, Kind: EvRecoveryDetect})
+	r.Emit(Event{Cycle: 101, Seq: 3, Kind: EvRecoveryCancel})
+	r.Emit(Event{Cycle: 102, Seq: 3, Kind: EvRecoveryReplay, Arg: 4})
+
+	evs := r.Events()
+	if len(evs) != 7 {
+		t.Fatalf("len = %d, want 7 (4 ring + 3 recovery)", len(evs))
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	// Emission order preserved across the merge.
+	wantCycles := []int64{6, 7, 8, 9, 100, 101, 102}
+	for i, ev := range evs {
+		if ev.Cycle != wantCycles[i] {
+			t.Fatalf("events[%d].Cycle = %d, want %d (%v)", i, ev.Cycle, wantCycles[i], evs)
+		}
+	}
+}
+
+func TestRingGrowsLazily(t *testing.T) {
+	r := NewRing(1 << 20)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: EvDispatch})
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	if got := len(r.Events()); got != 10 {
+		t.Fatalf("Events len = %d, want 10", got)
+	}
+}
+
+func TestRecoveryEventsNeverEvicted(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{Cycle: 1, Seq: 7, Kind: EvRecoveryDetect})
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Cycle: int64(2 + i), Seq: int64(i), Kind: EvCacheAccess})
+	}
+	r.Emit(Event{Cycle: 200, Seq: 7, Kind: EvRecoveryReplay, Arg: 1})
+	got := 0
+	for _, ev := range r.Events() {
+		if ev.Recovery() {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("recovery events retained = %d, want 2", got)
+	}
+}
+
+func TestArgPacking(t *testing.T) {
+	if mem, load := DispatchArgParts(DispatchArg(true, false)); !mem || load {
+		t.Error("DispatchArg(store) round trip")
+	}
+	if mem, load := DispatchArgParts(DispatchArg(true, true)); !mem || !load {
+		t.Error("DispatchArg(load) round trip")
+	}
+	lvc, write, level := CacheArgParts(CacheArg(true, true, LevelL2))
+	if !lvc || !write || level != LevelL2 {
+		t.Errorf("CacheArg round trip: lvc=%v write=%v level=%d", lvc, write, level)
+	}
+	lvc, write, level = CacheArgParts(CacheArg(false, false, LevelMem))
+	if lvc || write || level != LevelMem {
+		t.Errorf("CacheArg round trip: lvc=%v write=%v level=%d", lvc, write, level)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNopTracerImplementsTracer(t *testing.T) {
+	var tr Tracer = Nop{}
+	tr.Emit(Event{Cycle: 1, Kind: EvDispatch}) // must not panic
+}

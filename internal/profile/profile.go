@@ -78,7 +78,7 @@ func Run(p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
 // as a vm.FaultError wrapping the context's error, so a hung or
 // oversized workload aborts cleanly instead of pinning the process.
 func RunContext(ctx context.Context, p *prog.Program, maxInsts uint64, out io.Writer) (*Profile, error) {
-	m, err := vm.New(p, out)
+	m, err := vm.New(vm.Config{Program: p, Out: out})
 	if err != nil {
 		return nil, err
 	}

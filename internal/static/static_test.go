@@ -33,7 +33,7 @@ func TestSoundnessAllWorkloads(t *testing.T) {
 				t.Errorf("unexpected diagnostic: %v", d)
 			}
 
-			m, err := vm.New(p, io.Discard)
+			m, err := vm.New(vm.Config{Program: p, Out: io.Discard})
 			if err != nil {
 				t.Fatal(err)
 			}

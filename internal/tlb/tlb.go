@@ -8,7 +8,10 @@
 package tlb
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -17,6 +20,17 @@ type Stats struct {
 	Accesses uint64
 	Hits     uint64
 	Misses   uint64
+}
+
+// Publish copies the counters into r under the given labels; call once
+// when a run finishes.
+func (s Stats) Publish(r *obs.Registry, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	r.Counter("tlb_accesses_total", "TLB lookups", labels).Add(s.Accesses)
+	r.Counter("tlb_hits_total", "TLB hits", labels).Add(s.Hits)
+	r.Counter("tlb_misses_total", "TLB misses", labels).Add(s.Misses)
 }
 
 type entry struct {
@@ -38,8 +52,48 @@ type TLB struct {
 // DefaultEntries matches a typical late-90s data TLB.
 const DefaultEntries = 64
 
-// New builds a TLB over the given layout snapshot.
-func New(entries int, layout region.Layout) *TLB {
+// Config describes a TLB.
+type Config struct {
+	// Entries is the number of (fully associative) entries; 0 selects
+	// DefaultEntries.
+	Entries int
+	// Layout is the initial address-space snapshot pages are classified
+	// against (see SetLayout for updates).
+	Layout region.Layout
+}
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	if c.Entries < 0 {
+		return fmt.Errorf("tlb: negative entry count %d", c.Entries)
+	}
+	return nil
+}
+
+// Option configures a TLB beyond its geometry.
+type Option func(*TLB)
+
+// New builds a TLB from cfg; the configuration must validate.
+func New(cfg Config, opts ...Option) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	entries := cfg.Entries
+	if entries == 0 {
+		entries = DefaultEntries
+	}
+	t := &TLB{entries: make([]entry, entries), layout: cfg.Layout}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t, nil
+}
+
+// NewSized builds a TLB over the given layout snapshot; entries <= 0
+// selects DefaultEntries.
+//
+// Deprecated: use New(Config{Entries: n, Layout: layout}).
+func NewSized(entries int, layout region.Layout) *TLB {
 	if entries <= 0 {
 		entries = DefaultEntries
 	}

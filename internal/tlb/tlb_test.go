@@ -13,8 +13,17 @@ func layout() region.Layout {
 	}
 }
 
+func mustNew(t *testing.T, entries int) *TLB {
+	t.Helper()
+	tb, err := New(Config{Entries: entries, Layout: layout()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
 func TestStackBit(t *testing.T) {
-	tb := New(4, layout())
+	tb := mustNew(t, 4)
 	if stack, _ := tb.Lookup(0x7FFF_0000); !stack {
 		t.Error("stack page not flagged")
 	}
@@ -27,7 +36,7 @@ func TestStackBit(t *testing.T) {
 }
 
 func TestHitAfterFill(t *testing.T) {
-	tb := New(4, layout())
+	tb := mustNew(t, 4)
 	if _, hit := tb.Lookup(0x1000_0000); hit {
 		t.Error("cold lookup hit")
 	}
@@ -41,7 +50,7 @@ func TestHitAfterFill(t *testing.T) {
 }
 
 func TestLRUReplacement(t *testing.T) {
-	tb := New(2, layout())
+	tb := mustNew(t, 2)
 	a, b, c := uint32(0x1000_0000), uint32(0x1000_1000), uint32(0x1000_2000)
 	tb.Lookup(a)
 	tb.Lookup(b)
@@ -56,7 +65,20 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestDefaultEntries(t *testing.T) {
-	tb := New(0, layout())
+	tb := mustNew(t, 0)
+	if len(tb.entries) != DefaultEntries {
+		t.Errorf("entries = %d", len(tb.entries))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{Entries: -1}); err == nil {
+		t.Error("negative entry count accepted")
+	}
+}
+
+func TestDeprecatedNewSized(t *testing.T) {
+	tb := NewSized(0, layout())
 	if len(tb.entries) != DefaultEntries {
 		t.Errorf("entries = %d", len(tb.entries))
 	}
@@ -64,7 +86,10 @@ func TestDefaultEntries(t *testing.T) {
 
 func TestSetLayoutMovesBrk(t *testing.T) {
 	l := layout()
-	tb := New(4, l)
+	tb, err := New(Config{Entries: 4, Layout: l})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l.Brk += 0x1000
 	tb.SetLayout(l)
 	// New heap page classifies by the updated layout.

@@ -17,7 +17,7 @@ func faultyRun(t *testing.T, src string, setup func(*Machine)) error {
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}

@@ -97,20 +97,49 @@ var ErrMaxInsts = errors.New("instruction budget exhausted")
 // DefaultMaxInsts bounds a run when the caller does not override it.
 const DefaultMaxInsts = 200_000_000
 
-// New loads p into a fresh machine. Output from print syscalls goes to
-// out (pass io.Discard or nil to drop it).
-func New(p *prog.Program, out io.Writer) (*Machine, error) {
-	if err := p.Validate(); err != nil {
+// Config describes a machine to build.
+type Config struct {
+	// Program is the linked program to load (required).
+	Program *prog.Program
+	// Out receives print-syscall output; nil drops it.
+	Out io.Writer
+	// MaxInsts bounds execution; 0 selects DefaultMaxInsts.
+	MaxInsts uint64
+}
+
+// Validate checks the configuration, including the program itself.
+func (c Config) Validate() error {
+	if c.Program == nil {
+		return errors.New("vm: Config.Program is nil")
+	}
+	return c.Program.Validate()
+}
+
+// Option configures a Machine beyond its Config.
+type Option func(*Machine)
+
+// WithFaultHook installs the pre-instruction hook (see Machine.FaultHook).
+func WithFaultHook(hook func(seq uint64, pc uint32) error) Option {
+	return func(m *Machine) { m.FaultHook = hook }
+}
+
+// New loads cfg.Program into a fresh machine.
+func New(cfg Config, opts ...Option) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	p := cfg.Program
 	m := &Machine{
 		Prog:     p,
 		Mem:      mem.New(),
-		out:      out,
-		MaxInsts: DefaultMaxInsts,
+		out:      cfg.Out,
+		MaxInsts: cfg.MaxInsts,
 	}
 	if m.out == nil {
 		m.out = io.Discard
+	}
+	if m.MaxInsts == 0 {
+		m.MaxInsts = DefaultMaxInsts
 	}
 	layout, err := p.LoadInto(m.Mem)
 	if err != nil {
@@ -122,7 +151,17 @@ func New(p *prog.Program, out io.Writer) (*Machine, error) {
 	m.regs[isa.SP] = prog.StackTop - 16
 	m.regs[isa.FP] = prog.StackTop - 16
 	m.regs[isa.RA] = HaltPC
+	for _, opt := range opts {
+		opt(m)
+	}
 	return m, nil
+}
+
+// NewWithOutput loads p into a fresh machine with output going to out.
+//
+// Deprecated: use New(Config{Program: p, Out: out}).
+func NewWithOutput(p *prog.Program, out io.Writer) (*Machine, error) {
+	return New(Config{Program: p, Out: out})
 }
 
 // PC reports the current program counter.

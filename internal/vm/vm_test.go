@@ -18,7 +18,7 @@ func run(t *testing.T, src string) (*Machine, string) {
 		t.Fatalf("assemble: %v", err)
 	}
 	var out bytes.Buffer
-	m, err := New(p, &out)
+	m, err := New(Config{Program: p, Out: &out})
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
@@ -221,7 +221,7 @@ main:
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ main:
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ main:
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestEventSequenceNumbers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func TestInstructionBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestInitialRegisters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(p, nil)
+	m, err := New(Config{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
