@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -33,6 +36,7 @@ func main() {
 	c.WorkloadFlags(30_000)
 	c.SeedFlag(1)
 	flag.IntVar(&c.Parallel, "parallel", 0, "workloads in flight (0 = all)")
+	c.StoreFlags()
 	c.ObsFlags("")
 	flag.Parse()
 	c.Start()
@@ -40,8 +44,25 @@ func main() {
 		c.Fatalf("-campaign and -faults must be positive")
 	}
 
+	ctx := c.HandleSignals()
+	if c.StoreDir != "" {
+		s, err := store.Open(c.StoreDir)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		c.Store = s
+	}
+	retry := resilience.Retry{Attempts: c.Retries + 1, Seed: c.Seed}
+
 	workloads := c.Workloads()
 	cfg := cpu.Decoupled(3, 3)
+	// The campaign parameters are part of each summary's identity: a
+	// record cached at one seed or run count never answers for another.
+	campaignCfg := fmt.Sprintf("seed=%d runs=%d faults=%d %+v", c.Seed, *runs, *faults, cfg)
+	key := func(w *workload.Workload) store.Key {
+		return store.Key{Kind: "faultsummary", Workload: w.Name, Scale: c.Scale,
+			MaxInsts: c.MaxInsts, Config: campaignCfg, Version: "arl/v1"}
+	}
 
 	summaries := make([]*faultinject.Summary, len(workloads))
 	errs := make([]error, len(workloads))
@@ -52,21 +73,43 @@ func main() {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, w := range workloads {
+		if ctx.Err() != nil {
+			break // shutting down: start no new campaigns
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, w *workload.Workload) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			p, err := w.Compile(c.Scale)
-			if err != nil {
-				errs[i] = err
-				return
+			if c.Store != nil && c.Resume {
+				var s faultinject.Summary
+				if ok, err := c.Store.Get(key(w), &s); err == nil && ok {
+					summaries[i] = &s
+					return
+				}
 			}
-			summaries[i], errs[i] = faultinject.RunCampaign(
-				p, w.Name, c.Seed, *runs, *faults, c.MaxInsts, cfg)
+			errs[i] = retry.Do(ctx, w.Name+"/faultcampaign", func(context.Context) error {
+				p, err := w.Compile(c.Scale)
+				if err != nil {
+					return err
+				}
+				summaries[i], err = faultinject.RunCampaign(
+					p, w.Name, c.Seed, *runs, *faults, c.MaxInsts, cfg)
+				return err
+			})
+			if errs[i] == nil && c.Store != nil {
+				if err := c.Store.Put(key(w), summaries[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "arlfault: store: %v\n", err)
+				}
+			}
 		}(i, w)
 	}
 	wg.Wait()
+	if c.Interrupted() {
+		fmt.Fprintln(os.Stderr, "arlfault: interrupted; completed campaigns are in the store")
+		c.Finish(nil)
+		os.Exit(cliutil.ExitInterrupted)
+	}
 
 	fmt.Printf("arlfault: differential fault campaign, seed=%d, %d runs x %d faults per workload, config %s\n\n",
 		c.Seed, *runs, *faults, cfg.Name)

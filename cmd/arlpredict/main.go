@@ -26,11 +26,14 @@ func main() {
 	abc := flag.Bool("ablationctx", false, "context-width sweep")
 	c.WorkloadFlags(0)
 	c.RunnerFlags()
+	c.SeedFlag(1)
+	c.StoreFlags()
 	c.ObsFlags("")
 	flag.Parse()
 	c.Start()
 
 	all := !*f4 && !*t3 && !*f5 && !*ab2 && !*abc
+	c.HandleSignals()
 	r := c.Runner()
 
 	if all || *f4 || *t3 || *f5 || *ab2 {
@@ -58,5 +61,9 @@ func main() {
 		}
 		fmt.Println(experiments.RenderContextSweep(rows))
 	}
+	if errs := r.Errors(); len(errs) > 0 {
+		fmt.Print(experiments.RenderWorkloadErrors(errs))
+	}
 	c.Finish(r.Obs)
+	c.Exit()
 }

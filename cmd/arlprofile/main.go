@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
@@ -27,11 +28,14 @@ func main() {
 	lvc := flag.Bool("lvc", false, "stack-cache hit rate (§3.3)")
 	c.WorkloadFlags(0)
 	c.RunnerFlags()
+	c.SeedFlag(1)
+	c.StoreFlags()
 	c.ObsFlags("")
 	flag.Parse()
 	c.Start()
 
 	all := !*t1 && !*f2 && !*t2 && !*lvc
+	c.HandleSignals()
 	r := c.Runner()
 
 	if all || *t1 {
@@ -54,11 +58,18 @@ func main() {
 		check(c, err)
 		fmt.Println(experiments.RenderLVC(rows))
 	}
+	if errs := r.Errors(); len(errs) > 0 {
+		fmt.Print(experiments.RenderWorkloadErrors(errs))
+	}
 	c.Finish(r.Obs)
+	c.Exit()
 }
 
 func check(c *cliutil.Common, err error) {
 	if err != nil {
+		if c.Interrupted() {
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		c.Fatalf("%v", err)
 	}
 }

@@ -36,35 +36,53 @@ func main() {
 	skipTiming := flag.Bool("skip-timing", false, "skip the Figure 8 / penalty / storm studies")
 	c.WorkloadFlags(0)
 	c.RunnerFlags()
+	c.SeedFlag(1)
+	c.StoreFlags()
 	c.ObsFlags("results/arlreport.metrics.json")
 	flag.Parse()
 	c.Start()
 
+	c.HandleSignals()
 	r := c.Runner()
 
 	start := time.Now()
 	section := func(title string) {
 		fmt.Printf("\n============ %s ============\n\n", title)
 	}
+	// check aborts on a hard failure; an interruption instead flushes
+	// the artifacts of the work already finished (a later -resume run
+	// picks up from there) and exits with the distinct interrupted
+	// status.
+	check := func(err error) {
+		if err == nil {
+			return
+		}
+		if c.Interrupted() {
+			fmt.Fprintf(os.Stderr, "arlreport: interrupted; flushing completed artifacts\n")
+			c.Finish(r.Obs)
+			os.Exit(cliutil.ExitInterrupted)
+		}
+		c.Fatalf("%v", err)
+	}
 
 	section("E1: Table 1")
 	t1, err := r.Table1()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderTable1(t1))
 
 	section("E2: Figure 2")
 	f2, err := r.Figure2()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderFigure2(f2))
 
 	section("E3: Table 2")
 	t2, err := r.Table2()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderTable2(t2))
 
 	section("E4/E5/E6/E9: predictor study")
 	study, err := r.RunPredictorStudy()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderFigure4(study.Figure4))
 	fmt.Println()
 	fmt.Print(experiments.RenderTable3(study.Table3))
@@ -75,33 +93,33 @@ func main() {
 
 	section("E8: LVC hit rate")
 	lvc, err := r.LVCHitRate()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderLVC(lvc))
 
 	section("E10: context sweep")
 	ctx, err := r.ContextSweep([]int{0, 8, 16}, []int{0, 7, 24})
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderContextSweep(ctx))
 
 	section("E14: binary-level static hints")
 	sh, err := r.StaticHintStudy()
-	check(c, err)
+	check(err)
 	fmt.Print(experiments.RenderStaticHints(sh))
 
 	if !*skipTiming {
 		section("E7: Figure 8")
 		f8, err := r.Figure8()
-		check(c, err)
+		check(err)
 		fmt.Print(experiments.RenderFigure8(f8, cpu.Figure8Configs()))
 
 		section("E11: misprediction penalty sweep")
 		pen, err := r.PenaltySweep([]int{1, 4, 16})
-		check(c, err)
+		check(err)
 		fmt.Print(experiments.RenderPenaltySweep(pen))
 
 		section("E15: misprediction storm / recovery penalty study")
 		storm, err := r.RecoveryStorm(1, []float64{0, 0.01, 0.05}, []int{2, 8, 16})
-		check(c, err)
+		check(err)
 		fmt.Print(experiments.RenderRecoveryStorm(storm))
 	}
 
@@ -115,10 +133,5 @@ func main() {
 
 	c.Finish(r.Obs)
 	fmt.Fprintf(os.Stderr, "\narlreport: completed in %s\n", time.Since(start).Round(time.Second))
-}
-
-func check(c *cliutil.Common, err error) {
-	if err != nil {
-		c.Fatalf("%v", err)
-	}
+	c.Exit()
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/decouple"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		`machine configuration for -trace-events, "(N+M)" (M=0 for conventional)`)
 	c.WorkloadFlags(0)
 	c.RunnerFlags()
+	c.SeedFlag(1)
+	c.StoreFlags()
 	c.ObsFlags("")
 	c.TraceFlags()
 	flag.Parse()
@@ -50,6 +54,7 @@ func main() {
 	}
 
 	all := !*f8 && !*abp && !*abs && !*abf
+	c.HandleSignals()
 	r := c.Runner()
 
 	if all || *f8 {
@@ -80,7 +85,11 @@ func main() {
 		}
 		fmt.Println(experiments.RenderFastForward(rows))
 	}
+	if errs := r.Errors(); len(errs) > 0 {
+		fmt.Print(experiments.RenderWorkloadErrors(errs))
+	}
 	c.Finish(r.Obs)
+	c.Exit()
 }
 
 // parseConfig renders a "(N+M)" name into a machine configuration.
@@ -135,15 +144,14 @@ func traceRun(c *cliutil.Common, cfgName string) {
 		c.Fatalf("%v", err)
 	}
 
-	f, err := os.Create(c.TraceEvents)
-	if err != nil {
-		c.Fatalf("%v", err)
-	}
-	stats, err := obs.WriteChromeTrace(f, ring.Events(), obs.ChromeOptions{
+	var buf bytes.Buffer
+	stats, err := obs.WriteChromeTrace(&buf, ring.Events(), obs.ChromeOptions{
 		ProcessName: fmt.Sprintf("arlsim %s %s", w.Name, cfg.Name),
 	})
 	if err == nil {
-		err = f.Close()
+		// Atomic temp+rename: a crash mid-write never leaves a
+		// truncated trace behind.
+		err = store.WriteFileAtomic(c.TraceEvents, buf.Bytes(), 0o644)
 	}
 	if err != nil {
 		c.Fatalf("%s: %v", c.TraceEvents, err)

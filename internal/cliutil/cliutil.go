@@ -10,20 +10,31 @@ package cliutil
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers the /debug/pprof handlers
 	"os"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
+
+// ExitInterrupted is the exit code of a run ended by SIGINT/SIGTERM
+// after draining its workers and flushing its artifacts — distinct
+// from 0 (complete) and 1 (failed), so campaign scripts can tell an
+// interrupted run apart and resume it.
+const ExitInterrupted = 130
 
 // Common carries the shared command state: the parsed flag values plus
 // the run clock and profiling handles. Build one with New before
@@ -51,8 +62,20 @@ type Common struct {
 	TraceEvents string
 	TraceCap    int
 
-	start  time.Time
-	cpuOut *os.File
+	// Resilience (StoreFlags): the durable artifact store, resuming
+	// from it, and per-stage retries.
+	StoreDir string
+	Resume   bool
+	Retries  int
+
+	// Store is the artifact store opened by Runner when -store-dir is
+	// set (nil otherwise); Finish publishes its counters.
+	Store *store.Store
+
+	start       time.Time
+	cpuOut      *os.File
+	ctx         context.Context
+	interrupted atomic.Bool
 }
 
 // New returns the shared state for one command invocation and starts
@@ -81,6 +104,51 @@ func (c *Common) RunnerFlags() {
 // SeedFlag registers -seed with the given default.
 func (c *Common) SeedFlag(def uint64) {
 	flag.Uint64Var(&c.Seed, "seed", def, "campaign seed (same seed, same campaign, same output)")
+}
+
+// StoreFlags registers the crash-safety flags -store-dir, -resume and
+// -retries.
+func (c *Common) StoreFlags() {
+	flag.StringVar(&c.StoreDir, "store-dir", "",
+		"durable artifact store directory; completed stages are written through (empty = off)")
+	flag.BoolVar(&c.Resume, "resume", false,
+		"satisfy stages from verified -store-dir records before recomputing")
+	flag.IntVar(&c.Retries, "retries", 0,
+		"retry a failed stage up to this many times (deterministic backoff keyed by -seed)")
+}
+
+// HandleSignals installs the graceful-shutdown protocol and returns
+// the campaign context: the first SIGINT/SIGTERM cancels it — workers
+// drain, finished artifacts flush, and Exit reports ExitInterrupted —
+// while a second signal ends the process immediately.
+func (c *Common) HandleSignals() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.ctx = ctx
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		c.interrupted.Store(true)
+		fmt.Fprintf(os.Stderr, "%s: %v: draining workers and flushing artifacts (signal again to kill)\n",
+			c.Cmd, sig)
+		cancel()
+		sig = <-ch
+		fmt.Fprintf(os.Stderr, "%s: %v: killed\n", c.Cmd, sig)
+		os.Exit(ExitInterrupted)
+	}()
+	return ctx
+}
+
+// Interrupted reports whether a shutdown signal cancelled the run.
+func (c *Common) Interrupted() bool { return c.interrupted.Load() }
+
+// Exit ends the process with the interruption-aware exit code: call it
+// last in main, after Finish, so a drained run still reports it did
+// not complete.
+func (c *Common) Exit() {
+	if c.Interrupted() {
+		os.Exit(ExitInterrupted)
+	}
 }
 
 // ObsFlags registers the profiling and metrics flags. defMetrics is
@@ -151,6 +219,13 @@ func (c *Common) Finish(reg *obs.Registry) {
 		}
 	}
 	if reg != nil && c.MetricsPath != "" {
+		if c.Store != nil {
+			// Provenance, published last: how this run obtained its
+			// results (recomputed vs resumed), kept out of the
+			// deterministic simulation metrics until the artifact is
+			// about to be written.
+			c.Store.Publish(reg)
+		}
 		if err := c.WriteMetrics(reg); err != nil {
 			c.Fatalf("metrics: %v", err)
 		}
@@ -174,6 +249,8 @@ func (c *Common) RunMeta() obs.RunMeta {
 // WriteMetrics serializes reg to the -metrics path, validating the
 // encoded artifact against the embedded schema before anything touches
 // disk — a command can never publish an artifact arlmetrics rejects.
+// The write is atomic (temp + rename), so a crash mid-write leaves the
+// previous artifact intact rather than a truncated JSON document.
 func (c *Common) WriteMetrics(reg *obs.Registry) error {
 	var buf bytes.Buffer
 	if err := obs.EncodeArtifact(&buf, reg.Artifact(c.RunMeta())); err != nil {
@@ -182,22 +259,20 @@ func (c *Common) WriteMetrics(reg *obs.Registry) error {
 	if err := obs.ValidateMetrics(buf.Bytes()); err != nil {
 		return fmt.Errorf("artifact does not validate against its own schema: %w", err)
 	}
-	if dir := filepath.Dir(c.MetricsPath); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	return os.WriteFile(c.MetricsPath, buf.Bytes(), 0o644)
+	return store.WriteFileAtomic(c.MetricsPath, buf.Bytes(), 0o644)
 }
 
 // Runner builds the experiment Runner the parsed flags describe,
 // including the metrics registry when -metrics selected a path (read
-// it back via Runner.Obs and hand it to Finish).
+// it back via Runner.Obs and hand it to Finish), the artifact store
+// when -store-dir is set, retries, and the graceful-shutdown context
+// when HandleSignals was called.
 func (c *Common) Runner() *experiments.Runner {
 	r := experiments.NewRunner()
 	r.Scale = c.Scale
 	r.MaxInsts = c.MaxInsts
 	r.Parallel = c.Parallel
+	r.Ctx = c.ctx
 	if c.Timeout > 0 {
 		r.WorkloadTimeout = c.Timeout
 		r.Degrade = true
@@ -207,6 +282,29 @@ func (c *Common) Runner() *experiments.Runner {
 	}
 	if c.MetricsPath != "" {
 		r.Obs = obs.NewRegistry()
+	}
+	if c.StoreDir != "" {
+		s, err := store.Open(c.StoreDir)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		if !c.Quiet {
+			s.Log = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
+			}
+		}
+		c.Store = s
+		r.Store = s
+		r.Resume = c.Resume
+	}
+	if c.Retries > 0 {
+		r.Retry = resilience.Retry{Attempts: c.Retries + 1, Seed: c.Seed}
+	}
+	if c.Timeout > 0 || c.Retries > 0 {
+		// Repeated-failure protection only matters once failures are
+		// survivable events; pair the breaker with degradation.
+		r.Breaker = resilience.NewBreaker(0)
+		r.Degrade = true
 	}
 	r.Workloads = c.Workloads()
 	return r

@@ -148,15 +148,6 @@ func NewClassifier(cfg ClassifierConfig, opts ...ClassifierOption) (*Classifier,
 	return c, nil
 }
 
-// NewClassifierSized builds a classifier whose ARPT has the given
-// number of entries (0 = unlimited).
-//
-// Deprecated: use NewClassifier(ClassifierConfig{Scheme: scheme,
-// Entries: entries}, WithHints(hints)).
-func NewClassifierSized(scheme Scheme, entries int, hints HintSource) (*Classifier, error) {
-	return NewClassifier(ClassifierConfig{Scheme: scheme, Entries: entries}, WithHints(hints))
-}
-
 // Classify predicts the access region of one dynamic memory reference
 // and trains on the actual outcome. It returns the prediction made.
 func (c *Classifier) Classify(index int, pc uint32, in isa.Inst, ctx Context, actual Prediction) Prediction {

@@ -47,22 +47,6 @@ type RecoveryObserver interface {
 	Replay(seq int64, penalty int) error
 }
 
-// SimOptions carries the optional instrumentation of one simulation.
-// The zero value is a plain run.
-//
-// Deprecated: build a Sim with New and the WithContext / WithFaults /
-// WithRecovery options instead.
-type SimOptions struct {
-	// Ctx cancels the simulation cooperatively (checked every few
-	// thousand cycles); nil means no cancellation.
-	Ctx context.Context
-	// Faults perturbs the memory pipeline; nil injects nothing.
-	Faults MemFaulter
-	// Recovery witnesses the misprediction-recovery protocol; nil
-	// skips the validation.
-	Recovery RecoveryObserver
-}
-
 // Result is the outcome of one timing simulation.
 type Result struct {
 	Config Config
@@ -242,20 +226,6 @@ func Simulate(tr *Trace, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return sim.run(tr)
-}
-
-// SimulateOpts is Simulate with cancellation, fault injection and
-// recovery-protocol validation attached.
-//
-// Deprecated: use New(cfg, WithContext(...), WithFaults(...),
-// WithRecovery(...)) and Sim.Run.
-func SimulateOpts(tr *Trace, cfg Config, opts SimOptions) (*Result, error) {
-	sim, err := New(cfg,
-		WithContext(opts.Ctx), WithFaults(opts.Faults), WithRecovery(opts.Recovery))
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(tr)
 }
 
 // run is the simulation engine behind Sim.Run (which adds metrics

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -46,49 +48,58 @@ func (r *Runner) RecoveryStorm(seed uint64, rates []float64, penalties []int) ([
 			if err != nil {
 				return err
 			}
-			ctx, cancel, watched := r.stageCtx()
-			defer cancel()
 			r.logf("storming %s at rate %.3f ...", w.Name, rate)
-			opts := cpu.TraceOptions{
-				MaxInsts:   r.MaxInsts,
-				SteerFault: faultinject.Storm(seed, rate),
-			}
-			if watched {
-				opts.Ctx = ctx
-			}
-			tr, err := cpu.BuildTrace(p, opts)
-			if err != nil {
-				return &WorkloadError{Workload: w.Name, Stage: "storm trace", Err: err}
-			}
-			for pi, pen := range penalties {
-				cfg := cpu.Decoupled(3, 3)
-				cfg.MispredictPenalty = pen
-				rec := decouple.NewRecovery()
-				simOpts := []cpu.Option{cpu.WithRecovery(rec)}
+			serr := r.stage(w.Name, fmt.Sprintf("storm %.3f", rate), func(ctx context.Context) error {
+				watched := r.watched()
+				opts := cpu.TraceOptions{
+					MaxInsts:   r.MaxInsts,
+					SteerFault: faultinject.Storm(seed, rate),
+				}
 				if watched {
-					simOpts = append(simOpts, cpu.WithContext(ctx))
+					opts.Ctx = ctx
 				}
-				sim, err := cpu.New(cfg, simOpts...)
+				tr, err := cpu.BuildTrace(p, opts)
 				if err != nil {
-					return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+					return &WorkloadError{Workload: w.Name, Stage: "storm trace", Err: err}
 				}
-				res, err := sim.Run(tr)
-				if err != nil {
-					return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+				for pi, pen := range penalties {
+					cfg := cpu.Decoupled(3, 3)
+					cfg.MispredictPenalty = pen
+					rec := decouple.NewRecovery()
+					simOpts := []cpu.Option{cpu.WithRecovery(rec)}
+					if watched {
+						simOpts = append(simOpts, cpu.WithContext(ctx))
+					}
+					sim, err := cpu.New(cfg, simOpts...)
+					if err != nil {
+						return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+					}
+					res, err := sim.Run(tr)
+					if err != nil {
+						return &WorkloadError{Workload: w.Name, Stage: "storm simulate", Err: err}
+					}
+					if !rec.Complete() {
+						return &WorkloadError{Workload: w.Name, Stage: "storm simulate",
+							Err: fmt.Errorf("%d recoveries incomplete", rec.Outstanding())}
+					}
+					rows[i*np+pi] = StormRow{
+						Name: w.Name, Rate: rate, Penalty: pen,
+						Speedup:     res.Speedup(base),
+						IPC:         res.IPC(),
+						Mispredicts: res.ARPTMispredicts,
+						Recoveries:  res.Recoveries,
+					}
 				}
-				if !rec.Complete() {
-					return &WorkloadError{Workload: w.Name, Stage: "storm simulate",
-						Err: fmt.Errorf("%d recoveries incomplete", rec.Outstanding())}
-				}
-				rows[i*np+pi] = StormRow{
-					Name: w.Name, Rate: rate, Penalty: pen,
-					Speedup:     res.Speedup(base),
-					IPC:         res.IPC(),
-					Mispredicts: res.ARPTMispredicts,
-					Recoveries:  res.Recoveries,
-				}
+				return nil
+			})
+			var we *WorkloadError
+			if serr != nil && !errors.As(serr, &we) {
+				// The breaker tripping (or retry exhaustion on a bare
+				// error) surfaces here unwrapped; dress it so degraded
+				// batches render it like any other workload failure.
+				serr = &WorkloadError{Workload: w.Name, Stage: "storm", Err: serr}
 			}
-			return nil
+			return serr
 		}()
 		if err != nil && r.degraded(err) {
 			return nil // the workload's rows stay zero; filtered below

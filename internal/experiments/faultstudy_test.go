@@ -115,16 +115,17 @@ func TestWorkloadTimeoutDegrades(t *testing.T) {
 	}
 }
 
-// TestWorkloadTimeoutPartialReport checks graceful degradation: with a
-// watchdog generous enough for the small workloads but a poisoned big
-// one, the report covers the survivors.
-func TestWorkloadTimeoutPartialReport(t *testing.T) {
+// TestWorkloadFailurePartialReport checks graceful degradation: with
+// one workload's memo holding a genuine (non-transient) stage defect,
+// the report covers the survivors. Timeouts and cancellations are no
+// longer sticky — see TestTransientFailureDoesNotPoisonMemo — so the
+// poison here is a persistent workload defect.
+func TestWorkloadFailurePartialReport(t *testing.T) {
 	r := quickRunner(t, "compress", "li")
 	r.MaxInsts = 50_000
 	r.Degrade = true
-	// Poison li's profile memo with a sticky timeout, as a wedged run
-	// would leave it.
-	we := &WorkloadError{Workload: "130.li", Stage: "profile", Err: context.DeadlineExceeded}
+	we := &WorkloadError{Workload: "130.li", Stage: "profile",
+		Err: errors.New("synthetic persistent defect")}
 	if _, err := r.profiles.get("130.li", func() (*profile.Profile, error) {
 		return nil, we
 	}); err == nil {
@@ -139,8 +140,8 @@ func TestWorkloadTimeoutPartialReport(t *testing.T) {
 		t.Fatalf("rows = %+v, want just 129.compress", rows)
 	}
 	errs := r.Errors()
-	if len(errs) != 1 || errs[0].Workload != "130.li" || !errs[0].Timeout() {
-		t.Fatalf("errors = %v, want one li timeout", errs)
+	if len(errs) != 1 || errs[0].Workload != "130.li" || errs[0].Timeout() {
+		t.Fatalf("errors = %v, want one persistent li defect", errs)
 	}
 }
 

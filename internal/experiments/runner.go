@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -26,6 +27,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/resilience"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -86,6 +89,27 @@ type Runner struct {
 	// published exactly once). Drivers render or archive the registry
 	// after the batch; see obs.EncodeArtifact.
 	Obs *obs.Registry
+
+	// Store, when non-nil, makes the memoized stages durable: every
+	// compiled program, profile, trace and simulation result is written
+	// through to the artifact store, so a campaign killed mid-flight
+	// leaves its completed work on disk.
+	Store *store.Store
+	// Resume, with Store set, satisfies stage requests from verified
+	// store records before recomputing — the read side of crash
+	// recovery. Store hits replay the simulation's stored metrics
+	// fragment into Obs, so a resumed campaign's metrics artifact is
+	// identical to an uninterrupted run's.
+	Resume bool
+	// Retry paces re-attempts of failed stages (deterministic seeded
+	// backoff; see resilience.Retry). The zero value runs each stage
+	// once. When Retry.AttemptTimeout is zero, WorkloadTimeout bounds
+	// each attempt.
+	Retry resilience.Retry
+	// Breaker, when non-nil, trips per workload after consecutive
+	// stage failures: further stages of that workload degrade to fast
+	// rendered errors instead of burning the retry budget again.
+	Breaker *resilience.Breaker
 
 	logMu    sync.Mutex
 	programs memo[*prog.Program]
@@ -202,15 +226,21 @@ func (r *Runner) logf(format string, args ...any) {
 // per-key entry under the map lock and computes with the lock
 // released, so one slow computation never blocks lookups of other
 // keys; concurrent callers of the same key share the single
-// computation through the entry's sync.Once instead of duplicating
-// it.
+// computation through the entry's mutex instead of duplicating it.
+//
+// Transient failures — cancellation, watchdog expiry, an open circuit
+// breaker — are never cached: they describe the run, not the key, so
+// the entry stays unresolved and the next caller recomputes. A
+// cancelled campaign therefore does not poison the memo for a resume
+// within the same process.
 type memo[T any] struct {
 	mu sync.Mutex
 	m  map[string]*memoEntry[T]
 }
 
 type memoEntry[T any] struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	val  T
 	err  error
 }
@@ -226,7 +256,17 @@ func (c *memo[T]) get(key string, compute func() (T, error)) (T, error) {
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return e.val, e.err
+	}
+	val, err := compute()
+	if err != nil && resilience.Transient(err) {
+		var zero T
+		return zero, err
+	}
+	e.val, e.err, e.done = val, err, true
 	return e.val, e.err
 }
 
@@ -237,30 +277,130 @@ func (c *memo[T]) len() int {
 	return len(c.m)
 }
 
-// stageCtx derives the context for one workload pipeline stage: the
-// runner context (Background when unset) bounded by the per-workload
-// watchdog. watched reports whether cooperative cancellation is worth
-// installing at all.
-func (r *Runner) stageCtx() (ctx context.Context, cancel context.CancelFunc, watched bool) {
-	ctx = r.Ctx
-	if ctx == nil {
-		ctx = context.Background()
+// ctx reports the runner's campaign context (Background when unset).
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
 	}
-	if r.WorkloadTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, r.WorkloadTimeout)
-		return ctx, cancel, true
+	return context.Background()
+}
+
+// watched reports whether cooperative cancellation is worth installing
+// in functional runs and simulations: there is a campaign context, a
+// per-stage watchdog, or a per-attempt deadline that could fire.
+func (r *Runner) watched() bool {
+	return r.Ctx != nil || r.WorkloadTimeout > 0 || r.Retry.AttemptTimeout > 0
+}
+
+// stage runs one named pipeline step of one workload under the
+// runner's resilience policy: the workload's circuit breaker gates
+// entry, the retry policy paces re-attempts (each attempt bounded by
+// Retry.AttemptTimeout, defaulting to the WorkloadTimeout watchdog),
+// and the outcome feeds back into the breaker. fn receives the
+// per-attempt context.
+func (r *Runner) stage(wl, stage string, fn func(ctx context.Context) error) error {
+	if r.Breaker != nil {
+		if err := r.Breaker.Allow(wl); err != nil {
+			return err
+		}
 	}
-	return ctx, func() {}, r.Ctx != nil
+	retry := r.Retry
+	if retry.AttemptTimeout <= 0 {
+		retry.AttemptTimeout = r.WorkloadTimeout
+	}
+	user := retry.OnRetry
+	retry.OnRetry = func(name string, attempt int, delay time.Duration, err error) {
+		r.logf("retrying %s: attempt %d failed (%v); next try in %v", name, attempt, err, delay)
+		if r.Obs != nil {
+			r.Obs.Counter("harness_retries_total", "stage attempts retried after a failure",
+				obs.Labels{"workload": wl, "stage": stage}).Inc()
+		}
+		if user != nil {
+			user(name, attempt, delay, err)
+		}
+	}
+	err := retry.Do(r.ctx(), wl+"/"+stage, fn)
+	if r.Breaker != nil {
+		wasOpen := r.Breaker.Tripped(wl)
+		r.Breaker.Record(wl, err)
+		if !wasOpen && r.Breaker.Tripped(wl) {
+			r.logf("circuit breaker tripped for %s (last failure: %v)", wl, err)
+			if r.Obs != nil {
+				r.Obs.Counter("harness_breaker_trips_total", "workloads whose circuit breaker tripped",
+					obs.Labels{"workload": wl}).Inc()
+			}
+		}
+	}
+	return err
+}
+
+// storeVersion names the producing code version inside store keys, so
+// records written by an incompatible pipeline never alias current
+// ones. Bump whenever compilation, profiling, tracing or simulation
+// semantics change.
+const storeVersion = "arl/v1"
+
+// storeKey builds the canonical store key for one artifact of this
+// runner's campaign (its scale and instruction budget are part of the
+// identity; config distinguishes per-configuration artifacts).
+func (r *Runner) storeKey(kind, wl, config string) store.Key {
+	return store.Key{
+		Kind:     kind,
+		Workload: wl,
+		Scale:    r.Scale,
+		MaxInsts: r.MaxInsts,
+		Config:   config,
+		Version:  storeVersion,
+	}
+}
+
+// storeLoad attempts to satisfy a stage from the artifact store,
+// reporting whether v now holds a verified record. Only resuming runs
+// read; corruption and I/O problems degrade to a miss.
+func (r *Runner) storeLoad(k store.Key, v any) bool {
+	if r.Store == nil || !r.Resume {
+		return false
+	}
+	ok, err := r.Store.Get(k, v)
+	if err != nil {
+		r.logf("store: reading %s: %v", k, err)
+		return false
+	}
+	if ok {
+		r.logf("resumed %s from store", k)
+	}
+	return ok
+}
+
+// storePut writes a freshly computed artifact through to the store.
+// Persistence failures are logged, not fatal: the result is already in
+// memory and the campaign proceeds; only resumability suffers.
+func (r *Runner) storePut(k store.Key, v any) {
+	if r.Store == nil {
+		return
+	}
+	if err := r.Store.Put(k, v); err != nil {
+		r.logf("store: %v", err)
+	}
 }
 
 // record stores one degraded workload failure (once per
 // workload/stage; memoized errors are sticky, so many drivers may
-// observe the same failure).
+// observe the same failure). An open circuit breaker reports at most
+// once per workload — after a trip every remaining stage fails the
+// same way, and one line says it all.
 func (r *Runner) record(we *WorkloadError) {
 	r.errMu.Lock()
 	defer r.errMu.Unlock()
+	open := errors.Is(we.Err, resilience.ErrOpen)
 	for _, old := range r.wlErrs {
-		if old.Workload == we.Workload && old.Stage == we.Stage {
+		if old.Workload != we.Workload {
+			continue
+		}
+		if old.Stage == we.Stage {
+			return
+		}
+		if open && errors.Is(old.Err, resilience.ErrOpen) {
 			return
 		}
 	}
@@ -301,10 +441,25 @@ func (r *Runner) degraded(err error) bool {
 // Program compiles (and memoizes) one workload.
 func (r *Runner) Program(w *workload.Workload) (*prog.Program, error) {
 	return r.programs.get(w.Name, func() (*prog.Program, error) {
-		p, err := w.Compile(r.Scale)
+		key := r.storeKey("program", w.Name, "")
+		var stored prog.Program
+		if r.storeLoad(key, &stored) {
+			err := stored.Validate()
+			if err == nil {
+				return &stored, nil
+			}
+			r.logf("store: %s decoded but fails validation (%v); recompiling", key, err)
+		}
+		var p *prog.Program
+		err := r.stage(w.Name, "compile", func(context.Context) error {
+			var err error
+			p, err = w.Compile(r.Scale)
+			return err
+		})
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name, Stage: "compile", Err: err}
 		}
+		r.storePut(key, p)
 		return p, nil
 	})
 }
@@ -313,17 +468,26 @@ func (r *Runner) Program(w *workload.Workload) (*prog.Program, error) {
 // profile backs Table 1, Figure 2, Table 2 and the §3.5.2 oracle hints.
 func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
 	return r.profiles.get(w.Name, func() (*profile.Profile, error) {
+		key := r.storeKey("profile", w.Name, "")
+		var stored profile.Profile
+		if r.storeLoad(key, &stored) {
+			return &stored, nil
+		}
 		p, err := r.Program(w)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("profiling %s ...", w.Name)
-		ctx, cancel, _ := r.stageCtx()
-		defer cancel()
-		pr, err := profile.RunContext(ctx, p, r.MaxInsts, nil)
+		var pr *profile.Profile
+		err = r.stage(w.Name, "profile", func(ctx context.Context) error {
+			var err error
+			pr, err = profile.RunContext(ctx, p, r.MaxInsts, nil)
+			return err
+		})
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name, Stage: "profile", Err: err}
 		}
+		r.storePut(key, pr)
 		return pr, nil
 	})
 }
@@ -335,25 +499,53 @@ func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
 // across machine configurations.
 func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 	return r.traces.get(w.Name, func() (*cpu.Trace, error) {
+		key := r.storeKey("trace", w.Name, "")
+		stored := new(cpu.Trace)
+		if r.storeLoad(key, stored) {
+			r.noteTrace(w.Name, uint64(len(stored.Insts)), 0)
+			return stored, nil
+		}
 		p, err := r.Program(w)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("tracing %s ...", w.Name)
-		ctx, cancel, watched := r.stageCtx()
-		defer cancel()
-		opts := cpu.TraceOptions{MaxInsts: r.MaxInsts}
-		if watched {
-			opts.Ctx = ctx
-		}
-		start := time.Now()
-		tr, err := cpu.BuildTrace(p, opts)
+		var tr *cpu.Trace
+		err = r.stage(w.Name, "trace", func(ctx context.Context) error {
+			opts := cpu.TraceOptions{MaxInsts: r.MaxInsts}
+			if r.watched() {
+				opts.Ctx = ctx
+			}
+			start := time.Now()
+			var err error
+			tr, err = cpu.BuildTrace(p, opts)
+			if err != nil {
+				return err
+			}
+			r.noteTrace(w.Name, uint64(len(tr.Insts)), time.Since(start))
+			return nil
+		})
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name, Stage: "trace", Err: err}
 		}
-		r.noteTrace(w.Name, uint64(len(tr.Insts)), time.Since(start))
+		r.storePut(key, tr)
 		return tr, nil
 	})
+}
+
+// storedResult is the simulation artifact: the timing result plus the
+// metrics fragment that simulation published. Replaying the fragment
+// into Runner.Obs on a store hit reproduces exactly the samples a live
+// simulation would have contributed, which is what keeps a resumed
+// campaign's metrics artifact byte-identical to an uninterrupted one.
+//
+// The fragment travels as JSON, not gob: gob drops zero-valued fields,
+// so a counter sample holding a pointer to 0 would come back with a
+// nil value and the replay would lose every never-incremented series a
+// live run still registers.
+type storedResult struct {
+	Result  *cpu.Result
+	Metrics []byte // JSON-encoded []obs.Sample
 }
 
 // SimulateConfig simulates (and memoizes) one workload's default trace
@@ -364,32 +556,72 @@ func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Result, error) {
 	key := fmt.Sprintf("%s|%+v", w.Name, cfg)
 	return r.results.get(key, func() (*cpu.Result, error) {
+		skey := r.storeKey("result", w.Name, fmt.Sprintf("%+v", cfg))
+		var stored storedResult
+		if r.storeLoad(skey, &stored) && stored.Result != nil {
+			if r.Obs != nil && len(stored.Metrics) > 0 {
+				var samples []obs.Sample
+				err := json.Unmarshal(stored.Metrics, &samples)
+				if err == nil {
+					err = r.Obs.ImportSamples(samples)
+				}
+				if err != nil {
+					r.logf("store: replaying metrics of %s: %v", skey, err)
+				}
+			}
+			return stored.Result, nil
+		}
 		tr, err := r.Trace(w)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("  %s %s ...", w.Name, cfg.Name)
-		ctx, cancel, watched := r.stageCtx()
-		defer cancel()
-		var simOpts []cpu.Option
-		if watched {
-			simOpts = append(simOpts, cpu.WithContext(ctx))
-		}
-		if r.Obs != nil {
-			simOpts = append(simOpts, cpu.WithMetrics(r.Obs, nil))
-		}
-		sim, err := cpu.New(cfg, simOpts...)
+		var res *cpu.Result
+		var frag *obs.Registry
+		err = r.stage(w.Name, "simulate "+cfg.Name, func(ctx context.Context) error {
+			// Each attempt publishes into a private registry so a
+			// failed attempt's partial metrics never leak into Obs or
+			// the store.
+			reg := obs.NewRegistry()
+			var simOpts []cpu.Option
+			if r.watched() {
+				simOpts = append(simOpts, cpu.WithContext(ctx))
+			}
+			if r.Obs != nil || r.Store != nil {
+				simOpts = append(simOpts, cpu.WithMetrics(reg, nil))
+			}
+			sim, err := cpu.New(cfg, simOpts...)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err = sim.Run(tr)
+			if err != nil {
+				return err
+			}
+			r.noteSim(w.Name, res.Cycles, time.Since(start))
+			frag = reg
+			return nil
+		})
 		if err != nil {
 			return nil, &WorkloadError{Workload: w.Name,
 				Stage: "simulate " + cfg.Name, Err: err}
 		}
-		start := time.Now()
-		res, err := sim.Run(tr)
-		if err != nil {
-			return nil, &WorkloadError{Workload: w.Name,
-				Stage: "simulate " + cfg.Name, Err: err}
+		var fragJSON []byte
+		if frag != nil {
+			samples := frag.Snapshot()
+			if r.Obs != nil {
+				if err := r.Obs.ImportSamples(samples); err != nil {
+					r.logf("obs: publishing %s %s: %v", w.Name, cfg.Name, err)
+				}
+			}
+			var err error
+			if fragJSON, err = json.Marshal(samples); err != nil {
+				r.logf("obs: encoding metrics of %s %s: %v", w.Name, cfg.Name, err)
+				fragJSON = nil
+			}
 		}
-		r.noteSim(w.Name, res.Cycles, time.Since(start))
+		r.storePut(skey, storedResult{Result: res, Metrics: fragJSON})
 		return res, nil
 	})
 }

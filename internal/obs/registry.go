@@ -320,6 +320,59 @@ func labelText(labels map[string]string) string {
 	return out + "}"
 }
 
+// importBuckets folds another histogram's buckets into h. Bucket
+// values are integers, so the running sum stays exact under float64
+// regardless of merge order (every partial sum is an integer far
+// below 2^53) — merging a stored fragment reproduces the sum a live
+// run would have accumulated, bit for bit.
+func (h *Hist) importBuckets(buckets []Bucket) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make(map[int64]uint64)
+	}
+	for _, b := range buckets {
+		h.counts[b.Value] += b.Count
+		h.sum += float64(b.Value) * float64(b.Count)
+		h.n += b.Count
+	}
+}
+
+// ImportSamples merges a snapshot — typically a per-simulation metrics
+// fragment loaded back from the artifact store — into the registry:
+// counters add their value, gauges set it, histograms accumulate
+// buckets. This is what makes a resumed campaign's metrics artifact
+// identical to an uninterrupted run's: a result replayed from disk
+// re-publishes exactly the samples its original simulation produced.
+// Malformed samples return an error (nothing before them is rolled
+// back); a name already registered under a different type panics,
+// like the handle getters.
+func (r *Registry) ImportSamples(samples []Sample) error {
+	for _, s := range samples {
+		labels := Labels(s.Labels)
+		switch s.Type {
+		case TypeCounter:
+			if s.Value == nil {
+				return fmt.Errorf("obs: counter sample %q has no value", s.Name)
+			}
+			if v := *s.Value; v < 0 || v != math.Trunc(v) {
+				return fmt.Errorf("obs: counter sample %q value %v is not a whole non-negative number", s.Name, v)
+			}
+			r.Counter(s.Name, s.Help, labels).Add(uint64(*s.Value))
+		case TypeGauge:
+			if s.Value == nil {
+				return fmt.Errorf("obs: gauge sample %q has no value", s.Name)
+			}
+			r.Gauge(s.Name, s.Help, labels).Set(*s.Value)
+		case TypeHist:
+			r.Hist(s.Name, s.Help, labels).importBuckets(s.Buckets)
+		default:
+			return fmt.Errorf("obs: sample %q has unknown type %q", s.Name, s.Type)
+		}
+	}
+	return nil
+}
+
 // ArtifactSchema identifies the metrics artifact format; bump on any
 // incompatible change together with metrics.schema.json.
 const ArtifactSchema = "arl-metrics/v1"

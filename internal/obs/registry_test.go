@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -153,5 +154,84 @@ func TestLabelsWith(t *testing.T) {
 	}
 	if base["a"] != "1" || len(base) != 1 {
 		t.Fatalf("With mutated receiver: %v", base)
+	}
+}
+
+// TestImportSamples proves merging a snapshot reproduces the registry
+// state the original updates built — the property the store's resume
+// path depends on for byte-identical metrics artifacts.
+func TestImportSamples(t *testing.T) {
+	src := NewRegistry()
+	l := Labels{"workload": "099.go", "config": "(3+3)"}
+	src.Counter("sim_cycles_total", "simulated cycles", l).Add(1234)
+	src.Gauge("sim_ipc", "ipc", l).Set(1.75)
+	h := src.Hist("sim_lsq_occupancy", "occupancy", l)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i % 7))
+	}
+
+	dst := NewRegistry()
+	// Pre-existing counts must accumulate, not be overwritten.
+	dst.Counter("sim_cycles_total", "", Labels{"workload": "126.gcc", "config": "(3+3)"}).Add(10)
+	if err := dst.ImportSamples(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportSamples(src.Snapshot()); err != nil {
+		t.Fatal(err) // import twice: counters double, gauges stay
+	}
+
+	byKey := map[string]Sample{}
+	for _, s := range dst.Snapshot() {
+		byKey[s.Name+Labels(s.Labels).key()] = s
+	}
+	c := byKey["sim_cycles_total"+l.key()]
+	if c.Value == nil || *c.Value != 2468 {
+		t.Fatalf("counter = %+v", c)
+	}
+	g := byKey["sim_ipc"+l.key()]
+	if g.Value == nil || *g.Value != 1.75 {
+		t.Fatalf("gauge = %+v", g)
+	}
+	hs := byKey["sim_lsq_occupancy"+l.key()]
+	if hs.Count == nil || *hs.Count != 200 || len(hs.Buckets) != 7 {
+		t.Fatalf("hist = %+v", hs)
+	}
+	if hs.Sum == nil || *hs.Sum != 2*hsSum(h) {
+		t.Fatalf("hist sum = %v, want %v", *hs.Sum, 2*hsSum(h))
+	}
+
+	// A single-fragment import into a fresh registry snapshots
+	// identically to the source registry.
+	clone := NewRegistry()
+	if err := clone.ImportSamples(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	a, b := src.Snapshot(), clone.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("sample %d differs:\n %+v\n %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func hsSum(h *Hist) float64 {
+	_, _, sum := h.snapshot()
+	return sum
+}
+
+func TestImportSamplesRejectsMalformed(t *testing.T) {
+	r := NewRegistry()
+	if err := r.ImportSamples([]Sample{{Name: "x", Type: "bogus"}}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := r.ImportSamples([]Sample{{Name: "x", Type: TypeCounter}}); err == nil {
+		t.Fatal("valueless counter accepted")
+	}
+	neg := -1.0
+	if err := r.ImportSamples([]Sample{{Name: "x", Type: TypeCounter, Value: &neg}}); err == nil {
+		t.Fatal("negative counter accepted")
 	}
 }

@@ -63,8 +63,6 @@ type Profile struct {
 
 	// Windows holds one WindowStat per entry in WindowSizes.
 	Windows []WindowStat
-
-	prog *prog.Program
 }
 
 // Run profiles program p. maxInsts bounds execution (0 uses the VM
@@ -99,7 +97,6 @@ func RunContext(ctx context.Context, p *prog.Program, maxInsts uint64, out io.Wr
 	pr := &Profile{
 		Name:    p.Name,
 		PerInst: make([]InstProfile, len(p.Text)),
-		prog:    p,
 	}
 	type winTrack struct {
 		ws   [region.Count]*stats.Window

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOpen is wrapped by every error a tripped breaker returns; test
+// with errors.Is. A stage skipped because its breaker is open is a
+// run-shaping event, not a workload defect — see Transient.
+var ErrOpen = errors.New("circuit breaker open")
+
+// DefaultBreakerThreshold is the consecutive-failure count that trips
+// a breaker when NewBreaker is given a non-positive threshold.
+const DefaultBreakerThreshold = 4
+
+// Breaker is a per-key circuit breaker: after threshold consecutive
+// recorded failures for one key, Allow rejects further work for that
+// key immediately, so a persistently broken workload degrades to one
+// rendered error instead of burning the campaign's time budget stage
+// after stage. A breaker never closes again within a process — the
+// inputs of a batch are fixed, so a workload that failed N times in a
+// row will not heal by itself; rerun (or resume) to try again.
+//
+// Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	consec    map[string]int
+	open      map[string]error
+	trips     int
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// failures per key (non-positive selects DefaultBreakerThreshold).
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	return &Breaker{
+		threshold: threshold,
+		consec:    make(map[string]int),
+		open:      make(map[string]error),
+	}
+}
+
+// Allow reports whether work for key may proceed; when the breaker is
+// open it returns an error wrapping ErrOpen that names the failure
+// that tripped it.
+func (b *Breaker) Allow(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cause, tripped := b.open[key]; tripped {
+		return fmt.Errorf("%w for %q after %d consecutive failures (first kept cause: %v)",
+			ErrOpen, key, b.threshold, cause)
+	}
+	return nil
+}
+
+// Record feeds one outcome for key: success closes the failure streak;
+// a failure extends it and trips the breaker at the threshold.
+// Cancellation is recorded as neither — a campaign shutting down says
+// nothing about the workload — and breaker-open errors never re-count.
+func (b *Breaker) Record(key string, err error) {
+	if err != nil && (errors.Is(err, ErrOpen) || isCanceled(err)) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.consec[key] = 0
+		return
+	}
+	if _, tripped := b.open[key]; tripped {
+		return
+	}
+	b.consec[key]++
+	if b.consec[key] >= b.threshold {
+		b.open[key] = err
+		b.trips++
+	}
+}
+
+// Tripped reports whether key's breaker is open.
+func (b *Breaker) Tripped(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, tripped := b.open[key]
+	return tripped
+}
+
+// Trips reports how many keys have tripped so far.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// isCanceled matches a parent-cancellation error without claiming
+// watchdog expiries: a deadline blown by one workload is evidence
+// against that workload, but an explicit cancel (shutdown) is not.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled)
+}

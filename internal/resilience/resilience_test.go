@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	r := Retry{Attempts: 4, BaseDelay: time.Microsecond, MaxDelay: 4 * time.Microsecond, Seed: 7}
+	calls := 0
+	var retried []int
+	r.OnRetry = func(name string, attempt int, delay time.Duration, err error) {
+		retried = append(retried, attempt)
+	}
+	err := r.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(retried) != 2 {
+		t.Fatalf("calls=%d retried=%v", calls, retried)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	r := Retry{Attempts: 3, BaseDelay: time.Microsecond, Seed: 1}
+	calls := 0
+	sentinel := errors.New("permanent")
+	err := r.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryZeroValueRunsOnce(t *testing.T) {
+	var r Retry
+	calls := 0
+	if err := r.Do(nil, "op", func(ctx context.Context) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d", calls)
+	}
+}
+
+// TestRetryStopsOnParentCancel proves shutdown wins immediately: a
+// cancelled parent context suppresses all remaining attempts.
+func TestRetryStopsOnParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retry{Attempts: 10, BaseDelay: time.Hour, Seed: 3}
+	calls := 0
+	err := r.Do(ctx, "op", func(c context.Context) error {
+		calls++
+		cancel()
+		return c.Err()
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (no retry after parent cancel)", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestRetryAttemptTimeout proves each attempt gets its own deadline
+// while the parent survives, so a wedged attempt is retried.
+func TestRetryAttemptTimeout(t *testing.T) {
+	r := Retry{Attempts: 2, AttemptTimeout: time.Millisecond, BaseDelay: time.Microsecond, Seed: 5}
+	calls := 0
+	err := r.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		if calls == 1 {
+			<-ctx.Done() // wedged first attempt, released by its own deadline
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// TestBackoffDeterministic pins the jitter contract: same (seed, name,
+// attempt) → same delay; different seeds or names → (almost surely)
+// different delays; every delay in [cap/2, cap] bounds.
+func TestBackoffDeterministic(t *testing.T) {
+	r := Retry{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := r.backoff("trace/099.go", attempt)
+		b := r.backoff("trace/099.go", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: nondeterministic backoff %v vs %v", attempt, a, b)
+		}
+		want := r.BaseDelay << (attempt - 1)
+		if want > r.MaxDelay {
+			want = r.MaxDelay
+		}
+		if a < want/2 || a > want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, a, want/2, want)
+		}
+	}
+	r2 := r
+	r2.Seed = 43
+	if r.backoff("x", 1) == r2.backoff("x", 1) && r.backoff("x", 2) == r2.backoff("x", 2) {
+		t.Fatal("seed does not influence jitter")
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := NewBreaker(3)
+	fail := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow("w"); err != nil {
+			t.Fatalf("tripped early at %d", i)
+		}
+		b.Record("w", fail)
+	}
+	if b.Tripped("w") {
+		t.Fatal("tripped below threshold")
+	}
+	b.Record("w", fail)
+	if !b.Tripped("w") || b.Trips() != 1 {
+		t.Fatalf("tripped=%v trips=%d", b.Tripped("w"), b.Trips())
+	}
+	err := b.Allow("w")
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow = %v, want ErrOpen", err)
+	}
+	if !Transient(err) {
+		t.Fatal("breaker-open error must be transient (never memoized)")
+	}
+	// Other keys are unaffected.
+	if err := b.Allow("v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(2)
+	fail := errors.New("boom")
+	b.Record("w", fail)
+	b.Record("w", nil)
+	b.Record("w", fail)
+	if b.Tripped("w") {
+		t.Fatal("streak not reset by success")
+	}
+}
+
+func TestBreakerIgnoresCancelAndOpen(t *testing.T) {
+	b := NewBreaker(1)
+	b.Record("w", context.Canceled)
+	b.Record("w", fmt.Errorf("wrapped: %w", context.Canceled))
+	if b.Tripped("w") {
+		t.Fatal("cancellation tripped the breaker")
+	}
+	b.Record("w", errors.New("real failure"))
+	if !b.Tripped("w") {
+		t.Fatal("not tripped")
+	}
+	trips := b.Trips()
+	b.Record("w", b.Allow("w")) // feeding the open error back must not re-count
+	if b.Trips() != trips {
+		t.Fatal("open error re-counted")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	for _, err := range []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		fmt.Errorf("stage: %w", context.DeadlineExceeded),
+		fmt.Errorf("skip: %w", ErrOpen),
+	} {
+		if !Transient(err) {
+			t.Fatalf("%v not transient", err)
+		}
+	}
+	if Transient(errors.New("compile error")) || Transient(nil) {
+		t.Fatal("misclassified")
+	}
+}

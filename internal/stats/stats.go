@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -72,6 +73,32 @@ func (r *Running) Merge(other Running) {
 
 func (r *Running) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f", r.n, r.Mean(), r.StdDev())
+}
+
+// runningGobBytes is the fixed wire image of a Running: count, mean
+// bits, M2 bits, little-endian.
+const runningGobBytes = 24
+
+// GobEncode makes Running durable despite its unexported fields (the
+// type guards Welford's invariants): the artifact store's gob payloads
+// round-trip it through an explicit fixed-width image.
+func (r Running) GobEncode() ([]byte, error) {
+	buf := make([]byte, runningGobBytes)
+	binary.LittleEndian.PutUint64(buf[0:], r.n)
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.mean))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.m2))
+	return buf, nil
+}
+
+// GobDecode restores a Running encoded by GobEncode.
+func (r *Running) GobDecode(data []byte) error {
+	if len(data) != runningGobBytes {
+		return fmt.Errorf("stats: Running image is %d bytes, want %d", len(data), runningGobBytes)
+	}
+	r.n = binary.LittleEndian.Uint64(data[0:])
+	r.mean = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	r.m2 = math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	return nil
 }
 
 // Hist is a sparse integer histogram.

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tmpPrefix marks in-flight atomic writes. Files carrying it are
+// invisible to readers and swept as crash debris by Open.
+const tmpPrefix = ".tmp-"
+
+// WriteFileAtomic writes data to path so that a reader (or a crash at
+// any instant) observes either the old file or the complete new one,
+// never a truncated mix: the bytes land in a temporary file in the
+// target directory, are synced to stable storage, and are renamed over
+// path in one step. Parent directories are created as needed.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, perm)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// sweepTemp removes leftover tmpPrefix files under dir — the debris a
+// SIGKILL mid-write leaves behind. Rename is atomic, so anything still
+// carrying the prefix never became visible and is safe to delete.
+func sweepTemp(dir string) (removed int, err error) {
+	walkErr := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasPrefix(filepath.Base(path), tmpPrefix) {
+			if rmErr := os.Remove(path); rmErr == nil {
+				removed++
+			}
+		}
+		return nil
+	})
+	return removed, walkErr
+}

@@ -1,0 +1,332 @@
+// Package store implements the durable, content-addressed artifact
+// store behind crash-safe resumable campaigns: compiled programs,
+// region profiles, timing traces and simulation results are written
+// through to disk as checksummed, schema-versioned records keyed by a
+// canonical hash of (kind, workload, scale, instruction budget,
+// machine configuration, code version).
+//
+// Durability discipline:
+//
+//   - Writes are atomic: payload bytes land in a temporary file that is
+//     synced and renamed into place, so a crash at any instant leaves
+//     either the previous record or the complete new one — never a
+//     truncated artifact. Open sweeps any temp debris a SIGKILL left.
+//   - Reads are verified: every record carries its payload length and
+//     SHA-256, and re-states its own key. A record that fails any check
+//     (bad magic, malformed header, wrong key, short payload, checksum
+//     mismatch, undecodable payload) is quarantined — moved aside into
+//     quarantine/ for post-mortem — and reported as a miss, so the
+//     caller recomputes instead of failing the run.
+//
+// The store is safe for concurrent use by multiple goroutines of one
+// process (the worker pool write-throughs concurrently). Concurrent
+// writers of the same key are idempotent: both compute the same record
+// and the renames commute.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// RecordSchema identifies the on-disk record format; bump on any
+// incompatible change to the header or payload framing.
+const RecordSchema = "arl-store/v1"
+
+// magic opens every record file; the header JSON follows on the same
+// line, then the raw payload bytes.
+const magic = "arlstore1 "
+
+// ErrCorrupt marks a record that failed verification. Corrupt records
+// are quarantined and surfaced as misses by Get; the sentinel exists
+// so tests and tools inspecting records directly can classify the
+// failure.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// Key identifies one artifact. Every field participates in the
+// canonical hash, so artifacts produced under different scales,
+// instruction budgets, machine configurations or code versions never
+// alias.
+type Key struct {
+	Kind     string `json:"kind"`              // artifact kind: "program", "trace", "result", ...
+	Workload string `json:"workload"`          // workload name, e.g. "099.go"
+	Scale    int    `json:"scale"`             // workload scale (0 = workload default)
+	MaxInsts uint64 `json:"max_insts"`         // instruction budget (0 = full run)
+	Config   string `json:"config,omitempty"`  // canonical machine-configuration string
+	Version  string `json:"version,omitempty"` // producing code version; skew never aliases
+}
+
+// Hash returns the canonical content address of the key: the hex
+// SHA-256 of its unambiguous field serialization.
+func (k Key) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%q|%q|%d|%d|%q|%q", k.Kind, k.Workload, k.Scale, k.MaxInsts, k.Config, k.Version)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s@%d n=%d %s", k.Kind, k.Workload, k.Scale, k.MaxInsts, k.Config)
+}
+
+// header is the self-describing first line of a record file.
+type header struct {
+	Schema string `json:"schema"`
+	Key    Key    `json:"key"`
+	Len    int    `json:"len"`
+	SHA256 string `json:"sha256"`
+}
+
+// Stats are the store's monotonic operation counters.
+type Stats struct {
+	Hits    uint64 // Get found a verified record
+	Misses  uint64 // Get found nothing
+	Writes  uint64 // Put committed a record
+	Corrupt uint64 // records quarantined after failing verification
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+type Store struct {
+	root string
+
+	// Log, when non-nil, receives one line per notable event
+	// (quarantine, resume hit); set it before concurrent use.
+	Log func(format string, args ...any)
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	writes  atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// Open opens (creating as needed) the store rooted at dir and sweeps
+// any temporary-file debris a previous crash left behind.
+func Open(dir string) (*Store, error) {
+	s := &Store{root: dir}
+	for _, sub := range []string{s.objectsDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := sweepTemp(s.objectsDir()); err != nil {
+		return nil, fmt.Errorf("store: sweeping temp files: %w", err)
+	}
+	return s, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+func (s *Store) objectsDir() string    { return filepath.Join(s.root, "objects") }
+func (s *Store) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
+
+// path shards records by the first hash byte so one directory never
+// accumulates every object.
+func (s *Store) path(k Key) string {
+	h := k.Hash()
+	return filepath.Join(s.objectsDir(), h[:2], h)
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// Stats reports the operation counters accumulated so far.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Publish copies the operation counters into reg. The harness_ prefix
+// marks them as run-provenance metrics: they describe how this run
+// obtained its results (recomputed vs resumed), not what the results
+// are, so a resumed and an uninterrupted campaign legitimately differ
+// here and nowhere else.
+func (s *Store) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := s.Stats()
+	reg.Counter("harness_store_hits_total", "store reads satisfied by a verified record", nil).Add(st.Hits)
+	reg.Counter("harness_store_misses_total", "store reads that found no record", nil).Add(st.Misses)
+	reg.Counter("harness_store_writes_total", "records committed to the store", nil).Add(st.Writes)
+	reg.Counter("harness_store_corrupt_total", "records quarantined after failing verification", nil).Add(st.Corrupt)
+}
+
+// encodePayload serializes v: types providing their own binary codec
+// (e.g. cpu.Trace's packed record format) use it; everything else
+// goes through gob.
+func encodePayload(v any) ([]byte, error) {
+	if m, ok := v.(encoding.BinaryMarshaler); ok {
+		return m.MarshalBinary()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePayload(data []byte, v any) error {
+	if u, ok := v.(encoding.BinaryUnmarshaler); ok {
+		return u.UnmarshalBinary(data)
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Put serializes v and commits it under k atomically. An existing
+// record for k is replaced (same key means same inputs, so the bytes
+// should agree; replacement also self-heals a quarantined key).
+func (s *Store) Put(k Key, v any) error {
+	payload, err := encodePayload(v)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", k, err)
+	}
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		Schema: RecordSchema,
+		Key:    k,
+		Len:    len(payload),
+		SHA256: hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	rec := make([]byte, 0, len(magic)+len(hdr)+1+len(payload))
+	rec = append(rec, magic...)
+	rec = append(rec, hdr...)
+	rec = append(rec, '\n')
+	rec = append(rec, payload...)
+	if err := WriteFileAtomic(s.path(k), rec, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", k, err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Get looks k up and decodes the stored payload into v (a pointer).
+// It reports whether a verified record was found. A record that fails
+// verification is quarantined and reported as a miss — the caller
+// recomputes — so corruption degrades to a cache miss, never a failed
+// run. The returned error is reserved for environmental problems
+// (I/O, permissions), not data problems.
+func (s *Store) Get(k Key, v any) (bool, error) {
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: reading %s: %w", k, err)
+	}
+	if err := verify(data, k, v); err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		if qerr := s.quarantine(path); qerr != nil {
+			return false, fmt.Errorf("store: quarantining %s: %v (after: %w)", k, qerr, err)
+		}
+		s.logf("store: quarantined %s: %v", k, err)
+		return false, nil
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// verify checks a raw record against its key and decodes the payload
+// into v. Every failure wraps ErrCorrupt.
+func verify(data []byte, k Key, v any) error {
+	rest, ok := bytes.CutPrefix(data, []byte(magic))
+	if !ok {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return fmt.Errorf("%w: unterminated header", ErrCorrupt)
+	}
+	var hdr header
+	if err := json.Unmarshal(rest[:nl], &hdr); err != nil {
+		return fmt.Errorf("%w: malformed header: %v", ErrCorrupt, err)
+	}
+	if hdr.Schema != RecordSchema {
+		return fmt.Errorf("%w: schema %q, want %q", ErrCorrupt, hdr.Schema, RecordSchema)
+	}
+	if hdr.Key != k {
+		return fmt.Errorf("%w: record key %v does not match requested %v", ErrCorrupt, hdr.Key, k)
+	}
+	payload := rest[nl+1:]
+	if len(payload) != hdr.Len {
+		return fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), hdr.Len)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.SHA256 {
+		return fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	if err := decodePayload(payload, v); err != nil {
+		return fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// quarantine moves a failed record aside for post-mortem instead of
+// deleting evidence; a numbered suffix keeps repeated quarantines of
+// one key from clobbering each other.
+func (s *Store) quarantine(path string) error {
+	base := filepath.Base(path)
+	dst := filepath.Join(s.quarantineDir(), base)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", base, i))
+	}
+	return os.Rename(path, dst)
+}
+
+// Len reports how many committed records the store holds (quarantined
+// records excluded).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.Walk(s.objectsDir(), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Quarantined reports how many records have been moved to quarantine
+// over the store directory's lifetime (including prior processes).
+func (s *Store) Quarantined() (int, error) {
+	n := 0
+	err := filepath.Walk(s.quarantineDir(), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

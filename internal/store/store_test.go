@@ -1,0 +1,273 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type payload struct {
+	Name   string
+	Values []uint64
+}
+
+func testKey(kind string) Key {
+	return Key{Kind: kind, Workload: "099.go", Scale: 2, MaxInsts: 30_000, Config: "(3+3)", Version: "test/v1"}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("result")
+	want := payload{Name: "alpha", Values: []uint64{1, 2, 3}}
+
+	var missed payload
+	if ok, err := s.Get(k, &missed); err != nil || ok {
+		t.Fatalf("Get before Put = (%v, %v), want miss", ok, err)
+	}
+	if err := s.Put(k, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if ok, err := s.Get(k, &got); err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v), want hit", ok, err)
+	}
+	if got.Name != want.Name || len(got.Values) != 3 || got.Values[2] != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKeyHashDistinguishesEveryField(t *testing.T) {
+	base := testKey("trace")
+	seen := map[string]Key{base.Hash(): base}
+	for _, k := range []Key{
+		{Kind: "result", Workload: base.Workload, Scale: base.Scale, MaxInsts: base.MaxInsts, Config: base.Config, Version: base.Version},
+		{Kind: base.Kind, Workload: "126.gcc", Scale: base.Scale, MaxInsts: base.MaxInsts, Config: base.Config, Version: base.Version},
+		{Kind: base.Kind, Workload: base.Workload, Scale: 3, MaxInsts: base.MaxInsts, Config: base.Config, Version: base.Version},
+		{Kind: base.Kind, Workload: base.Workload, Scale: base.Scale, MaxInsts: 1, Config: base.Config, Version: base.Version},
+		{Kind: base.Kind, Workload: base.Workload, Scale: base.Scale, MaxInsts: base.MaxInsts, Config: "(2+0)", Version: base.Version},
+		{Kind: base.Kind, Workload: base.Workload, Scale: base.Scale, MaxInsts: base.MaxInsts, Config: base.Config, Version: "test/v2"},
+	} {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %v and %v", prev, k)
+		}
+		seen[h] = k
+	}
+	// The hash must be canonical, not incidental: field values that
+	// could concatenate ambiguously stay distinct under %q framing.
+	a := Key{Kind: "ab", Workload: "c"}
+	b := Key{Kind: "a", Workload: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Fatal("ambiguous field framing")
+	}
+}
+
+// TestCorruptionQuarantined flips one payload byte on disk and proves
+// the store detects it, moves the record to quarantine, reports a
+// miss (so the caller recomputes), and self-heals on the next Put.
+func TestCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("trace")
+	if err := s.Put(k, &payload{Name: "x", Values: []uint64{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40 // flip a payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got payload
+	ok, err := s.Get(k, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupted record served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	if q, err := s.Quarantined(); err != nil || q != 1 {
+		t.Fatalf("quarantined = (%d, %v), want 1", q, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupted record still in objects/")
+	}
+
+	// Recompute + rewrite heals the key.
+	if err := s.Put(k, &payload{Name: "x", Values: []uint64{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Get(k, &got); err != nil || !ok || got.Values[1] != 8 {
+		t.Fatalf("after heal: (%v, %v) %+v", ok, err, got)
+	}
+}
+
+// TestCorruptHeaderVariants exercises the non-checksum corruption
+// paths: bad magic, truncated header, and a record stored under a key
+// that hashes to the same path but states different fields.
+func TestCorruptHeaderVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"no newline", func(b []byte) []byte { return b[:len(magic)+4] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey("profile")
+			if err := s.Put(k, &payload{Name: "y"}); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(s.path(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.path(k), tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got payload
+			if ok, err := s.Get(k, &got); err != nil || ok {
+				t.Fatalf("Get = (%v, %v), want quarantined miss", ok, err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d", st.Corrupt)
+			}
+		})
+	}
+}
+
+// TestOpenSweepsTempDebris proves a SIGKILL mid-write cannot leave a
+// half-visible record: in-flight temp files are invisible to Get and
+// removed by the next Open.
+func TestOpenSweepsTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("result")
+	shard := filepath.Dir(s.path(k))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(shard, tmpPrefix+"crashed-123")
+	if err := os.WriteFile(debris, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got payload
+	if ok, err := s.Get(k, &got); err != nil || ok {
+		t.Fatalf("temp debris visible to Get: (%v, %v)", ok, err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatal("Open left temp debris in place")
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "out.json")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "two" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := testKey("result")
+			k.Workload = string(rune('a' + i%4))
+			for j := 0; j < 20; j++ {
+				if err := s.Put(k, &payload{Name: k.Workload, Values: []uint64{uint64(j)}}); err != nil {
+					t.Error(err)
+					return
+				}
+				var got payload
+				if ok, err := s.Get(k, &got); err != nil || !ok || got.Name != k.Workload {
+					t.Errorf("Get = (%v, %v) %+v", ok, err, got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPublish(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("result")
+	if err := s.Put(k, &payload{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if ok, _ := s.Get(k, &got); !ok {
+		t.Fatal("miss")
+	}
+	reg := obs.NewRegistry()
+	s.Publish(reg)
+	found := map[string]float64{}
+	for _, smp := range reg.Snapshot() {
+		if smp.Value != nil {
+			found[smp.Name] = *smp.Value
+		}
+	}
+	if found["harness_store_hits_total"] != 1 || found["harness_store_writes_total"] != 1 {
+		t.Fatalf("published counters = %v", found)
+	}
+}

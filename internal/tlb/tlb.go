@@ -89,17 +89,6 @@ func New(cfg Config, opts ...Option) (*TLB, error) {
 	return t, nil
 }
 
-// NewSized builds a TLB over the given layout snapshot; entries <= 0
-// selects DefaultEntries.
-//
-// Deprecated: use New(Config{Entries: n, Layout: layout}).
-func NewSized(entries int, layout region.Layout) *TLB {
-	if entries <= 0 {
-		entries = DefaultEntries
-	}
-	return &TLB{entries: make([]entry, entries), layout: layout}
-}
-
 // SetLayout updates the layout (the heap break moves as the program
 // sbrks; the stack boundary is fixed, so cached stack bits stay valid).
 func (t *TLB) SetLayout(l region.Layout) { t.layout = l }

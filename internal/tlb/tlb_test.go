@@ -77,8 +77,11 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestDeprecatedNewSized(t *testing.T) {
-	tb := NewSized(0, layout())
+func TestZeroEntriesWithLayout(t *testing.T) {
+	tb, err := New(Config{Layout: layout()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.entries) != DefaultEntries {
 		t.Errorf("entries = %d", len(tb.entries))
 	}

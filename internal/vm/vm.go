@@ -157,13 +157,6 @@ func New(cfg Config, opts ...Option) (*Machine, error) {
 	return m, nil
 }
 
-// NewWithOutput loads p into a fresh machine with output going to out.
-//
-// Deprecated: use New(Config{Program: p, Out: out}).
-func NewWithOutput(p *prog.Program, out io.Writer) (*Machine, error) {
-	return New(Config{Program: p, Out: out})
-}
-
 // PC reports the current program counter.
 func (m *Machine) PC() uint32 { return m.pc }
 
