@@ -1,0 +1,102 @@
+// Command arld is the sharded campaign service: a long-running
+// HTTP/JSON server that accepts campaign requests (workload × config ×
+// seed grids), shards their units across a bounded worker pool running
+// the experiment Runner's stages, and uses the content-addressed
+// artifact store as a shared cache tier, so concurrent clients
+// submitting overlapping grids deduplicate work instead of repeating
+// it. See internal/service for the API surface; arlsim, arlreport and
+// arlfault consume it through their -server flag.
+//
+//	arld -addr localhost:8080 -store-dir /tmp/arl-store -retries 2
+//
+// SIGINT/SIGTERM drains gracefully: in-flight units run to completion
+// and flush through the store's atomic writes, queued units end as
+// canceled with their jobs marked interrupted, and the process exits
+// 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	c := cliutil.New("arld")
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	queueCap := flag.Int("queue-cap", 0,
+		fmt.Sprintf("unit queue bound; submissions that do not fit get 429 (0 = %d)", service.DefaultQueueCap))
+	tenantCap := flag.Int("tenant-cap", 0,
+		"per-tenant in-flight unit bound; over-quota submissions get 429 (0 = the queue bound)")
+	c.RunnerFlags()
+	c.StoreFlags()
+	c.ObsFlags("")
+	flag.Parse()
+	c.Start()
+	ctx := c.HandleSignals()
+
+	var st *store.Store
+	if c.StoreDir != "" {
+		var err error
+		st, err = store.Open(c.StoreDir)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		if !c.Quiet {
+			st.SetLog(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "arld: "+format+"\n", args...)
+			})
+		}
+		c.Store = st
+	}
+
+	var logw io.Writer
+	if !c.Quiet {
+		logw = os.Stderr
+	}
+	svc := service.New(service.Config{
+		Workers:     c.Parallel,
+		QueueCap:    *queueCap,
+		TenantCap:   *tenantCap,
+		UnitTimeout: c.Timeout,
+		Retries:     c.Retries,
+		Log:         logw,
+	}, st)
+	c.ObserveRegistry(svc.Registry())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "arld: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		c.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain first — in-flight units complete and flush, queued units
+	// cancel, event streams see their jobs finalize — then close the
+	// listener and wait out the remaining handlers.
+	svc.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "arld: shutdown: %v\n", err)
+	}
+	cancel()
+	c.Finish(svc.Registry())
+	c.Exit()
+}

@@ -11,22 +11,23 @@
 // Usage:
 //
 //	arlfault [-seed N] [-campaign N] [-faults N] [-w name] [-scale N] [-n maxInsts] [-parallel N]
+//	arlfault -server http://host:port [-tenant name] [-seed N] [-campaign N] [-faults N]
+//
+// The campaigns run through the experiment Runner, so -store-dir,
+// -resume, -retries and -timeout behave exactly as in arlsim; with
+// -server they are submitted to a running arld instead, and the
+// rendered report is byte-identical to a local run.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
 	"repro/internal/cliutil"
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
-	"repro/internal/resilience"
-	"repro/internal/store"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -35,8 +36,9 @@ func main() {
 	faults := flag.Int("faults", 6, "planned faults per run")
 	c.WorkloadFlags(30_000)
 	c.SeedFlag(1)
-	flag.IntVar(&c.Parallel, "parallel", 0, "workloads in flight (0 = all)")
+	c.RunnerFlags()
 	c.StoreFlags()
+	c.ServerFlags()
 	c.ObsFlags("")
 	flag.Parse()
 	c.Start()
@@ -44,86 +46,50 @@ func main() {
 		c.Fatalf("-campaign and -faults must be positive")
 	}
 
-	ctx := c.HandleSignals()
-	if c.StoreDir != "" {
-		s, err := store.Open(c.StoreDir)
+	cfg := cpu.Decoupled(3, 3)
+	var summaries []*faultinject.Summary
+	var reg *obs.Registry
+
+	if c.Server != "" {
+		var err error
+		summaries, err = c.ServiceClient().FaultSummaries(
+			c.Scale, c.MaxInsts, c.Workloads(), c.Seed, *runs, *faults, cfg)
 		if err != nil {
 			c.Fatalf("%v", err)
 		}
-		c.Store = s
-	}
-	retry := resilience.Retry{Attempts: c.Retries + 1, Seed: c.Seed}
-
-	workloads := c.Workloads()
-	cfg := cpu.Decoupled(3, 3)
-	// The campaign parameters are part of each summary's identity: a
-	// record cached at one seed or run count never answers for another.
-	campaignCfg := fmt.Sprintf("seed=%d runs=%d faults=%d %+v", c.Seed, *runs, *faults, cfg)
-	key := func(w *workload.Workload) store.Key {
-		return store.Key{Kind: "faultsummary", Workload: w.Name, Scale: c.Scale,
-			MaxInsts: c.MaxInsts, Config: campaignCfg, Version: "arl/v1"}
-	}
-
-	summaries := make([]*faultinject.Summary, len(workloads))
-	errs := make([]error, len(workloads))
-	workers := c.Parallel
-	if workers <= 0 || workers > len(workloads) {
-		workers = len(workloads)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, w := range workloads {
-		if ctx.Err() != nil {
-			break // shutting down: start no new campaigns
+		kept := summaries[:0]
+		for _, s := range summaries {
+			if s != nil {
+				kept = append(kept, s)
+			}
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, w *workload.Workload) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if c.Store != nil && c.Resume {
-				var s faultinject.Summary
-				if ok, err := c.Store.Get(key(w), &s); err == nil && ok {
-					summaries[i] = &s
-					return
-				}
+		summaries = kept
+	} else {
+		c.HandleSignals()
+		r := c.Runner()
+		var err error
+		summaries, err = r.FaultCampaigns(c.Seed, *runs, *faults, cfg)
+		if err != nil {
+			if c.Interrupted() {
+				fmt.Fprintln(os.Stderr, "arlfault: interrupted; completed campaigns are in the store")
+				c.Finish(r.Obs)
+				os.Exit(cliutil.ExitInterrupted)
 			}
-			errs[i] = retry.Do(ctx, w.Name+"/faultcampaign", func(context.Context) error {
-				p, err := w.Compile(c.Scale)
-				if err != nil {
-					return err
-				}
-				summaries[i], err = faultinject.RunCampaign(
-					p, w.Name, c.Seed, *runs, *faults, c.MaxInsts, cfg)
-				return err
-			})
-			if errs[i] == nil && c.Store != nil {
-				if err := c.Store.Put(key(w), summaries[i]); err != nil {
-					fmt.Fprintf(os.Stderr, "arlfault: store: %v\n", err)
-				}
+			c.Fatalf("%v", err)
+		}
+		reg = r.Obs
+		if errs := r.Errors(); len(errs) > 0 {
+			for _, we := range errs {
+				fmt.Fprintf(os.Stderr, "arlfault: %v\n", we)
 			}
-		}(i, w)
-	}
-	wg.Wait()
-	if c.Interrupted() {
-		fmt.Fprintln(os.Stderr, "arlfault: interrupted; completed campaigns are in the store")
-		c.Finish(nil)
-		os.Exit(cliutil.ExitInterrupted)
+		}
 	}
 
 	fmt.Printf("arlfault: differential fault campaign, seed=%d, %d runs x %d faults per workload, config %s\n\n",
 		c.Seed, *runs, *faults, cfg.Name)
-	var reg *obs.Registry
-	if c.MetricsPath != "" {
-		reg = obs.NewRegistry()
-	}
 	var totalRuns, fired, aborted, divergent int
 	var recoveries uint64
-	for i := range workloads {
-		if errs[i] != nil {
-			c.Fatalf("%s: %v", workloads[i].Name, errs[i])
-		}
-		s := summaries[i]
+	for _, s := range summaries {
 		fmt.Print(s)
 		totalRuns += s.Runs
 		fired += s.Fired
@@ -139,6 +105,9 @@ func main() {
 			reg.Counter("fault_recoveries_total", "completed mispredict recoveries", l).Add(s.Recoveries)
 		}
 	}
+	if totalRuns == 0 {
+		c.Fatalf("no campaigns completed")
+	}
 	fmt.Printf("\ntotal: %d runs, %d fired (%.1f%%), %d structured aborts, %d recoveries, %d divergences\n",
 		totalRuns, fired, 100*float64(fired)/float64(totalRuns), aborted, recoveries, divergent)
 	c.Finish(reg)
@@ -147,4 +116,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("PASS: all faulted runs architecturally equivalent or cleanly aborted")
+	c.Exit()
 }

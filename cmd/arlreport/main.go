@@ -7,9 +7,14 @@
 //
 //	arlreport [-scale N] [-n maxInsts] [-skip-timing] [-parallel N] [-timeout D]
 //	          [-metrics file.json] [-cpuprofile f] [-pprof addr]
+//	          [-server http://host:port [-tenant name]]
 //
 // The timing study (E7, E11, E15) dominates the run time; -skip-timing
 // restricts the report to the profiling and prediction experiments.
+// With -server, the E7/E11 grids are submitted to a running arld
+// instead of simulated in-process — the assembled sections are
+// byte-identical to a local run — while everything else (including the
+// E15 storm study, which instruments the simulation) stays local.
 // -timeout arms a per-workload watchdog and degrades gracefully: a
 // workload that cannot finish a stage in time is reported in a
 // "workload errors" section instead of aborting the whole report.
@@ -38,6 +43,7 @@ func main() {
 	c.RunnerFlags()
 	c.SeedFlag(1)
 	c.StoreFlags()
+	c.ServerFlags()
 	c.ObsFlags("results/arlreport.metrics.json")
 	flag.Parse()
 	c.Start()
@@ -107,13 +113,26 @@ func main() {
 	fmt.Print(experiments.RenderStaticHints(sh))
 
 	if !*skipTiming {
+		// The E7/E11 grids are pure (workload, config) simulation units,
+		// so -server can shard them across an arld; the shared
+		// assemblers keep the sections byte-identical either way.
 		section("E7: Figure 8")
-		f8, err := r.Figure8()
+		var f8 []experiments.Figure8Row
+		if c.Server != "" {
+			f8, err = c.ServiceClient().Figure8(c.Scale, c.MaxInsts, c.Seed, r.Workloads, cpu.Figure8Configs())
+		} else {
+			f8, err = r.Figure8()
+		}
 		check(err)
 		fmt.Print(experiments.RenderFigure8(f8, cpu.Figure8Configs()))
 
 		section("E11: misprediction penalty sweep")
-		pen, err := r.PenaltySweep([]int{1, 4, 16})
+		var pen []experiments.PenaltyRow
+		if c.Server != "" {
+			pen, err = c.ServiceClient().PenaltySweep(c.Scale, c.MaxInsts, c.Seed, r.Workloads, []int{1, 4, 16})
+		} else {
+			pen, err = r.PenaltySweep([]int{1, 4, 16})
+		}
 		check(err)
 		fmt.Print(experiments.RenderPenaltySweep(pen))
 

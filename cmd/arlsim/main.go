@@ -7,7 +7,15 @@
 //
 //	arlsim [-fig8] [-ablationpenalty] [-ablationsteer] [-ablationffwd]
 //	       [-w name] [-scale N] [-n maxInsts] [-parallel N] [-timeout D]
+//	arlsim -server http://host:port [-tenant name] [-fig8] [-ablationpenalty]
 //	arlsim -trace-events out.json [-config "(3+3)"] [-w name | name]
+//
+// With -server, the timing studies (-fig8, -ablationpenalty) submit
+// their units to a running arld and assemble the report from the
+// returned results — byte-identical to a local run, with overlapping
+// units deduplicated server-side across concurrent clients. The
+// steering and fast-forward ablations instrument the simulation
+// in-process and stay local.
 //
 // With -trace-events, arlsim runs a single workload through one
 // configuration with the cycle-event tracer attached and writes a
@@ -28,6 +36,7 @@ import (
 	"repro/internal/decouple"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -43,6 +52,7 @@ func main() {
 	c.RunnerFlags()
 	c.SeedFlag(1)
 	c.StoreFlags()
+	c.ServerFlags()
 	c.ObsFlags("")
 	c.TraceFlags()
 	flag.Parse()
@@ -54,6 +64,10 @@ func main() {
 	}
 
 	all := !*f8 && !*abp && !*abs && !*abf
+	if c.Server != "" {
+		remoteRun(c, all || *f8, all || *abp, *abs, *abf)
+		return
+	}
 	c.HandleSignals()
 	r := c.Runner()
 
@@ -92,24 +106,37 @@ func main() {
 	c.Exit()
 }
 
-// parseConfig renders a "(N+M)" name into a machine configuration.
-func parseConfig(name string) (cpu.Config, error) {
-	var n, m int
-	if _, err := fmt.Sscanf(name, "(%d+%d)", &n, &m); err != nil || n <= 0 || m < 0 {
-		return cpu.Config{}, fmt.Errorf(`bad -config %q, want "(N+M)" like "(2+0)" or "(3+3)"`, name)
+// remoteRun is the -server mode: the timing studies run on an arld,
+// assembled through the same row assemblers the local path uses.
+func remoteRun(c *cliutil.Common, f8, abp, abs, abf bool) {
+	if abs || abf {
+		c.Fatalf("-ablationsteer and -ablationffwd instrument the simulation in-process; drop -server to run them")
 	}
-	if m == 0 {
-		return cpu.Conventional(n, 2), nil
+	cl := c.ServiceClient()
+	workloads := c.Workloads()
+	if f8 {
+		rows, err := cl.Figure8(c.Scale, c.MaxInsts, c.Seed, workloads, cpu.Figure8Configs())
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderFigure8(rows, cpu.Figure8Configs()))
 	}
-	return cpu.Decoupled(n, m), nil
+	if abp {
+		rows, err := cl.PenaltySweep(c.Scale, c.MaxInsts, c.Seed, workloads, []int{1, 4, 16})
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		fmt.Println(experiments.RenderPenaltySweep(rows))
+	}
+	c.Finish(nil)
 }
 
 // traceRun is the -trace-events mode: one workload, one configuration,
 // full cycle-event capture.
 func traceRun(c *cliutil.Common, cfgName string) {
-	cfg, err := parseConfig(cfgName)
+	cfg, err := service.ParseConfigName(cfgName)
 	if err != nil {
-		c.Fatalf("%v", err)
+		c.Fatalf("-config: %v", err)
 	}
 	if c.Workload == "" && flag.NArg() == 1 {
 		c.Workload = flag.Arg(0)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -72,16 +73,26 @@ type Common struct {
 	// set (nil otherwise); Finish publishes its counters.
 	Store *store.Store
 
+	// Server / Tenant are the -server mode flags (ServerFlags): when
+	// Server names an arld base URL, campaign units are submitted
+	// there instead of simulated in-process.
+	Server string
+	Tenant string
+
 	start       time.Time
 	cpuOut      *os.File
 	ctx         context.Context
+	cancel      context.CancelFunc
+	reg         *obs.Registry
 	interrupted atomic.Bool
+	failing     atomic.Bool
+	exit        func(int) // os.Exit, overridable by tests
 }
 
 // New returns the shared state for one command invocation and starts
 // its wall clock.
 func New(cmd string) *Common {
-	return &Common{Cmd: cmd, start: time.Now()}
+	return &Common{Cmd: cmd, start: time.Now(), exit: os.Exit}
 }
 
 // WorkloadFlags registers -w, -scale and -n. defMaxInsts is the -n
@@ -106,6 +117,29 @@ func (c *Common) SeedFlag(def uint64) {
 	flag.Uint64Var(&c.Seed, "seed", def, "campaign seed (same seed, same campaign, same output)")
 }
 
+// ServerFlags registers the -server mode flags: submitting campaign
+// units to a running arld instead of simulating in-process.
+func (c *Common) ServerFlags() {
+	flag.StringVar(&c.Server, "server", "",
+		"submit campaign units to the arld at this base URL (e.g. http://localhost:8080) instead of simulating locally")
+	flag.StringVar(&c.Tenant, "tenant", "",
+		"tenant identity reported to -server for quotas and metrics (default: the command name)")
+}
+
+// ServiceClient builds the arld client the -server flags describe,
+// defaulting the tenant identity to the command name.
+func (c *Common) ServiceClient() *service.Client {
+	tenant := c.Tenant
+	if tenant == "" {
+		tenant = c.Cmd
+	}
+	cl := &service.Client{Base: c.Server, Tenant: tenant}
+	if !c.Quiet {
+		cl.Log = os.Stderr
+	}
+	return cl
+}
+
 // StoreFlags registers the crash-safety flags -store-dir, -resume and
 // -retries.
 func (c *Common) StoreFlags() {
@@ -123,7 +157,7 @@ func (c *Common) StoreFlags() {
 // while a second signal ends the process immediately.
 func (c *Common) HandleSignals() context.Context {
 	ctx, cancel := context.WithCancel(context.Background())
-	c.ctx = ctx
+	c.ctx, c.cancel = ctx, cancel
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -282,6 +316,7 @@ func (c *Common) Runner() *experiments.Runner {
 	}
 	if c.MetricsPath != "" {
 		r.Obs = obs.NewRegistry()
+		c.reg = r.Obs
 	}
 	if c.StoreDir != "" {
 		s, err := store.Open(c.StoreDir)
@@ -289,9 +324,9 @@ func (c *Common) Runner() *experiments.Runner {
 			c.Fatalf("%v", err)
 		}
 		if !c.Quiet {
-			s.Log = func(format string, args ...any) {
+			s.SetLog(func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
-			}
+			})
 		}
 		c.Store = s
 		r.Store = s
@@ -323,8 +358,30 @@ func (c *Common) Workloads() []*workload.Workload {
 	return []*workload.Workload{w}
 }
 
-// Fatalf prints "<cmd>: <message>" to stderr and exits 1.
+// Fatalf prints "<cmd>: <message>" to stderr and exits 1 — after
+// running the same drain/flush path the SIGINT handler uses: the
+// campaign context is cancelled so outstanding workers stop, and
+// Finish flushes the profiles, the -metrics artifact and the store
+// provenance gauges. A fatal mid-campaign therefore keeps the
+// observability of every stage that did complete instead of dropping
+// it on the floor. A failure inside the flush itself (Finish calls
+// Fatalf on write errors) skips straight to the exit.
 func (c *Common) Fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
-	os.Exit(1)
+	if c.failing.CompareAndSwap(false, true) {
+		if c.cancel != nil {
+			c.cancel()
+		}
+		c.Finish(c.reg)
+	}
+	if c.exit == nil { // zero-value Common, not built with New
+		os.Exit(1)
+	}
+	c.exit(1)
 }
+
+// ObserveRegistry names the registry Fatalf's emergency flush should
+// write to the -metrics artifact. Runner() installs its own registry
+// automatically; commands that build a registry by hand (e.g. the
+// single-run trace mode) call this so a fatal still flushes it.
+func (c *Common) ObserveRegistry(reg *obs.Registry) { c.reg = reg }

@@ -44,6 +44,67 @@ func TestWriteMetricsValidates(t *testing.T) {
 	}
 }
 
+// TestFatalfFlushesArtifacts is the regression test for the fatal
+// mid-campaign path: Fatalf must run the same drain/flush protocol the
+// SIGINT handler uses — cancel the campaign context and write the
+// -metrics artifact (including the store provenance gauges) — instead
+// of dropping them with a bare os.Exit(1).
+func TestFatalfFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	c := New("testcmd")
+	c.Quiet = true
+	c.StoreDir = filepath.Join(dir, "store")
+	c.MetricsPath = filepath.Join(dir, "fatal.metrics.json")
+	ctx := c.HandleSignals()
+	r := c.Runner()
+	r.Obs.Counter("sim_cycles_total", "simulated cycles", nil).Add(7)
+
+	var code int
+	c.exit = func(n int) { code = n; panic("exit") }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Fatalf returned without exiting")
+			}
+		}()
+		c.Fatalf("mid-campaign failure: %s", "boom")
+	}()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("Fatalf did not cancel the campaign context (workers would not drain)")
+	}
+	doc, err := os.ReadFile(c.MetricsPath)
+	if err != nil {
+		t.Fatalf("metrics artifact was dropped: %v", err)
+	}
+	if err := obs.ValidateMetrics(doc); err != nil {
+		t.Fatalf("flushed artifact failed its own schema: %v", err)
+	}
+	var a obs.Artifact
+	if err := json.Unmarshal(doc, &a); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, m := range a.Metrics {
+		names[m.Name] = true
+	}
+	if !names["sim_cycles_total"] || !names["harness_store_hits_total"] {
+		t.Fatalf("artifact missing run or store-provenance metrics: %v", names)
+	}
+
+	// A failure inside the flush itself must not recurse forever: a
+	// second Fatalf goes straight to the exit.
+	func() {
+		defer func() { recover() }()
+		c.Fatalf("failure during flush")
+	}()
+	if code != 1 {
+		t.Fatalf("re-entrant Fatalf exit code = %d", code)
+	}
+}
+
 // TestRunnerReflectsFlags: the Runner inherits the parsed flag state,
 // including the metrics registry when -metrics selects a path.
 func TestRunnerReflectsFlags(t *testing.T) {

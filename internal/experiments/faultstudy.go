@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/decouple"
 	"repro/internal/faultinject"
+	"repro/internal/workload"
 )
 
 // StormRow is one cell of E15: the (3+3) machine riding out an
@@ -116,4 +117,55 @@ func (r *Runner) RecoveryStorm(seed uint64, rates []float64, penalties []int) ([
 		}
 	}
 	return kept, nil
+}
+
+// FaultCampaignConfig canonicalizes one differential fault campaign's
+// parameters into the store-key Config string. It must stay in sync
+// with what cmd/arlfault historically wrote, so records produced by a
+// local arlfault run, a resumed one, and an arld service worker all
+// address the same artifact.
+func FaultCampaignConfig(seed uint64, runs, faults int, cfg cpu.Config) string {
+	return fmt.Sprintf("seed=%d runs=%d faults=%d %+v", seed, runs, faults, cfg)
+}
+
+// FaultCampaign runs (and memoizes) one workload's seeded differential
+// fault-injection campaign — the arlfault unit of work — under the
+// runner's full resilience policy: store write-through and resume,
+// breaker gating, retry pacing, and the per-stage watchdog. The memo
+// key covers every campaign parameter, so overlapping submissions of
+// the same (workload, seed, runs, faults, config) unit from concurrent
+// service clients share one computation.
+func (r *Runner) FaultCampaign(w *workload.Workload, seed uint64, runs, faults int, cfg cpu.Config) (*faultinject.Summary, error) {
+	campaign := FaultCampaignConfig(seed, runs, faults, cfg)
+	return r.campaigns.get(w.Name+"|"+campaign, func() (*faultinject.Summary, error) {
+		key := r.storeKey("faultsummary", w.Name, campaign)
+		var stored faultinject.Summary
+		if r.storeLoad(key, &stored) {
+			return &stored, nil
+		}
+		p, err := r.Program(w)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("fault campaign %s (seed %d, %d runs x %d faults) ...", w.Name, seed, runs, faults)
+		var sum *faultinject.Summary
+		err = r.stage(w.Name, "faultcampaign", func(context.Context) error {
+			var err error
+			sum, err = faultinject.RunCampaign(p, w.Name, seed, runs, faults, r.MaxInsts, cfg)
+			return err
+		})
+		if err != nil {
+			return nil, &WorkloadError{Workload: w.Name, Stage: "faultcampaign", Err: err}
+		}
+		r.storePut(key, sum)
+		return sum, nil
+	})
+}
+
+// FaultCampaigns runs the differential campaign over the runner's
+// workloads on the worker pool, returning summaries in workload order.
+func (r *Runner) FaultCampaigns(seed uint64, runs, faults int, cfg cpu.Config) ([]*faultinject.Summary, error) {
+	return forEach(r, func(w *workload.Workload) (*faultinject.Summary, error) {
+		return r.FaultCampaign(w, seed, runs, faults, cfg)
+	})
 }

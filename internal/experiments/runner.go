@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -111,11 +112,12 @@ type Runner struct {
 	// rendered errors instead of burning the retry budget again.
 	Breaker *resilience.Breaker
 
-	logMu    sync.Mutex
-	programs memo[*prog.Program]
-	profiles memo[*profile.Profile]
-	traces   memo[*cpu.Trace]
-	results  memo[*cpu.Result]
+	logMu     sync.Mutex
+	programs  memo[*prog.Program]
+	profiles  memo[*profile.Profile]
+	traces    memo[*cpu.Trace]
+	results   memo[*cpu.Result]
+	campaigns memo[*faultinject.Summary]
 
 	errMu  sync.Mutex
 	wlErrs []*WorkloadError

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/workload"
 )
 
 // Figure8Row reproduces one group of Figure 8 bars: performance of each
@@ -53,8 +54,21 @@ func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Figure8Row, 0, len(r.Workloads))
-	for wi, w := range r.Workloads {
+	return AssembleFigure8(r.Workloads, configs, results), nil
+}
+
+// AssembleFigure8 builds the Figure 8 rows out of one simulation
+// result per (workload, configuration) unit, laid out workload-major:
+// results[wi*len(configs)+ci]. The first configuration is the speedup
+// baseline. A workload with any missing (nil) cell is dropped —
+// that is what graceful degradation and a partially-failed remote
+// campaign both look like. The assembly is shared by the in-process
+// Runner drivers and the arld service client, which is what keeps a
+// -server report byte-identical to a local one.
+func AssembleFigure8(workloads []*workload.Workload, configs []cpu.Config, results []*cpu.Result) []Figure8Row {
+	nc := len(configs)
+	rows := make([]Figure8Row, 0, len(workloads))
+	for wi, w := range workloads {
 		if degradedRow(results[wi*nc : (wi+1)*nc]) {
 			continue
 		}
@@ -76,7 +90,7 @@ func (r *Runner) FigureWithConfigs(configs []cpu.Config) ([]Figure8Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows
 }
 
 // Figure8Average computes the per-configuration geometric-mean-free
@@ -118,6 +132,14 @@ type PenaltyRow struct {
 	Mispredicts uint64
 }
 
+// PenaltyConfig is the (3+3) machine at one ARPT misprediction
+// recovery penalty — the E11 sweep's unit configuration.
+func PenaltyConfig(pen int) cpu.Config {
+	cfg := cpu.Decoupled(3, 3)
+	cfg.MispredictPenalty = pen
+	return cfg
+}
+
 // PenaltySweep runs E11 over the given penalty values, fanning out
 // over (workload, penalty) pairs. Both the trace and the (2+0)
 // baseline result come from the Runner memos, so a sweep following
@@ -127,38 +149,51 @@ func (r *Runner) PenaltySweep(penalties []int) ([]PenaltyRow, error) {
 		return nil, nil
 	}
 	np := len(penalties)
-	rows := make([]PenaltyRow, len(r.Workloads)*np)
-	err := r.parallelDo(len(rows), func(i int) error {
+	bases := make([]*cpu.Result, len(r.Workloads)*np)
+	results := make([]*cpu.Result, len(r.Workloads)*np)
+	err := r.parallelDo(len(results), func(i int) error {
 		w, pen := r.Workloads[i/np], penalties[i%np]
 		base, err := r.SimulateConfig(w, cpu.Conventional(2, 2))
 		if err == nil {
-			cfg := cpu.Decoupled(3, 3)
-			cfg.MispredictPenalty = pen
 			var res *cpu.Result
-			if res, err = r.SimulateConfig(w, cfg); err == nil {
-				rows[i] = PenaltyRow{
-					Name: w.Name, Penalty: pen,
-					Speedup:     res.Speedup(base),
-					Mispredicts: res.ARPTMispredicts,
-				}
+			if res, err = r.SimulateConfig(w, PenaltyConfig(pen)); err == nil {
+				bases[i], results[i] = base, res
 				return nil
 			}
 		}
 		if r.degraded(err) {
-			return nil // rows[i] stays zero; filtered below
+			return nil // the cell stays nil; filtered by the assembler
 		}
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	kept := rows[:0]
-	for _, row := range rows {
-		if row.Name != "" {
-			kept = append(kept, row)
+	return AssemblePenaltySweep(r.Workloads, penalties, bases, results), nil
+}
+
+// AssemblePenaltySweep builds the E11 rows out of per-unit results
+// laid out workload-major (index wi*len(penalties)+pi): the stormed
+// (3+3) result in results and its (2+0) baseline in bases. Units with
+// a missing (nil) cell are dropped. Shared by the Runner driver and
+// the arld service client.
+func AssemblePenaltySweep(workloads []*workload.Workload, penalties []int, bases, results []*cpu.Result) []PenaltyRow {
+	np := len(penalties)
+	rows := make([]PenaltyRow, 0, len(results))
+	for wi, w := range workloads {
+		for pi, pen := range penalties {
+			base, res := bases[wi*np+pi], results[wi*np+pi]
+			if base == nil || res == nil {
+				continue
+			}
+			rows = append(rows, PenaltyRow{
+				Name: w.Name, Penalty: pen,
+				Speedup:     res.Speedup(base),
+				Mispredicts: res.ARPTMispredicts,
+			})
 		}
 	}
-	return kept, nil
+	return rows
 }
 
 // degradedRow reports whether any cell of one workload's result row

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -70,6 +71,56 @@ func TestRetryStopsOnParentCancel(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestRetryStopsOnParentDeadline pins the watchdog classification: a
+// parent deadline blowing mid-attempt surfaces from fn exactly like a
+// per-attempt timeout (context.DeadlineExceeded), but must not be
+// retried — shutdown would otherwise burn the whole attempt budget,
+// one watchdog period per attempt.
+func TestRetryStopsOnParentDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	r := Retry{Attempts: 5, BaseDelay: time.Microsecond, Seed: 9}
+	calls := 0
+	err := r.Do(ctx, "op", func(c context.Context) error {
+		calls++
+		<-c.Done() // wedged attempt, released only by the parent watchdog
+		return c.Err()
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (no retry after parent watchdog expiry)", calls)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v", err)
+	}
+	if !Transient(err) {
+		t.Fatal("parent watchdog expiry must classify as transient")
+	}
+}
+
+// TestRetryParentShutdownClassifiesTransient proves that a failure
+// observed while the parent is already done is reported as transient
+// even when the attempt's own error looks permanent: the teardown may
+// have provoked it, so it must never be cached against the workload.
+func TestRetryParentShutdownClassifiesTransient(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retry{Attempts: 5, BaseDelay: time.Hour, Seed: 11}
+	calls := 0
+	err := r.Do(ctx, "op", func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("torn down under me")
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if !Transient(err) {
+		t.Fatalf("err=%v must be transient (wraps the parent's cancellation)", err)
+	}
+	if !strings.Contains(err.Error(), "torn down under me") {
+		t.Fatalf("err=%v lost the attempt's failure", err)
 	}
 }
 

@@ -14,6 +14,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -48,9 +49,17 @@ type Retry struct {
 
 // Do runs fn until it succeeds, the attempt budget is spent, or the
 // parent context ends. fn receives the per-attempt context (the parent
-// bounded by AttemptTimeout). A parent-context cancellation is never
-// retried — shutdown must win immediately — while an attempt-deadline
-// expiry is retried like any other failure. The error of the final
+// bounded by AttemptTimeout). A parent-context cancellation or
+// deadline expiry is never retried — shutdown must win immediately,
+// without burning the remaining attempt budget — while an
+// attempt-deadline expiry is retried like any other failure. The two
+// surface identically from fn (both are context.DeadlineExceeded on
+// the attempt context), so Do classifies by the parent's own ctx.Err:
+// when the parent is done, the returned error always wraps the
+// parent's error, and therefore always reads as Transient even if the
+// attempt's failure looked like a permanent workload defect — a stage
+// torn down mid-shutdown says nothing about the workload and must
+// never be cached against it. Otherwise the error of the final
 // attempt is returned.
 func (r Retry) Do(ctx context.Context, name string, fn func(ctx context.Context) error) error {
 	if ctx == nil {
@@ -71,10 +80,14 @@ func (r Retry) Do(ctx context.Context, name string, fn func(ctx context.Context)
 		if err == nil {
 			return nil
 		}
-		if ctx.Err() != nil {
-			// The campaign itself is shutting down (or its global
-			// deadline passed): hand the failure back immediately.
-			return err
+		if cerr := ctx.Err(); cerr != nil {
+			// The campaign itself is shutting down or its watchdog
+			// expired: hand the failure back immediately, classified
+			// by the parent.
+			if errors.Is(err, cerr) {
+				return err
+			}
+			return fmt.Errorf("%v (parent context: %w)", err, cerr)
 		}
 		if attempt >= attempts {
 			return err

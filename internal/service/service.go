@@ -1,0 +1,639 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Config shapes one Service.
+type Config struct {
+	// Workers bounds the pool executing units (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the unit queue; a submission that does not fit
+	// is rejected with 429 (0 = DefaultQueueCap).
+	QueueCap int
+	// TenantCap bounds one tenant's queued+running units; a submission
+	// that would exceed it is rejected with 429 (0 = QueueCap).
+	TenantCap int
+	// UnitTimeout, when positive, is the per-stage watchdog handed to
+	// the runners (see experiments.Runner.WorkloadTimeout).
+	UnitTimeout time.Duration
+	// Retries re-attempts a failed unit up to this many times with
+	// deterministic backoff keyed by the request seed.
+	Retries int
+	// BreakerThreshold trips a workload's circuit breaker after this
+	// many consecutive unit failures (0 = resilience default).
+	BreakerThreshold int
+	// Log receives one line per notable event (nil for silence).
+	Log io.Writer
+}
+
+// DefaultQueueCap bounds the unit queue when Config.QueueCap is zero.
+const DefaultQueueCap = 1024
+
+// Submission rejections, mapped onto HTTP statuses by the handler.
+var (
+	ErrDraining  = errors.New("service: draining, not accepting campaigns")
+	ErrQueueFull = errors.New("service: unit queue full")
+	ErrQuota     = errors.New("service: tenant quota exceeded")
+)
+
+// runnerKey classes runners by the campaign shaping that participates
+// in artifact identity: two requests with the same scale and budget
+// share one Runner and therefore its in-process memos.
+type runnerKey struct {
+	scale    int
+	maxInsts uint64
+}
+
+// unit is one queued piece of work.
+type unit struct {
+	job     *job
+	index   int
+	spec    UnitSpec
+	key     string
+	state   string // guarded by job.mu
+	deduped bool
+	errText string
+	result  json.RawMessage
+}
+
+// job is one accepted campaign.
+type job struct {
+	id     string
+	tenant string
+	req    CampaignRequest
+	units  []*unit
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	events   []Event
+	notify   chan struct{} // closed and replaced on every event
+	state    string
+	drained  bool // ended by a server drain, not by its own units
+	counts   map[string]int
+	deduped  int
+	done     chan struct{}
+	finished bool
+}
+
+// Service is the sharded campaign engine behind arld.
+type Service struct {
+	cfg   Config
+	store *store.Store
+	reg   *obs.Registry
+
+	queue chan *unit
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	nextJob  int
+	runners  map[runnerKey]*experiments.Runner
+	seen     map[string]struct{} // unit keys computed (or claimed) by this process
+	tenant   map[string]int      // queued+running units per tenant
+
+	breaker  *resilience.Breaker
+	inflight atomic.Int64
+
+	// testHook, when non-nil, runs before each unit execution attempt;
+	// an error it returns fails that attempt. Tests use it to simulate
+	// worker crashes and slow units.
+	testHook func(u *unit, attempt int) error
+}
+
+// New starts a Service: its worker pool runs until Drain.
+func New(cfg Config, st *store.Store) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.TenantCap <= 0 {
+		cfg.TenantCap = cfg.QueueCap
+	}
+	s := &Service{
+		cfg:     cfg,
+		store:   st,
+		reg:     obs.NewRegistry(),
+		queue:   make(chan *unit, cfg.QueueCap),
+		stop:    make(chan struct{}),
+		jobs:    make(map[string]*job),
+		runners: make(map[runnerKey]*experiments.Runner),
+		seen:    make(map[string]struct{}),
+		tenant:  make(map[string]int),
+		breaker: resilience.NewBreaker(cfg.BreakerThreshold),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the service metrics registry (for /metrics and
+// tests).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "arld: "+format+"\n", args...)
+	}
+}
+
+// runner returns (creating on first use) the shared Runner for one
+// (scale, maxInsts) class. All runners share the service's store —
+// the cross-restart, cross-client cache tier — and its registry.
+func (s *Service) runner(scale int, maxInsts uint64) *experiments.Runner {
+	k := runnerKey{scale, maxInsts}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.runners[k]
+	if r == nil {
+		r = experiments.NewRunner()
+		r.Scale = scale
+		r.MaxInsts = maxInsts
+		r.Obs = s.reg
+		if s.store != nil {
+			r.Store = s.store
+			r.Resume = true
+		}
+		if s.cfg.UnitTimeout > 0 {
+			r.WorkloadTimeout = s.cfg.UnitTimeout
+		}
+		s.runners[k] = r
+	}
+	return r
+}
+
+// expand resolves the request into concrete, validated units: explicit
+// units first, then the workloads × configs grid.
+func expand(req CampaignRequest) ([]UnitSpec, error) {
+	units := make([]UnitSpec, 0, len(req.Units))
+	for i, u := range req.Units {
+		if u.Kind == "" {
+			u.Kind = KindSimulate
+		}
+		if _, ok := workload.ByName(u.Workload); !ok {
+			return nil, fmt.Errorf("unit %d: unknown workload %q", i, u.Workload)
+		}
+		switch u.Kind {
+		case KindSimulate:
+			if u.Config == nil {
+				return nil, fmt.Errorf("unit %d: simulate unit without a config", i)
+			}
+			if err := u.Config.Validate(); err != nil {
+				return nil, fmt.Errorf("unit %d: %v", i, err)
+			}
+		case KindFaultCampaign:
+			if u.Config == nil || u.Runs <= 0 || u.Faults <= 0 {
+				return nil, fmt.Errorf("unit %d: faultcampaign unit needs config, runs and faults", i)
+			}
+		default:
+			return nil, fmt.Errorf("unit %d: unknown kind %q", i, u.Kind)
+		}
+		units = append(units, u)
+	}
+	if len(req.Configs) > 0 {
+		names := req.Workloads
+		if len(names) == 0 {
+			for _, w := range workload.All() {
+				names = append(names, w.Name)
+			}
+		}
+		for _, name := range names {
+			if _, ok := workload.ByName(name); !ok {
+				return nil, fmt.Errorf("unknown workload %q", name)
+			}
+			for _, cn := range req.Configs {
+				cfg, err := ParseConfigName(cn)
+				if err != nil {
+					return nil, err
+				}
+				units = append(units, UnitSpec{Kind: KindSimulate, Workload: name, Config: &cfg})
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil, errors.New("campaign holds no units")
+	}
+	return units, nil
+}
+
+// Submit validates and enqueues one campaign. The rejection errors
+// (ErrDraining, ErrQueueFull, ErrQuota) map onto 503/429; anything
+// else is a 400-shaped validation failure.
+func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
+	specs, err := expand(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(tenant, "draining")
+		return JobStatus{}, ErrDraining
+	}
+	if s.tenant[tenant]+len(specs) > s.cfg.TenantCap {
+		s.mu.Unlock()
+		s.reject(tenant, "quota")
+		return JobStatus{}, fmt.Errorf("%w: tenant %q has %d units in flight, cap %d",
+			ErrQuota, tenant, s.tenant[tenant], s.cfg.TenantCap)
+	}
+	// len(queue) only shrinks concurrently (workers dequeue; enqueues
+	// all happen under mu), so this check is conservative and the
+	// sends below cannot block.
+	if len(s.queue)+len(specs) > s.cfg.QueueCap {
+		s.mu.Unlock()
+		s.reject(tenant, "queue")
+		return JobStatus{}, fmt.Errorf("%w: %d queued, %d requested, cap %d",
+			ErrQueueFull, len(s.queue), len(specs), s.cfg.QueueCap)
+	}
+	s.nextJob++
+	j := &job{
+		id:     fmt.Sprintf("c%04d", s.nextJob),
+		tenant: tenant,
+		req:    req,
+		notify: make(chan struct{}),
+		state:  StateRunning,
+		counts: map[string]int{StateQueued: len(specs)},
+		done:   make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	for i, spec := range specs {
+		j.units = append(j.units, &unit{
+			job: j, index: i, spec: spec,
+			key:   spec.key(req.Scale, req.MaxInsts),
+			state: StateQueued,
+		})
+	}
+	s.jobs[j.id] = j
+	s.tenant[tenant] += len(specs)
+	for _, u := range j.units {
+		s.queue <- u
+		s.counter("service_units_total", "campaign units accepted",
+			obs.Labels{"tenant": tenant, "kind": u.spec.Kind}).Inc()
+	}
+	s.counter("service_jobs_total", "campaigns accepted", obs.Labels{"tenant": tenant}).Inc()
+	s.gauge("service_queue_depth", "units waiting for a worker").Set(float64(len(s.queue)))
+	s.mu.Unlock()
+
+	s.logf("job %s: %d units from tenant %q", j.id, len(specs), tenant)
+	return s.status(j), nil
+}
+
+func (s *Service) counter(name, help string, labels obs.Labels) *obs.Counter {
+	return s.reg.Counter(name, help, labels)
+}
+
+func (s *Service) gauge(name, help string) *obs.Gauge {
+	return s.reg.Gauge(name, help, nil)
+}
+
+func (s *Service) reject(tenant, reason string) {
+	s.counter("service_rejected_total", "campaign submissions rejected",
+		obs.Labels{"tenant": tenant, "reason": reason}).Inc()
+}
+
+// Job looks a job up by id.
+func (s *Service) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists job statuses, newest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id > jobs[k].id })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.status(j)
+	}
+	return out
+}
+
+// Cancel cancels a job: its queued units end as canceled (workers skip
+// them), while already-running units complete and keep their results —
+// finished work stays in the shared store either way.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	s.logf("job %s: canceled", id)
+	return true
+}
+
+// status snapshots one job's wire status.
+func (s *Service) status(j *job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		Tenant:   j.tenant,
+		State:    j.state,
+		Units:    len(j.units),
+		Queued:   j.counts[StateQueued],
+		Running:  j.counts[StateRunning],
+		Done:     j.counts[StateDone],
+		Failed:   j.counts[StateFailed],
+		Canceled: j.counts[StateCanceled],
+		Deduped:  j.deduped,
+	}
+}
+
+// results snapshots the full per-unit outcome.
+func (s *Service) results(j *job) ResultsResponse {
+	resp := ResultsResponse{Status: s.status(j)}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, u := range j.units {
+		resp.Units = append(resp.Units, UnitStatus{
+			Index: u.index, Spec: u.spec, State: u.state,
+			Deduped: u.deduped, Error: u.errText, Result: u.result,
+		})
+	}
+	return resp
+}
+
+// worker pulls units until the service drains.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case u := <-s.queue:
+			s.gauge("service_queue_depth", "units waiting for a worker").Set(float64(len(s.queue)))
+			s.run(u)
+		}
+	}
+}
+
+// run executes one unit under the service's resilience policy: the
+// workload's circuit breaker gates entry, the retry policy re-attempts
+// transient failures with deterministic backoff, and every outcome is
+// published as an event and a metric.
+func (s *Service) run(u *unit) {
+	j := u.job
+	if j.ctx.Err() != nil {
+		s.finish(u, StateCanceled, "", nil)
+		return
+	}
+	s.transition(u, StateRunning)
+	s.inflight.Add(1)
+	s.gauge("service_inflight_units", "units currently executing").Set(float64(s.inflight.Load()))
+	defer func() {
+		s.inflight.Add(-1)
+		s.gauge("service_inflight_units", "units currently executing").Set(float64(s.inflight.Load()))
+	}()
+
+	// First claim of a key computes; every later unit with the same
+	// key — same client resubmitting, another tenant's overlapping
+	// grid — shares that computation through the runner memo and the
+	// store, and is counted as a dedupe hit.
+	u.deduped = !s.claim(u.key)
+	if u.deduped {
+		s.counter("service_units_deduped_total", "units satisfied by work another unit already did",
+			obs.Labels{"tenant": j.tenant}).Inc()
+	}
+
+	if err := s.breaker.Allow(u.spec.Workload); err != nil {
+		s.finish(u, StateFailed, err.Error(), nil)
+		return
+	}
+	retry := resilience.Retry{
+		Attempts: s.cfg.Retries + 1,
+		Seed:     j.req.Seed,
+		OnRetry: func(name string, attempt int, delay time.Duration, err error) {
+			s.logf("job %s unit %d: attempt %d failed (%v); next try in %v",
+				j.id, u.index, attempt, err, delay)
+			s.counter("service_unit_retries_total", "unit attempts retried after a failure",
+				obs.Labels{"tenant": j.tenant}).Inc()
+		},
+	}
+	var payload any
+	attempt := 0
+	err := retry.Do(j.ctx, u.key, func(ctx context.Context) error {
+		attempt++
+		if s.testHook != nil {
+			if err := s.testHook(u, attempt); err != nil {
+				return err
+			}
+		}
+		var err error
+		payload, err = s.execute(u)
+		return err
+	})
+	s.breaker.Record(u.spec.Workload, err)
+	if err != nil {
+		state := StateFailed
+		if j.ctx.Err() != nil && resilience.Transient(err) {
+			// The job was canceled under the unit; it did not fail on
+			// its own terms.
+			state = StateCanceled
+		}
+		s.counter("service_units_failed_total", "units that failed permanently",
+			obs.Labels{"tenant": j.tenant}).Inc()
+		s.finish(u, state, err.Error(), nil)
+		return
+	}
+	enc, err := json.Marshal(payload)
+	if err != nil {
+		s.finish(u, StateFailed, fmt.Sprintf("encoding result: %v", err), nil)
+		return
+	}
+	s.finish(u, StateDone, "", enc)
+}
+
+// execute dispatches one unit to the shared runner for its campaign
+// class.
+func (s *Service) execute(u *unit) (any, error) {
+	r := s.runner(u.job.req.Scale, u.job.req.MaxInsts)
+	w, ok := workload.ByName(u.spec.Workload)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", u.spec.Workload)
+	}
+	switch u.spec.Kind {
+	case KindSimulate:
+		return r.SimulateConfig(w, *u.spec.Config)
+	case KindFaultCampaign:
+		return r.FaultCampaign(w, u.spec.Seed, u.spec.Runs, u.spec.Faults, *u.spec.Config)
+	default:
+		return nil, fmt.Errorf("unknown unit kind %q", u.spec.Kind)
+	}
+}
+
+// claim records a unit key as computed-by-this-process, reporting
+// whether this caller was first.
+func (s *Service) claim(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.seen[key]; ok {
+		return false
+	}
+	s.seen[key] = struct{}{}
+	return true
+}
+
+// transition moves a unit between non-terminal states and emits the
+// event.
+func (s *Service) transition(u *unit, state string) {
+	j := u.job
+	j.mu.Lock()
+	j.counts[u.state]--
+	u.state = state
+	j.counts[state]++
+	j.emitLocked(Event{Job: j.id, Unit: u.index, State: state})
+	j.mu.Unlock()
+}
+
+// finish moves a unit to a terminal state, releases its tenant quota,
+// emits the event, and finalizes the job when it was the last one.
+func (s *Service) finish(u *unit, state, errText string, result json.RawMessage) {
+	j := u.job
+	j.mu.Lock()
+	j.counts[u.state]--
+	u.state = state
+	u.errText = errText
+	u.result = result
+	j.counts[state]++
+	if u.deduped && state == StateDone {
+		j.deduped++
+	}
+	j.emitLocked(Event{Job: j.id, Unit: u.index, State: state, Deduped: u.deduped, Error: errText})
+	terminal := j.counts[StateDone]+j.counts[StateFailed]+j.counts[StateCanceled] == len(j.units)
+	if terminal && !j.finished {
+		j.finished = true
+		switch {
+		case j.drained:
+			j.state = JobInterrupted
+		case j.ctx.Err() != nil:
+			j.state = JobCanceled
+		case j.counts[StateFailed] > 0:
+			j.state = JobFailed
+		case j.counts[StateCanceled] > 0:
+			j.state = JobCanceled
+		default:
+			j.state = JobComplete
+		}
+		close(j.done)
+	}
+	final := j.state
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.tenant[j.tenant]--
+	if s.tenant[j.tenant] <= 0 {
+		delete(s.tenant, j.tenant)
+	}
+	s.mu.Unlock()
+	if terminal {
+		s.logf("job %s: %s", j.id, final)
+	}
+}
+
+// emitLocked appends one event and wakes the streamers. Callers hold
+// j.mu.
+func (j *job) emitLocked(e Event) {
+	e.Seq = len(j.events)
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// eventsFrom returns the events at index ≥ from, plus a channel that
+// closes when more arrive and whether the job is terminal.
+func (j *job) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.notify, j.finished
+}
+
+// Drain gracefully shuts the service down: new submissions get
+// ErrDraining, in-flight units run to completion (their artifacts
+// flush through the store's atomic writes), and still-queued units end
+// as canceled with their jobs marked interrupted. Blocks until the
+// pool is idle.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("draining: %d units in flight, %d queued", s.inflight.Load(), len(s.queue))
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case u := <-s.queue:
+			u.job.mu.Lock()
+			u.job.drained = true
+			u.job.mu.Unlock()
+			s.finish(u, StateCanceled, "server draining", nil)
+		default:
+			s.gauge("service_queue_depth", "units waiting for a worker").Set(0)
+			return
+		}
+	}
+}
+
+// WriteMetrics renders the service metrics — queue and worker gauges,
+// per-tenant counters, every simulation's published metrics, and the
+// shared store's counters — in the obs text form.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	// The store publishes by *adding* its totals, so each scrape
+	// merges into a fresh scratch registry rather than double-counting
+	// the live one.
+	scratch := obs.NewRegistry()
+	if err := scratch.ImportSamples(s.reg.Snapshot()); err != nil {
+		return err
+	}
+	if s.store != nil {
+		s.store.Publish(scratch)
+	}
+	return obs.WriteText(w, scratch.Snapshot())
+}

@@ -1,0 +1,157 @@
+// Package service implements arld, the sharded campaign service: a
+// long-running HTTP/JSON server that accepts campaign requests
+// (workload × configuration × seed grids), shards their units across a
+// bounded pool of workers running the experiment Runner's stages, and
+// uses the content-addressed artifact store as a shared cache tier, so
+// concurrent clients submitting overlapping grids deduplicate
+// compile/profile/trace/simulate work instead of repeating it.
+//
+// The API surface (all JSON, versioned under /api/v1):
+//
+//	POST /api/v1/campaigns            submit a campaign; 202 + job id,
+//	                                  429 on queue overflow or tenant
+//	                                  quota, 503 while draining
+//	GET  /api/v1/campaigns/{id}       job status (unit state counts)
+//	GET  /api/v1/campaigns/{id}/events  NDJSON stream of per-unit
+//	                                  completion events; replays from
+//	                                  ?from=N, then tails until the job
+//	                                  reaches a terminal state
+//	GET  /api/v1/campaigns/{id}/results full per-unit results
+//	POST /api/v1/campaigns/{id}/cancel  cancel the job's pending units
+//	GET  /metrics                     queue depth, in-flight units,
+//	                                  dedupe hits, per-tenant counters,
+//	                                  store counters (obs text form)
+//	GET  /healthz                     liveness
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Unit kinds.
+const (
+	// KindSimulate is one (workload, machine configuration) timing
+	// simulation — the Figure 8 / penalty-sweep unit.
+	KindSimulate = "simulate"
+	// KindFaultCampaign is one (workload, seed, runs, faults,
+	// configuration) differential fault-injection campaign — the
+	// arlfault unit.
+	KindFaultCampaign = "faultcampaign"
+)
+
+// UnitSpec identifies one shardable unit of campaign work. Config
+// travels as the full machine configuration (not just its display
+// name): names like "(3+3)" do not encode the misprediction penalty or
+// latency variants, and the unit's identity must.
+type UnitSpec struct {
+	Kind     string      `json:"kind"`
+	Workload string      `json:"workload"`
+	Config   *cpu.Config `json:"config,omitempty"`
+	Seed     uint64      `json:"seed,omitempty"`   // faultcampaign plan seed
+	Runs     int         `json:"runs,omitempty"`   // faultcampaign runs
+	Faults   int         `json:"faults,omitempty"` // planned faults per run
+}
+
+// key is the unit's canonical dedupe identity within one server:
+// every field that changes the result participates, plus the campaign
+// shaping (scale, instruction budget) that store keys also carry.
+func (u UnitSpec) key(scale int, maxInsts uint64) string {
+	cfg := ""
+	if u.Config != nil {
+		cfg = fmt.Sprintf("%+v", *u.Config)
+	}
+	return fmt.Sprintf("%s|%s|scale=%d|n=%d|seed=%d|runs=%d|faults=%d|%s",
+		u.Kind, u.Workload, scale, maxInsts, u.Seed, u.Runs, u.Faults, cfg)
+}
+
+// CampaignRequest is one submission: explicit units, a
+// workloads × configs grid shorthand, or both. Empty Workloads with a
+// non-empty Configs grid means every workload.
+type CampaignRequest struct {
+	Tenant   string `json:"tenant,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Seed feeds the deterministic retry backoff jitter of this job's
+	// units (not the simulation semantics, which are deterministic).
+	Seed      uint64     `json:"seed,omitempty"`
+	Workloads []string   `json:"workloads,omitempty"`
+	Configs   []string   `json:"configs,omitempty"` // "(N+M)" grid shorthand
+	Units     []UnitSpec `json:"units,omitempty"`
+}
+
+// Unit, job and event states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+
+	// Job-level terminal states beyond the unit ones.
+	JobComplete    = "complete"
+	JobFailed      = "failed"
+	JobCanceled    = "canceled"
+	JobInterrupted = "interrupted" // server drained before the job finished
+)
+
+// JobStatus is the wire form of one job's progress.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	State    string `json:"state"`
+	Units    int    `json:"units"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Canceled int    `json:"canceled"`
+	Deduped  int    `json:"deduped"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (s JobStatus) Terminal() bool { return s.State != StateRunning }
+
+// Event is one NDJSON progress line: a unit changed state.
+type Event struct {
+	Seq     int    `json:"seq"`
+	Job     string `json:"job"`
+	Unit    int    `json:"unit"`
+	State   string `json:"state"`
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// UnitStatus is the wire form of one unit in a results response. The
+// payload is the unit's JSON-encoded result: a cpu.Result for
+// simulate units, a faultinject.Summary for faultcampaign units.
+type UnitStatus struct {
+	Index   int             `json:"index"`
+	Spec    UnitSpec        `json:"spec"`
+	State   string          `json:"state"`
+	Deduped bool            `json:"deduped,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// ResultsResponse is the full outcome of one job.
+type ResultsResponse struct {
+	Status JobStatus    `json:"status"`
+	Units  []UnitStatus `json:"units"`
+}
+
+// ParseConfigName renders an "(N+M)" configuration name into the
+// machine configuration it denotes (M=0 is conventional). Used for the
+// grid shorthand and by arlsim's -config flag.
+func ParseConfigName(name string) (cpu.Config, error) {
+	var n, m int
+	if _, err := fmt.Sscanf(name, "(%d+%d)", &n, &m); err != nil || n <= 0 || m < 0 {
+		return cpu.Config{}, fmt.Errorf(`bad config %q, want "(N+M)" like "(2+0)" or "(3+3)"`, name)
+	}
+	if m == 0 {
+		return cpu.Conventional(n, 2), nil
+	}
+	return cpu.Decoupled(n, m), nil
+}

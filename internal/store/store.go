@@ -18,10 +18,12 @@
 //     quarantine/ for post-mortem — and reported as a miss, so the
 //     caller recomputes instead of failing the run.
 //
-// The store is safe for concurrent use by multiple goroutines of one
-// process (the worker pool write-throughs concurrently). Concurrent
-// writers of the same key are idempotent: both compute the same record
-// and the renames commute.
+// The store is safe for concurrent use by any number of goroutines —
+// the worker pool of one campaign, or every client of a long-running
+// arld service sharing it as a cache tier. The operation counters are
+// atomic, the log hook is swappable at any time (SetLog), and
+// concurrent writers of the same key are idempotent: both compute the
+// same record and the renames commute.
 package store
 
 import (
@@ -99,14 +101,27 @@ type Stats struct {
 type Store struct {
 	root string
 
-	// Log, when non-nil, receives one line per notable event
-	// (quarantine, resume hit); set it before concurrent use.
-	Log func(format string, args ...any)
+	// log receives one line per notable event (quarantine, resume
+	// hit). Held behind an atomic pointer so SetLog is safe at any
+	// time, including while other goroutines read and write records —
+	// a long-running service attaches and detaches logging without a
+	// quiesce.
+	log atomic.Pointer[func(format string, args ...any)]
 
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	writes  atomic.Uint64
 	corrupt atomic.Uint64
+}
+
+// SetLog installs fn as the store's event log hook (nil disables
+// logging). Safe to call concurrently with any other store operation.
+func (s *Store) SetLog(fn func(format string, args ...any)) {
+	if fn == nil {
+		s.log.Store(nil)
+		return
+	}
+	s.log.Store(&fn)
 }
 
 // Open opens (creating as needed) the store rooted at dir and sweeps
@@ -138,8 +153,8 @@ func (s *Store) path(k Key) string {
 }
 
 func (s *Store) logf(format string, args ...any) {
-	if s.Log != nil {
-		s.Log(format, args...)
+	if fn := s.log.Load(); fn != nil {
+		(*fn)(format, args...)
 	}
 }
 

@@ -246,6 +246,62 @@ func TestConcurrentPutGet(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentHammer is the arld-shaped workload: many goroutines
+// hammering overlapping keys with Put and Get while the log hook is
+// swapped mid-flight, under -race. It pins that the stats counters are
+// exact under concurrency — hits+misses account for every Get, writes
+// for every Put, and nothing is ever quarantined by contention alone.
+func TestConcurrentHammer(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		keys    = 4
+		rounds  = 25
+	)
+	// Seed every key so each verified Get is a hit.
+	for i := 0; i < keys; i++ {
+		k := testKey("result")
+		k.Workload = string(rune('a' + i))
+		if err := s.Put(k, &payload{Name: k.Workload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				k := testKey("result")
+				k.Workload = string(rune('a' + (w+j)%keys))
+				s.SetLog(func(string, ...any) {}) // concurrent hook swap
+				if err := s.Put(k, &payload{Name: k.Workload, Values: []uint64{uint64(j)}}); err != nil {
+					t.Error(err)
+					return
+				}
+				var got payload
+				if ok, err := s.Get(k, &got); err != nil || !ok || got.Name != k.Workload {
+					t.Errorf("Get = (%v, %v) %+v", ok, err, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	wantPuts := uint64(keys + workers*rounds)
+	wantGets := uint64(workers * rounds)
+	if st.Writes != wantPuts {
+		t.Fatalf("Writes = %d, want %d", st.Writes, wantPuts)
+	}
+	if st.Hits != wantGets || st.Misses != 0 || st.Corrupt != 0 {
+		t.Fatalf("Stats = %+v, want %d hits, 0 misses, 0 corrupt", st, wantGets)
+	}
+}
+
 func TestPublish(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {
