@@ -1,0 +1,41 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// Reproduces the unguarded write of unit.deduped in run() racing with
+// the guarded read in results().
+func TestResultsDedupedRace(t *testing.T) {
+	svc := New(Config{Workers: 2}, nil)
+	block := make(chan struct{})
+	svc.testHook = func(u *unit, attempt int) error {
+		<-block // hold the unit between the deduped write and finish
+		return nil
+	}
+	status, err := svc.Submit(CampaignRequest{
+		Tenant: "t", MaxInsts: 1000,
+		Units: []UnitSpec{{Kind: KindSimulate, Workload: "li", Config: func() *cpu.Config { c := cpu.Conventional(2, 2); return &c }()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := svc.Job(status.ID)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			svc.results(j)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	svc.Drain()
+}
