@@ -1,7 +1,7 @@
 // Staticcheck: drive the internal/static binary-level region analyzer
 // over two hand-written RISA programs. good.s follows the calling
 // convention and comes back diagnostic-free with provable region hints;
-// buggy.s violates it five ways and every violation is flagged with a
+// buggy.s violates it six ways and every violation is flagged with a
 // file:line diagnostic. The same analyses back the cmd/arlcheck linter:
 //
 //	go run ./cmd/arlcheck ./examples/staticcheck

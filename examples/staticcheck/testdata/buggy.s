@@ -5,6 +5,7 @@
 #
 # Expected findings:
 #   leaky:    sp-imbalance (frame never popped) + callee-saved ($s0)
+#             + dead-store (the $s0 spill is never loaded back)
 #   coldload: uninit-stack-load (reads a slot no path stores)
 #   wildload: bad-base (integer used as an address) + unreachable code
 	.data

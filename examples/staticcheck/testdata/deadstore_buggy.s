@@ -1,0 +1,31 @@
+# deadstore_buggy.s - negative fixture for the dead-store lint: a leaf
+# function spills a value to its frame and returns without any load
+# ever touching the slot. The store can be deleted without changing the
+# program, which in compiled code means a wasted stack access — exactly
+# the traffic the paper's access-region study wants off the critical
+# path. arlcheck treats *buggy* files as fixtures that MUST produce
+# diagnostics.
+#
+# Expected findings:
+#   wastes:  dead-store (slot -8 written, never read)
+	.text
+	.globl main
+main:
+	addi $sp, $sp, -8
+	sw   $ra, 4($sp)
+	jal  wastes
+	lw   $ra, 4($sp)
+	addi $sp, $sp, 8
+	jr   $ra
+
+# A leaf that computes into its frame and never looks back: the spill
+# to 0($sp) is loaded again (live), the one to 4($sp) is not (dead).
+wastes:
+	addi $sp, $sp, -8
+	li   $t0, 21
+	sw   $t0, 0($sp)
+	sw   $t0, 4($sp)
+	lw   $t1, 0($sp)
+	add  $v0, $t1, $t1
+	addi $sp, $sp, 8
+	jr   $ra

@@ -1,0 +1,32 @@
+# deadstore_good.s - positive fixture for the dead-store lint: every
+# frame slot written by a leaf function is read again before return,
+# and functions that make calls or pass frame pointers are exempt (a
+# callee reads its incoming arguments from below the caller's entry
+# $sp, so the caller's stores there are never provably dead).
+	.data
+msg:	.asciiz "ok"
+
+	.text
+	.globl main
+main:
+	addi $sp, $sp, -16
+	sw   $ra, 12($sp)
+	sw   $s0, 8($sp)         # live: restored below
+	li   $s0, 3
+	sw   $s0, 4($sp)         # live: reloaded into $a0
+	lw   $a0, 4($sp)
+	jal  double
+	add  $s0, $v0, $zero
+	lw   $s0, 8($sp)
+	lw   $ra, 12($sp)
+	addi $sp, $sp, 16
+	jr   $ra
+
+# A leaf whose only spill is reloaded: nothing to report.
+double:
+	addi $sp, $sp, -8
+	sw   $a0, 0($sp)
+	lw   $t0, 0($sp)
+	add  $v0, $t0, $t0
+	addi $sp, $sp, 8
+	jr   $ra

@@ -518,13 +518,13 @@ func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 			if r.watched() {
 				opts.Ctx = ctx
 			}
-			start := time.Now()
+			start := time.Now() //arlvet:allow wallclock RunStats measures harness cost; wall time never reaches simulation results
 			var err error
 			tr, err = cpu.BuildTrace(p, opts)
 			if err != nil {
 				return err
 			}
-			r.noteTrace(w.Name, uint64(len(tr.Insts)), time.Since(start))
+			r.noteTrace(w.Name, uint64(len(tr.Insts)), time.Since(start)) //arlvet:allow wallclock RunStats measures harness cost; wall time never reaches simulation results
 			return nil
 		})
 		if err != nil {
@@ -596,12 +596,12 @@ func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Resu
 			if err != nil {
 				return err
 			}
-			start := time.Now()
+			start := time.Now() //arlvet:allow wallclock RunStats measures harness cost; wall time never reaches simulation results
 			res, err = sim.Run(tr)
 			if err != nil {
 				return err
 			}
-			r.noteSim(w.Name, res.Cycles, time.Since(start))
+			r.noteSim(w.Name, res.Cycles, time.Since(start)) //arlvet:allow wallclock RunStats measures harness cost; wall time never reaches simulation results
 			frag = reg
 			return nil
 		})

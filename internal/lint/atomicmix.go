@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicmix flags struct fields that are accessed both through
+// sync/atomic calls and through plain reads or writes in the same
+// package. Mixed access is a data race the race detector only catches
+// when both paths run concurrently under -race; the analyzer catches
+// the shape unconditionally. Fields of the method-based atomic.*
+// types (atomic.Uint64 and friends) cannot mix and are out of scope.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags fields accessed both via sync/atomic and plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// First pass: fields whose address is taken by a sync/atomic call.
+	atomicFields := map[*types.Var]token.Pos{}
+	inAtomicArg := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := pass.calleeFunc(call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(pass, sel); v != nil {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = call.Pos()
+					}
+					inAtomicArg[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Second pass: plain accesses of those fields.
+	type finding struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	var findings []finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return true
+			}
+			v := fieldOf(pass, sel)
+			if v == nil {
+				return true
+			}
+			if _, ok := atomicFields[v]; ok {
+				findings = append(findings, finding{pos: sel.Pos(), v: v})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos,
+			"field %s is accessed with sync/atomic at %s but plainly here: every access must go through atomic",
+			f.v.Name(), pass.Fset.Position(atomicFields[f.v]))
+	}
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

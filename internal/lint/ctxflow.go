@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow flags functions that accept a context.Context and then fail
+// to propagate it: either by calling a context-taking callee with a
+// fresh context.Background()/TODO(), or by never using the parameter
+// at all. Both shapes detach the callee from cancellation — the PR 3
+// watchdog, per-attempt retry deadlines, and graceful drain all stop
+// working below such a call.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags ctx-taking functions that drop the context instead of passing it on",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	for _, file := range pass.Files {
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				var ftyp *ast.FuncType
+				var body *ast.BlockStmt
+				switch m := m.(type) {
+				case *ast.FuncDecl:
+					ftyp, body = m.Type, m.Body
+				case *ast.FuncLit:
+					ftyp, body = m.Type, m.Body
+				default:
+					return true
+				}
+				if body != nil {
+					checkCtxFunc(pass, ftyp, body, walk)
+				}
+				return false
+			})
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// checkCtxFunc analyzes one function with its own parameter list; walk
+// recurses into nested function literals so each gets judged against
+// its own signature.
+func checkCtxFunc(pass *Pass, ftyp *ast.FuncType, body *ast.BlockStmt, walk func(ast.Node)) {
+	ctxParams, ordered := contextParams(pass, ftyp)
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal capturing ctx counts as a use for the outer
+			// function; the literal's own body is checked separately.
+			if len(ctxParams) > 0 && usesAny(pass, n.Body, ctxParams) {
+				used = true
+			}
+			walk(n)
+			return false
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && ctxParams[obj] {
+				used = true
+			}
+		case *ast.CallExpr:
+			if len(ctxParams) > 0 {
+				checkCtxCall(pass, n)
+			}
+		}
+		return true
+	})
+	if !used && len(ordered) > 0 {
+		if v := ordered[0]; v.Name() != "" && v.Name() != "_" {
+			pass.Reportf(v.Pos(),
+				"context parameter %s is never used: cancellation and deadlines do not propagate past this function",
+				v.Name())
+		}
+	}
+}
+
+// contextParams collects the function's context.Context parameters, in
+// declaration order.
+func contextParams(pass *Pass, ftyp *ast.FuncType) (map[*types.Var]bool, []*types.Var) {
+	out := map[*types.Var]bool{}
+	var ordered []*types.Var
+	if ftyp.Params == nil {
+		return out, nil
+	}
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				out[v] = true
+				ordered = append(ordered, v)
+			}
+		}
+	}
+	return out, ordered
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxCall flags calls that hand a context-taking callee a fresh
+// Background/TODO context while the caller has one to give.
+func checkCtxCall(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if pass.pkgFunc(inner, "context", name) {
+				callee := "callee"
+				if f := pass.calleeFunc(call); f != nil {
+					callee = f.Name()
+				}
+				pass.Reportf(arg.Pos(),
+					"context.%s passed to %s inside a function that has its own ctx: caller cancellation is dropped",
+					name, callee)
+			}
+		}
+	}
+}
+
+func usesAny(pass *Pass, n ast.Node, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrange flags `range` over a map whose body is order-sensitive:
+// emitting report text or encoder output, collecting into a slice that
+// is never sorted afterwards, accumulating floats (non-associative),
+// or returning an iteration-dependent value (first-match-wins). Map
+// iteration order is randomized per run, so each of these breaks the
+// byte-identical-output invariant the store keys, -resume, and the
+// arld server/local cmp checks all rest on.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags order-sensitive work inside range-over-map, which breaks byte-identical reports",
+	Run:  runDetrange,
+}
+
+// emitMethods are method names that commit bytes to an output stream
+// in call order.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true, "Print": true, "Printf": true, "Println": true,
+}
+
+func runDetrange(pass *Pass) error {
+	// walk tracks the innermost enclosing function body, the scope a
+	// collected slice must be sorted in.
+	var walk func(n ast.Node, enclosing *ast.BlockStmt)
+	walk = func(n ast.Node, enclosing *ast.BlockStmt) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m.Body != nil {
+					walk(m.Body, m.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				if m.Body != nil {
+					walk(m.Body, m.Body)
+				}
+				return false
+			case *ast.RangeStmt:
+				if isMapType(pass.TypeOf(m.X)) {
+					checkMapRange(pass, m, enclosing)
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		walk(file, nil)
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body inside enclosing and
+// reports its order-sensitive effects.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	bodyVars := bodyLocals(pass, rs)
+	rangeVars := iterationVars(pass, rs)
+	var appends []*types.Var
+
+	inBody(rs.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: receiver observes a random order")
+		case *ast.AssignStmt:
+			checkAssign(pass, n, rangeVars, &appends)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if refersToAny(pass, res, bodyVars) {
+					pass.Reportf(n.Pos(),
+						"return of iteration-dependent value inside range over map: which element wins is random")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := emitCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside range over map emits output in random order", name)
+			}
+		}
+	})
+
+	for _, obj := range appends {
+		if !sortedAfter(pass, enclosing, rs, obj) {
+			pass.Reportf(rs.Pos(),
+				"range over map collects into %s, which is never sorted before use", obj.Name())
+		}
+	}
+}
+
+// inBody walks a range body without descending into function literals
+// (their bodies run elsewhere, under their own analysis).
+func inBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func addVarOf(pass *Pass, set map[*types.Var]bool, e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			set[v] = true
+		} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			set[v] = true
+		}
+	}
+}
+
+// iterationVars is the key/value pair of the range statement.
+func iterationVars(pass *Pass, rs *ast.RangeStmt) map[*types.Var]bool {
+	set := make(map[*types.Var]bool)
+	if rs.Key != nil {
+		addVarOf(pass, set, rs.Key)
+	}
+	if rs.Value != nil {
+		addVarOf(pass, set, rs.Value)
+	}
+	return set
+}
+
+// bodyLocals collects the iteration variables and every variable
+// assigned inside the body — the values whose identity depends on
+// which iteration is executing.
+func bodyLocals(pass *Pass, rs *ast.RangeStmt) map[*types.Var]bool {
+	set := iterationVars(pass, rs)
+	add := func(e ast.Expr) { addVarOf(pass, set, e) }
+	inBody(rs.Body, func(n ast.Node) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				add(lhs)
+			}
+		}
+	})
+	return set
+}
+
+func refersToAny(pass *Pass, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAssign classifies one assignment inside a map-range body:
+// appends to track, float accumulation and string building to flag,
+// map writes to ignore (commutative).
+func checkAssign(pass *Pass, as *ast.AssignStmt, rangeVars map[*types.Var]bool, appends *[]*types.Var) {
+	// x += expr / x -= expr: order-sensitive when x is a float
+	// (non-associative) or a string (builds text in random order) —
+	// unless the target slot itself is selected by the iteration
+	// variables (m2[k] += v), where each iteration owns its own slot
+	// and accumulation order per slot follows the outer control flow.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN {
+		if refersToAny(pass, as.Lhs[0], rangeVars) {
+			return
+		}
+		t := pass.TypeOf(as.Lhs[0])
+		if t != nil {
+			switch b := t.Underlying().(type) {
+			case *types.Basic:
+				switch {
+				case b.Info()&types.IsFloat != 0:
+					pass.Reportf(as.Pos(), "float accumulation inside range over map: addition order changes the sum")
+				case b.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+					pass.Reportf(as.Pos(), "string concatenation inside range over map builds text in random order")
+				}
+			}
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		// Appending to a local slice is fine if the slice is sorted
+		// before use; track the target and decide at the end.
+		if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				*appends = append(*appends, v)
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				*appends = append(*appends, v)
+				continue
+			}
+		}
+		// Appends through a field or index can't be proven sorted
+		// later; they usually feed a report or an artifact.
+		pass.Reportf(as.Pos(), "append to %s inside range over map records elements in random order",
+			types.ExprString(as.Lhs[i]))
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// emitCall reports whether call writes to an output stream: a fmt/log
+// print function or a writer/encoder method.
+func emitCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if f := pass.calleeFunc(call); f != nil && f.Pkg() != nil {
+		sig, _ := f.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+		switch f.Pkg().Path() {
+		case "fmt":
+			if !isMethod {
+				switch f.Name() {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+					return "fmt." + f.Name(), true
+				}
+			}
+		case "log":
+			if !isMethod {
+				switch f.Name() {
+				case "Print", "Printf", "Println":
+					return "log." + f.Name(), true
+				}
+			}
+		default:
+			if isMethod && emitMethods[f.Name()] {
+				return f.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a sort call mentioning obj appears in
+// the enclosing function after the range statement.
+func sortedAfter(pass *Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt, obj *types.Var) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			// Keep walking: a later sibling statement can still start
+			// after the range even when this node begins before it.
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := pass.calleeFunc(call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if pkg := f.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersToAny(pass, arg, map[*types.Var]bool{obj: true}) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+package lint
+
+import "sort"
+
+// Analyzers returns every arlvet analyzer, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Detrange,
+		Wallclock,
+		Lockheld,
+		Ctxflow,
+		Atomicmix,
+		Obskey,
+	}
+}
+
+// Run applies analyzers to pkgs, honors //arlvet:allow annotations,
+// and returns the surviving findings sorted by position. Packages are
+// visited in the (sorted) order Load returned them so Shared-state
+// analyzers report deterministically.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	shared := make(map[string]any)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Shared:    shared,
+				report:    func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		diags = append(diags, suppress(pkgDiags, pkg.Fset, pkg.Files)...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,182 @@
+// Package lint implements arlvet's static analyzers: go/analysis-style
+// passes that mechanically enforce the invariants the rest of the
+// harness only checks dynamically — deterministic report rendering
+// (detrange), no wall-clock or global-rand reads in the deterministic
+// simulator packages (wallclock), no locks held across blocking calls
+// (lockheld), context propagation (ctxflow), consistent atomic access
+// (atomicmix), and a stable obs metric schema (obskey).
+//
+// The environment this repo builds in has no network and no module
+// cache, so golang.org/x/tools is unavailable. The package therefore
+// carries its own minimal driver: packages are located and compiled
+// with `go list -export`, type-checked from source with go/types using
+// export data for every import, and analyzed through an Analyzer/Pass
+// API that mirrors golang.org/x/tools/go/analysis closely enough that
+// the analyzers would port to a real multichecker unchanged.
+//
+// A finding the author has judged intentional is suppressed with an
+// annotation on the flagged line or the line above it:
+//
+//	start := time.Now() //arlvet:allow wallclock harness cost table is wall-time by definition
+//
+// The annotation names the analyzer being waived; everything after the
+// name is free-form justification. Annotations are deliberately loud in
+// review: the escape hatch documents the exception instead of hiding
+// it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //arlvet:allow
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Shared is scratch space that lives for one driver run across
+	// every (package, analyzer) pair, letting an analyzer correlate
+	// facts between packages (obskey uses it to detect label-set
+	// drift). Keys should be prefixed with the analyzer name.
+	Shared map[string]any
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, with a resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// TypeOf is a nil-tolerant p.TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, function-typed variables, and type conversions.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return f
+}
+
+// pkgFunc reports whether call invokes the package-level function
+// pkgpath.name.
+func (p *Pass) pkgFunc(call *ast.CallExpr, pkgpath, name string) bool {
+	f := p.calleeFunc(call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgpath &&
+		f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+const allowPrefix = "arlvet:allow"
+
+// allowSet maps file line numbers to the analyzer names waived on that
+// line. An annotation waives its own line and the line below it, so it
+// can share the flagged line or sit on its own line above.
+type allowSet map[int]map[string]bool
+
+// allowedIn scans a file's comments for //arlvet:allow annotations.
+func allowedIn(fset *token.FileSet, f *ast.File) allowSet {
+	var set allowSet
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* \t"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if set == nil {
+				set = make(allowSet)
+			}
+			for _, name := range strings.Fields(text[len(allowPrefix):]) {
+				if !isAnalyzerName(name) {
+					break // rest of the comment is justification prose
+				}
+				for _, l := range []int{line, line + 1} {
+					if set[l] == nil {
+						set[l] = make(map[string]bool)
+					}
+					set[l][name] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+func isAnalyzerName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// suppress drops diagnostics waived by an //arlvet:allow annotation in
+// the package's files.
+func suppress(diags []Diagnostic, fset *token.FileSet, files []*ast.File) []Diagnostic {
+	byFile := make(map[string]allowSet)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if set := allowedIn(fset, f); set != nil {
+			byFile[name] = set
+		}
+	}
+	if len(byFile) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := byFile[d.Pos.Filename]; set != nil && set[d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// wantPattern pulls the backquoted expectation patterns out of one
+// "// want" fixture comment, in the style of analysistest.
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// expectationsOf scans a loaded fixture package for // want comments
+// and returns them keyed by "filename:line".
+func expectationsOf(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	out := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := indexWant(text)
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPattern.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], &expectation{re: re, line: pos.Line})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// indexWant finds the start of a "want" marker in a comment, or -1.
+func indexWant(text string) int {
+	for i := 0; i+4 <= len(text); i++ {
+		if text[i:i+4] == "want" {
+			return i
+		}
+	}
+	return -1
+}
+
+// runFixture loads testdata/src/<rel> and checks the analyzers'
+// findings against the fixture's // want comments, both directions:
+// every finding needs a want, every want needs a finding.
+func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir("testdata/src/" + rel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", rel, err)
+	}
+	exps := expectationsOf(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, e := range exps[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, list := range exps {
+		for _, e := range list {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func TestDetrange(t *testing.T)  { runFixture(t, "detrange", Detrange) }
+func TestWallclock(t *testing.T) { runFixture(t, "wallclock/cpu", Wallclock) }
+func TestLockheld(t *testing.T)  { runFixture(t, "lockheld/service", Lockheld) }
+func TestCtxflow(t *testing.T)   { runFixture(t, "ctxflow", Ctxflow) }
+func TestAtomicmix(t *testing.T) { runFixture(t, "atomicmix", Atomicmix) }
+func TestObskey(t *testing.T)    { runFixture(t, "obskey", Obskey) }
+
+// TestFixturesTripAllAnalyzers is the arlvet -dir acceptance check:
+// every buggy fixture must make the full analyzer suite report at
+// least one finding, so the fixtures stay honest as analyzers evolve.
+func TestFixturesTripAllAnalyzers(t *testing.T) {
+	for _, rel := range []string{
+		"detrange", "wallclock/cpu", "lockheld/service",
+		"ctxflow", "atomicmix", "obskey",
+	} {
+		pkg, err := LoadDir("testdata/src/" + rel)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", rel, err)
+		}
+		diags, err := Run([]*Package{pkg}, Analyzers())
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", rel, err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("fixture %s produced no findings from the full suite", rel)
+		}
+	}
+}
+
+// TestLoadDirSyntheticPath pins the fixture-path contract the
+// path-scoped analyzers rely on.
+func TestLoadDirSyntheticPath(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/wallclock/cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "repro/internal/cpu" {
+		t.Fatalf("synthetic import path = %q, want repro/internal/cpu", pkg.Path)
+	}
+}
+
+// TestAllowAnnotationParsing pins the annotation grammar: the analyzer
+// name list ends at the first field that is not a lower-case word, and
+// an annotation waives its own line and the next.
+func TestAllowAnnotationParsing(t *testing.T) {
+	if !isAnalyzerName("wallclock") || isAnalyzerName("Wallclock") || isAnalyzerName("") {
+		t.Fatal("isAnalyzerName grammar broken")
+	}
+}
+
+// A broken pattern must surface as a load error, not as a silently
+// clean run over zero packages — a typo'd CI gate must fail loudly.
+func TestLoadRejectsBadPattern(t *testing.T) {
+	if _, err := Load("./does/not/exist"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded; want an error")
+	}
+}

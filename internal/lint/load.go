@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// goList runs `go list -e -export -deps -json` on the patterns from
+// dir and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data gathered
+// by `go list -export`. It satisfies both types.Importer and
+// types.ImporterFrom by delegating to the stdlib gc importer with a
+// lookup over the export file table.
+type exportImporter struct {
+	underlying types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return &exportImporter{underlying: imp.(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.underlying.ImportFrom(path, dir, 0)
+}
+
+var moduleRoot = sync.OnceValues(func() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+})
+
+// Load locates the packages matching patterns (resolved from the
+// enclosing module root), type-checks each from source with imports
+// satisfied by export data, and returns them sorted by import path.
+func Load(patterns ...string) ([]*Package, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var roots []*listPkg
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		// Check Error before skipping empty GoFiles: a broken pattern
+		// (`go list -e ./no/such/dir`) comes back with no files at all,
+		// and silently analyzing zero packages would let a typo in a CI
+		// gate pass as a clean run.
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		roots = append(roots, p)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("go list %s: matched no Go packages", strings.Join(patterns, " "))
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	out := make([]*Package, 0, len(roots))
+	for _, p := range roots {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a standalone
+// package — the fixture path used by tests and arlvet -dir, which must
+// reach packages the go tool's wildcard patterns skip (testdata).
+// The synthetic import path "repro/internal/<base>" puts fixtures in
+// scope of the path-scoped analyzers.
+func LoadDir(dir string) (*Package, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	if !filepath.IsAbs(dir) {
+		if wd, err := os.Getwd(); err == nil {
+			dir = filepath.Join(wd, dir)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no .go files", dir)
+	}
+	sort.Strings(files)
+
+	// Parse once just to collect the import set, then gather export
+	// data for it (plus transitive deps) in one go list call.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	patterns := make([]string, 0, len(imports))
+	for path := range imports {
+		patterns = append(patterns, path)
+	}
+	sort.Strings(patterns)
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		pkgs, err := goList(root, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	pkgpath := "repro/internal/" + filepath.Base(dir)
+	return typeCheckParsed(fset, imp, pkgpath, asts)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return typeCheckParsed(fset, imp, path, asts)
+}
+
+func typeCheckParsed(fset *token.FileSet, imp types.Importer, path string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}

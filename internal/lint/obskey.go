@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Obskey enforces the arl-metrics/v1 schema at its source: every
+// metric registered on an obs.Registry must have a compile-time
+// constant snake_case name, constant snake_case label keys, and a
+// single label-key set across the whole tree. A metric registered
+// with differing label sets in two places splits into distinct series
+// that merge tools and the schema validator cannot reconcile.
+var Obskey = &Analyzer{
+	Name: "obskey",
+	Doc:  "flags non-constant or non-snake_case obs metric names and label-set drift",
+	Run:  runObskey,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// regMethods maps obs.Registry registration methods to the index of
+// their name argument (name, help, labels).
+var regMethods = map[string]bool{"Counter": true, "Gauge": true, "Hist": true}
+
+// labelRec remembers where a metric's label-key set was first seen.
+type labelRec struct {
+	keys  string
+	where token.Position
+}
+
+func runObskey(pass *Pass) error {
+	// Wrappers forwarding a string parameter into a registration call
+	// (service.counter/service.gauge) are treated as registration
+	// functions themselves: the literal lives at their call sites.
+	wrappers := findObsWrappers(pass)
+
+	for _, file := range pass.Files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+			case *ast.CallExpr:
+				nameIdx, labelIdx, ok := registrationCall(pass, n, wrappers)
+				if !ok {
+					return true
+				}
+				checkRegistration(pass, n, enclosing, wrappers, nameIdx, labelIdx)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsWrapper records one forwarding function: which parameter carries
+// the metric name and which (if any) carries the labels.
+type obsWrapper struct {
+	nameParam  int
+	labelParam int // -1 when the wrapper fixes its own labels
+}
+
+// findObsWrappers locates package functions that pass one of their own
+// string parameters straight through as a registration name.
+func findObsWrappers(pass *Pass) map[*types.Func]obsWrapper {
+	out := map[*types.Func]obsWrapper{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fobj == nil {
+				continue
+			}
+			params := paramVars(pass, fd.Type)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isObsRegistryMethod(pass, call) || len(call.Args) < 1 {
+					return true
+				}
+				nameParam := paramIndex(pass, call.Args[0], params)
+				if nameParam < 0 {
+					return true
+				}
+				w := obsWrapper{nameParam: nameParam, labelParam: -1}
+				if len(call.Args) >= 3 {
+					w.labelParam = paramIndex(pass, call.Args[2], params)
+				}
+				out[fobj] = w
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func paramVars(pass *Pass, ftyp *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ftyp.Params == nil {
+		return out
+	}
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func paramIndex(pass *Pass, arg ast.Expr, params []*types.Var) int {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return -1
+	}
+	for i, p := range params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func isObsRegistryMethod(pass *Pass, call *ast.CallExpr) bool {
+	f := pass.calleeFunc(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "repro/internal/obs" || !regMethods[f.Name()] {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil
+}
+
+// registrationCall classifies call as a registration site, returning
+// the argument indices of the metric name and labels (-1 if the call
+// shape fixes the labels elsewhere).
+func registrationCall(pass *Pass, call *ast.CallExpr, wrappers map[*types.Func]obsWrapper) (nameIdx, labelIdx int, ok bool) {
+	if isObsRegistryMethod(pass, call) {
+		return 0, 2, true
+	}
+	if f := pass.calleeFunc(call); f != nil {
+		if w, isWrapper := wrappers[f]; isWrapper {
+			return w.nameParam, w.labelParam, true
+		}
+	}
+	return 0, 0, false
+}
+
+func checkRegistration(pass *Pass, call *ast.CallExpr, enclosing *ast.FuncDecl, wrappers map[*types.Func]obsWrapper, nameIdx, labelIdx int) {
+	if nameIdx >= len(call.Args) {
+		return
+	}
+	nameArg := call.Args[nameIdx]
+	// Inside a wrapper, the forwarded parameter is the name; the real
+	// literal is checked at the wrapper's call sites.
+	if enclosing != nil {
+		if p := paramIndex(pass, nameArg, paramVars(pass, enclosing.Type)); p >= 0 {
+			return
+		}
+	}
+	name, isConst := constantString(pass, nameArg)
+	if !isConst {
+		pass.Reportf(nameArg.Pos(),
+			"obs metric name %s is not a compile-time constant: the arl-metrics/v1 schema cannot be checked statically",
+			types.ExprString(nameArg))
+		return
+	}
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(nameArg.Pos(), "obs metric name %q is not snake_case", name)
+	}
+
+	keys, known := labelKeys(pass, call, enclosing, labelIdx)
+	if !known {
+		return
+	}
+	for _, k := range keys {
+		if !snakeCase.MatchString(k) {
+			pass.Reportf(call.Pos(), "obs label key %q on metric %q is not snake_case", k, name)
+		}
+	}
+	keyset := strings.Join(keys, ",")
+	sharedKey := "obskey/" + name
+	if prev, ok := pass.Shared[sharedKey].(labelRec); ok {
+		if prev.keys != keyset {
+			pass.Reportf(call.Pos(),
+				"metric %q registered with label set {%s} here but {%s} at %s: one metric, one label schema",
+				name, keyset, prev.keys, prev.where)
+		}
+		return
+	}
+	pass.Shared[sharedKey] = labelRec{keys: keyset, where: pass.Fset.Position(call.Pos())}
+}
+
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// labelKeys resolves the label-key set of a registration call: nil, a
+// Labels composite literal, or a local variable whose definition in
+// the enclosing function is a Labels composite literal. Anything more
+// dynamic returns known=false and is exempt from set comparison.
+func labelKeys(pass *Pass, call *ast.CallExpr, enclosing *ast.FuncDecl, labelIdx int) ([]string, bool) {
+	if labelIdx < 0 {
+		return nil, true // wrapper fixes labels to nil internally
+	}
+	if labelIdx >= len(call.Args) {
+		return nil, false
+	}
+	arg := ast.Unparen(call.Args[labelIdx])
+	switch a := arg.(type) {
+	case *ast.Ident:
+		if a.Name == "nil" {
+			return nil, true
+		}
+		if lit := localCompositeDef(pass, a, enclosing); lit != nil {
+			return keysOfComposite(pass, lit)
+		}
+		return nil, false
+	case *ast.CompositeLit:
+		return keysOfComposite(pass, a)
+	case *ast.CallExpr:
+		return nil, false // Labels.With and friends: dynamic
+	}
+	return nil, false
+}
+
+// localCompositeDef finds `x := obs.Labels{...}` for ident x in the
+// enclosing function, requiring exactly one assignment to x so a
+// reassigned variable is treated as dynamic.
+func localCompositeDef(pass *Pass, id *ast.Ident, enclosing *ast.FuncDecl) *ast.CompositeLit {
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || enclosing == nil || enclosing.Body == nil {
+		return nil
+	}
+	var lit *ast.CompositeLit
+	assigns := 0
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[lid]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[lid]
+			}
+			if obj != v {
+				continue
+			}
+			assigns++
+			if i < len(as.Rhs) {
+				if cl, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); ok {
+					lit = cl
+				}
+			}
+		}
+		return true
+	})
+	if assigns != 1 {
+		return nil
+	}
+	return lit
+}
+
+func keysOfComposite(pass *Pass, lit *ast.CompositeLit) ([]string, bool) {
+	var keys []string
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, false
+		}
+		k, isConst := constantString(pass, kv.Key)
+		if !isConst {
+			return nil, false
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, true
+}

@@ -1,0 +1,34 @@
+// Package atomicmix is an arlvet fixture: a field updated through
+// sync/atomic must never also be read or written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total++
+}
+
+// Bad: plain read of a field the package updates atomically.
+func (c *counter) snapshot() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic`
+}
+
+// Good: every other access goes through atomic.
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Good: total is only ever accessed plainly.
+func (c *counter) sum() int64 { return c.total }
+
+// Allowed: the annotation waives the finding on the next line.
+func (c *counter) racyPeek() int64 {
+	//arlvet:allow atomicmix fixture exercises the allow path
+	return c.hits
+}

@@ -1,0 +1,42 @@
+// Package ctxflow is an arlvet fixture: functions that accept a
+// context and then detach their callees from it.
+package ctxflow
+
+import "context"
+
+// Good: the context flows through.
+func lookup(ctx context.Context, key string) error {
+	return fetch(ctx, key)
+}
+
+func fetch(ctx context.Context, key string) error {
+	_ = key
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Bad: a fresh Background context severs the caller's cancellation.
+func refresh(ctx context.Context, key string) error {
+	_ = ctx
+	return fetch(context.Background(), key) // want `context\.Background passed to fetch`
+}
+
+// Bad: the parameter is accepted and then dropped entirely.
+func drop(ctx context.Context, key string) error { // want `context parameter ctx is never used`
+	return fetch(context.TODO(), key) // want `context\.TODO passed to fetch`
+}
+
+// Good: the blank name opts out explicitly.
+func tick(_ context.Context) int { return 1 }
+
+// Good: a function literal capturing ctx counts as a use.
+func spawn(ctx context.Context) func() error {
+	return func() error { return fetch(ctx, "spawn") }
+}
+
+// Allowed: the annotation waives a deliberate detach.
+func detach(ctx context.Context, key string) error {
+	_ = ctx
+	//arlvet:allow ctxflow fixture exercises the allow path
+	return fetch(context.Background(), key)
+}

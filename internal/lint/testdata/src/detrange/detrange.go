@@ -1,0 +1,85 @@
+// Package detrange is an arlvet fixture: order-sensitive work inside
+// range-over-map. Lines marked `want` must produce exactly the matching
+// diagnostic; unmarked code must stay clean.
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bad: report text committed in map iteration order.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map emits output in random order`
+	}
+}
+
+// Bad: collected slice is never sorted before use.
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects into keys, which is never sorted before use`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Good: the slice is sorted after collection.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Bad: float addition is not associative, so the sum depends on order.
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+// Bad: text built in random order.
+func join(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += k // want `string concatenation inside range over map builds text in random order`
+	}
+	return s
+}
+
+// Bad: which element wins is random.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return of iteration-dependent value inside range over map`
+	}
+	return ""
+}
+
+// Bad: the receiver observes a random order.
+func feed(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Good: each iteration accumulates into its own slot, so per-slot
+// order follows the (deterministic) enclosing control flow.
+func rescale(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v / 2
+	}
+}
+
+// Allowed: the annotation waives the finding on the next line.
+func debugDump(m map[string]int) {
+	for k, v := range m {
+		//arlvet:allow detrange fixture exercises the allow path
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,66 @@
+// Package service is an arlvet fixture standing in for a lock-scoped
+// package: the loader's synthetic import path repro/internal/service
+// puts it in lockheld's scope.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+	ch    chan int
+}
+
+// Bad: an unbuffered send can block every goroutine behind mu.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ch <- v // want `channel send while q\.mu is held`
+	q.mu.Unlock()
+}
+
+// Good: the blocking send happens after the critical section.
+func (q *queue) pushOutside(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// Bad: the deferred unlock keeps mu held across the sleep.
+func (q *queue) slowScan() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while q\.mu is held`
+	return len(q.items)
+}
+
+// Bad: an unbounded wait inside the critical section.
+func (q *queue) waitDrain(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select with no default while q\.mu is held`
+	case <-done:
+	}
+}
+
+// Good: a select with default polls without blocking.
+func (q *queue) tryNotify(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+// Allowed: the annotation waives the finding on the next line.
+func (q *queue) pushChecked(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//arlvet:allow lockheld fixture exercises the allow path
+	q.ch <- v
+}

@@ -1,0 +1,43 @@
+// Package obskey is an arlvet fixture: obs metric registration must
+// use constant snake_case names, snake_case label keys, and one label
+// set per metric.
+package obskey
+
+import "repro/internal/obs"
+
+func register(reg *obs.Registry) {
+	reg.Counter("requests_total", "requests served", nil)
+	reg.Gauge("queue_depth", "queued units", obs.Labels{"shard": "0"})
+
+	badName := "dynamic_" + suffix()
+	reg.Counter(badName, "bad", nil)                                // want `obs metric name badName is not a compile-time constant`
+	reg.Counter("BadName", "bad", nil)                              // want `obs metric name "BadName" is not snake_case`
+	reg.Counter("labeled_total", "bad key", obs.Labels{"Rank": ""}) // want `obs label key "Rank" on metric "labeled_total" is not snake_case`
+}
+
+// Bad: same metric, different label set than the registration above.
+func drift(reg *obs.Registry) {
+	reg.Gauge("queue_depth", "queued units", obs.Labels{"worker": "0"}) // want `metric "queue_depth" registered with label set \{worker\} here but \{shard\}`
+}
+
+func suffix() string { return "x" }
+
+// counter forwards its name parameter into a registration call, so
+// arlvet treats it as a registration function and checks literals at
+// its call sites instead.
+func counter(reg *obs.Registry, name string) {
+	reg.Counter(name, "forwarded", nil)
+}
+
+func useWrapper(reg *obs.Registry) {
+	counter(reg, "wrapped_total")
+	counter(reg, "NotSnake") // want `obs metric name "NotSnake" is not snake_case`
+}
+
+var dynamicName = "replayed_total"
+
+// Allowed: the annotation waives a deliberately dynamic name.
+func replay(reg *obs.Registry) {
+	//arlvet:allow obskey fixture exercises the allow path
+	reg.Counter(dynamicName, "replayed", nil)
+}

@@ -1,0 +1,41 @@
+// Package cpu is an arlvet fixture standing in for a deterministic
+// simulator package: the loader's synthetic import path
+// repro/internal/cpu puts it in wallclock's scope.
+package cpu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: wall-clock read in a deterministic package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package cpu`
+}
+
+// Bad: elapsed real time reaches a result.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package cpu`
+}
+
+// Bad: the global rand source is randomly seeded and process-shared.
+func jitter() int {
+	return rand.Intn(8) // want `global rand\.Intn in deterministic package cpu`
+}
+
+// Good: an explicitly seeded generator is the deterministic way in.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Good: duration arithmetic never reads the clock.
+func budget(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Allowed: the annotation waives its own line and the line below.
+func harnessCost() time.Duration {
+	start := time.Now() //arlvet:allow wallclock fixture exercises the allow path
+	return time.Since(start)
+}

@@ -32,24 +32,25 @@ var builtins = map[string]builtin{
 
 func check(u *Unit) error {
 	c := &checker{unit: u, strs: make(map[string]int)}
-	// Global initializer types.
-	for name, init := range u.GlobalInit {
-		var sym *Sym
-		for _, g := range u.Globals {
-			if g.Name == name {
-				sym = g
-				break
-			}
+	// Global initializer types, in declaration order: iterating the
+	// GlobalInit map here made the first-reported error (and any
+	// checker side effects, like string interning) depend on map
+	// iteration order, so the same bad source produced different
+	// compiler output run to run.
+	for _, g := range u.Globals {
+		init, ok := u.GlobalInit[g.Name]
+		if !ok {
+			continue
 		}
 		e, err := c.expr(init)
 		if err != nil {
 			return err
 		}
-		e, err = c.convert(e, sym.Type, sym.Line)
+		e, err = c.convert(e, g.Type, g.Line)
 		if err != nil {
 			return err
 		}
-		u.GlobalInit[name] = e
+		u.GlobalInit[g.Name] = e
 	}
 	for _, fn := range u.Funcs {
 		c.fn = fn

@@ -1,0 +1,33 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: the checker used to type global initializers by ranging
+// over the GlobalInit map, so when several initializers were invalid,
+// which error the compiler reported depended on map iteration order.
+// Errors must follow declaration order: the first bad global wins,
+// every run.
+func TestGlobalInitErrorOrderDeterministic(t *testing.T) {
+	src := "int* p = 5;\nint* q = 7;\nint main() { return 0; }\n"
+	for i := 0; i < 100; i++ {
+		_, err := Compile("order.c", src)
+		if err == nil {
+			t.Fatal("globals with bad initializers compiled")
+		}
+		if !strings.Contains(err.Error(), "order.c:1:") {
+			t.Fatalf("run %d: error %q does not point at the first bad global on line 1", i, err)
+		}
+	}
+}
+
+// Regression companion: valid initializers must keep compiling whatever
+// order the checker visits them in.
+func TestGlobalInitOrderStillCompiles(t *testing.T) {
+	src := "int a = 1;\nfloat b = 2.5;\nint main() { return a; }\n"
+	if _, err := Compile("ok.c", src); err != nil {
+		t.Fatalf("valid globals failed: %v", err)
+	}
+}

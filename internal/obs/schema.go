@@ -6,8 +6,20 @@ import (
 	"fmt"
 	"math"
 	"regexp"
+	"sort"
 	"strings"
 )
+
+// sortedKeys returns m's keys in ascending order, pinning every
+// first-error-wins walk below to a deterministic visit order.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // The metrics artifact schema ships inside the binary so arlmetrics and
 // the CI smoke check validate against exactly the format this package
@@ -153,15 +165,18 @@ func validate(schema, doc any, path string) error {
 				}
 			}
 		}
-		for name, sub := range props {
+		// Walk properties in sorted order: validation stops at the
+		// first failure, so iterating the map directly made which
+		// error gets reported depend on map iteration order.
+		for _, name := range sortedKeys(props) {
 			if v, present := obj[name]; present {
-				if err := validate(sub, v, path+"."+name); err != nil {
+				if err := validate(props[name], v, path+"."+name); err != nil {
 					return err
 				}
 			}
 		}
 		if ap, ok := s["additionalProperties"]; ok {
-			for name, v := range obj {
+			for _, name := range sortedKeys(obj) {
 				if _, declared := props[name]; declared {
 					continue
 				}
@@ -171,7 +186,7 @@ func validate(schema, doc any, path string) error {
 						return schemaErr(path, "unexpected property %q", name)
 					}
 				default:
-					if err := validate(ap, v, path+"."+name); err != nil {
+					if err := validate(ap, obj[name], path+"."+name); err != nil {
 						return err
 					}
 				}

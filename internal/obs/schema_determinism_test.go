@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: validation stops at the first failure, and the property
+// walk used to range over the schema's properties map — so a document
+// with several invalid fields produced a different error message run
+// to run. The walk is sorted now: the lexicographically first invalid
+// property always wins.
+func TestValidateJSONFirstErrorDeterministic(t *testing.T) {
+	schema := []byte(`{
+		"type": "object",
+		"properties": {
+			"alpha": {"type": "string"},
+			"beta":  {"type": "string"},
+			"gamma": {"type": "string"}
+		}
+	}`)
+	doc := []byte(`{"alpha": 1, "beta": 2, "gamma": 3}`)
+	for i := 0; i < 100; i++ {
+		err := ValidateJSON(schema, doc)
+		if err == nil {
+			t.Fatal("invalid document validated")
+		}
+		if !strings.Contains(err.Error(), "$.alpha") {
+			t.Fatalf("run %d: error %q, want the walk pinned at $.alpha", i, err)
+		}
+	}
+}
+
+// Regression companion: additionalProperties rejections walked the
+// document's own map and had the same defect.
+func TestValidateJSONAdditionalPropsDeterministic(t *testing.T) {
+	schema := []byte(`{"type": "object", "additionalProperties": false}`)
+	doc := []byte(`{"zeta": 1, "eta": 2, "theta": 3}`)
+	for i := 0; i < 100; i++ {
+		err := ValidateJSON(schema, doc)
+		if err == nil {
+			t.Fatal("undeclared properties validated")
+		}
+		if !strings.Contains(err.Error(), `"eta"`) {
+			t.Fatalf("run %d: error %q, want the sorted-first property eta rejected", i, err)
+		}
+	}
+}

@@ -294,6 +294,7 @@ func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 	s.jobs[j.id] = j
 	s.tenant[tenant] += len(specs)
 	for _, u := range j.units {
+		//arlvet:allow lockheld capacity was checked under this same mu above and only workers shrink the queue, so these sends cannot block
 		s.queue <- u
 		s.counter("service_units_total", "campaign units accepted",
 			obs.Labels{"tenant": tenant, "kind": u.spec.Kind}).Inc()
@@ -452,6 +453,14 @@ func (s *Service) run(u *unit) {
 	var payload any
 	attempt := 0
 	err := retry.Do(j.ctx, u.key, func(ctx context.Context) error {
+		// The job may have been canceled after run()'s entry check
+		// while this unit waited on the breaker or a backoff sleep;
+		// consult the attempt context so a dead job never starts a
+		// fresh simulation. (Attempts already running do complete —
+		// cancel keeps finished work — but new ones must not begin.)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		attempt++
 		if s.testHook != nil {
 			if err := s.testHook(u, attempt); err != nil {

@@ -383,3 +383,49 @@ func TestMetricsEndpointStable(t *testing.T) {
 		t.Fatalf("idle rescrape changed the metrics:\n%s\n--- vs ---\n%s", first, second)
 	}
 }
+
+// A job canceled while its only unit is mid-attempt must end that unit
+// as Canceled without running another attempt: the retry closure
+// consults its context before starting fresh work, so cancellation is
+// never burned as a retryable failure.
+func TestCancelDuringAttemptStopsRetries(t *testing.T) {
+	svc, client, _ := testService(t, Config{Workers: 1, Retries: 3}, false)
+	var mu sync.Mutex
+	attempts := 0
+	entered := make(chan struct{})
+	svc.testHook = func(u *unit, attempt int) error {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		if attempt == 1 {
+			close(entered)
+			<-u.job.ctx.Done()
+			return u.job.ctx.Err()
+		}
+		return errors.New("attempt started after cancel")
+	}
+	cfg := cpu.Conventional(2, 2)
+	status, err := client.Submit(CampaignRequest{
+		MaxInsts: testMaxInsts,
+		Units:    []UnitSpec{{Kind: KindSimulate, Workload: "li", Config: &cfg}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if _, err := client.Cancel(status.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobCanceled {
+		t.Fatalf("job state %q, want %q", final.State, JobCanceled)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("%d attempts ran, want 1: cancellation must not trigger retries", attempts)
+	}
+}

@@ -15,12 +15,23 @@ import (
 type recorder struct {
 	f            *fnInfo
 	stored       map[int32]bool // frame bytes (entry-$sp-relative) some store covers
+	loaded       map[int32]bool // frame bytes (entry-$sp-relative) some load reads
 	loads        []loadRec
+	stores       []storeRec // own-frame stores, for the dead-store lint
+	hasCall      bool
+	unknownLoad  bool
 	unknownStore bool
 }
 
 // loadRec is one load from a constant own-frame slot.
 type loadRec struct {
+	idx  int
+	off  int32
+	size int32
+}
+
+// storeRec is one store to a constant own-frame slot.
+type storeRec struct {
 	idx  int
 	off  int32
 	size int32
@@ -32,6 +43,12 @@ func (r *recorder) storeBytes(off int32, n int) {
 	}
 }
 
+func (r *recorder) loadBytes(off int32, n int) {
+	for i := 0; i < n; i++ {
+		r.loaded[off+int32(i)] = true
+	}
+}
+
 func (r *recorder) covered(off, size int32) bool {
 	for i := int32(0); i < size; i++ {
 		if !r.stored[off+i] {
@@ -39,6 +56,16 @@ func (r *recorder) covered(off, size int32) bool {
 		}
 	}
 	return true
+}
+
+// loadedAny reports whether any byte of the slot is ever loaded.
+func (r *recorder) loadedAny(off, size int32) bool {
+	for i := int32(0); i < size; i++ {
+		if r.loaded[off+i] {
+			return true
+		}
+	}
+	return false
 }
 
 // memRef records one load/store during the final pass: the region hint
@@ -72,11 +99,24 @@ func (r *recorder) memRef(az *analyzer, idx int, in isa.Inst, addr Value) {
 		size := int32(in.MemSize())
 		if in.IsStore() {
 			r.storeBytes(addr.off, int(size))
-		} else if addr.off < 0 {
-			// Offsets >= 0 are incoming stack arguments the caller
-			// initialized; below-entry slots must be stored locally.
-			r.loads = append(r.loads, loadRec{idx: idx, off: addr.off, size: size})
+			if addr.off < 0 {
+				// Own-frame slot: a candidate for the dead-store lint.
+				// Offsets >= 0 write the caller's argument area, which
+				// is caller-visible and never dead from here.
+				r.stores = append(r.stores, storeRec{idx: idx, off: addr.off, size: size})
+			}
+		} else {
+			r.loadBytes(addr.off, int(size))
+			if addr.off < 0 {
+				// Offsets >= 0 are incoming stack arguments the caller
+				// initialized; below-entry slots must be stored locally.
+				r.loads = append(r.loads, loadRec{idx: idx, off: addr.off, size: size})
+			}
 		}
+	} else if !in.IsStore() && (!known || set.Has(region.Stack)) {
+		// A load whose address the analyzer cannot keep off the stack
+		// may observe any frame slot: no store can be proven dead.
+		r.unknownLoad = true
 	}
 }
 
@@ -110,7 +150,7 @@ func (az *analyzer) finalize() {
 		if f.entrySt == nil || f.in == nil {
 			continue // never called: dead code, no claims either way
 		}
-		rec := &recorder{f: f, stored: map[int32]bool{}}
+		rec := &recorder{f: f, stored: map[int32]bool{}, loaded: map[int32]bool{}}
 		reach := f.structReach()
 		for bid, b := range f.blocks {
 			if f.in[bid] == nil {
@@ -135,6 +175,20 @@ func (az *analyzer) finalize() {
 				if !rec.covered(ld.off, ld.size) {
 					az.diag(ld.idx, f, SevError, "uninit-stack-load",
 						"function %s loads stack slot %d(entry $sp) that no store covers", f.name, ld.off)
+				}
+			}
+		}
+		// Dead-store lint: an own-frame slot stored but never loaded
+		// anywhere in the function. Sound only for leaf functions with
+		// fully tracked memory traffic — a callee reads its incoming
+		// arguments from below the caller's entry $sp, and any escaped
+		// or untracked access could observe the slot.
+		if !rec.hasCall && !rec.unknownLoad && !rec.unknownStore &&
+			!f.escaped && !f.imprecise {
+			for _, sr := range rec.stores {
+				if !rec.loadedAny(sr.off, sr.size) {
+					az.diag(sr.idx, f, SevError, "dead-store",
+						"function %s stores stack slot %d(entry $sp) that is never loaded before return", f.name, sr.off)
 				}
 			}
 		}

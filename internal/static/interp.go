@@ -283,7 +283,7 @@ func (az *analyzer) execBlock(f *fnInfo, b *block, st *state, rec *recorder) (*s
 		f.imprecise = true
 		return st, false
 	case termSyscall:
-		return st, az.execSyscall(st)
+		return st, az.execSyscall(st, rec)
 	case termCall:
 		return st, az.execCall(f, st, b, last, rec)
 	}
@@ -292,14 +292,29 @@ func (az *analyzer) execBlock(f *fnInfo, b *block, st *state, rec *recorder) (*s
 
 // execSyscall models the kernel interface: only $v0 is ever written,
 // sbrk returns a heap pointer, exit stops the program.
-func (az *analyzer) execSyscall(st *state) bool {
+func (az *analyzer) execSyscall(st *state, rec *recorder) bool {
 	code := st.regs[isa.V0]
 	if code.k != kConst {
 		st.regs[isa.V0] = top()
+		if rec != nil {
+			// The syscall number is unknown, so it may be print_str
+			// reading through $a0: assume the frame was observed.
+			rec.unknownLoad = true
+		}
 		return true
 	}
 	switch code.c {
-	case 1, 2, 4, 11: // prints: $v0 preserved
+	case 4:
+		// print_str reads memory at $a0; unless the analyzer can keep
+		// that buffer off the stack, it may observe any frame slot.
+		if rec != nil {
+			a0 := st.regs[isa.A0]
+			if set, known := a0.addrRegions(az.lay); !known || set.Has(region.Stack) {
+				rec.unknownLoad = true
+			}
+		}
+		return true
+	case 1, 2, 11: // prints: $v0 preserved
 		return true
 	case 9: // sbrk: old break, always a heap address
 		st.regs[isa.V0] = rset(region.Set(0).Add(region.Heap))
@@ -315,6 +330,12 @@ func (az *analyzer) execSyscall(st *state) bool {
 // entry-state contribution to the callee, then apply the calling
 // convention to the caller-side state.
 func (az *analyzer) execCall(f *fnInfo, st *state, b *block, last int, rec *recorder) bool {
+	if rec != nil {
+		// Any call disables the dead-store lint for this function: the
+		// callee legitimately reads its incoming arguments from below
+		// the caller's entry $sp.
+		rec.hasCall = true
+	}
 	var callee *fnInfo
 	if b.target >= 0 {
 		callee = az.fnAt[b.target]

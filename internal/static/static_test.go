@@ -275,3 +275,53 @@ func TestValueLattice(t *testing.T) {
 		}
 	}
 }
+
+// TestLintDeadStore: a leaf function's spill that is never reloaded is
+// flagged; the slot that is reloaded is not, and neither is the
+// caller's frame (calls disable the lint, since a callee reads its
+// incoming arguments from below the caller's entry $sp).
+func TestLintDeadStore(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -8
+	sw   $ra, 4($sp)
+	jal  wastes
+	lw   $ra, 4($sp)
+	addi $sp, $sp, 8
+	jr   $ra
+wastes:
+	addi $sp, $sp, -8
+	li   $t0, 21
+	sw   $t0, 0($sp)
+	sw   $t0, 4($sp)
+	lw   $t1, 0($sp)
+	add  $v0, $t1, $t1
+	addi $sp, $sp, 8
+	jr   $ra
+`)
+	if codes(a)["dead-store"] != 1 {
+		t.Fatalf("want exactly one dead-store, got %v", a.Diags)
+	}
+}
+
+// TestLintDeadStorePrintStrSuppresses: print_str reads memory through
+// $a0, so a frame buffer handed to it counts as loaded and the lint
+// must stay quiet.
+func TestLintDeadStorePrintStrSuppresses(t *testing.T) {
+	a := mustAnalyze(t, `
+	.text
+main:
+	addi $sp, $sp, -8
+	li   $t0, 65
+	sw   $t0, 0($sp)
+	addi $a0, $sp, 0
+	li   $v0, 4
+	syscall
+	addi $sp, $sp, 8
+	jr   $ra
+`)
+	if codes(a)["dead-store"] != 0 {
+		t.Fatalf("print_str must suppress dead-store, got %v", a.Diags)
+	}
+}

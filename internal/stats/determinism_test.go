@@ -1,0 +1,33 @@
+package stats
+
+import "testing"
+
+// Regression: Hist.Mean and Hist.StdDev used to range over the counts
+// map, and float addition is not associative — the same histogram
+// could report different moments call to call. The buckets here are
+// engineered so only the ascending-order sum is exact: 1+2 = 3 first,
+// then 2^54+3 rounds up to 2^54+4; any order that adds 2^54 before
+// both small values loses them to rounding and lands on 2^54 exactly.
+func TestHistMomentsDeterministic(t *testing.T) {
+	h := NewHist()
+	h.Add(1)
+	h.Add(2)
+	h.Add(1 << 54)
+
+	big := float64(int64(1) << 54)
+	wantSum := (1.0 + 2.0) + big // ascending order: 2^54 + 4
+	if wantSum == big {
+		t.Fatal("test buckets no longer distinguish summation orders")
+	}
+	wantMean := wantSum / 3
+
+	first := h.StdDev()
+	for i := 0; i < 100; i++ {
+		if got := h.Mean(); got != wantMean {
+			t.Fatalf("run %d: Mean() = %v, want ascending-order %v", i, got, wantMean)
+		}
+		if got := h.StdDev(); got != first {
+			t.Fatalf("run %d: StdDev() = %v, want stable %v", i, got, first)
+		}
+	}
+}

@@ -119,28 +119,32 @@ func (h *Hist) Count(v int) uint64 { return h.counts[v] }
 // Total reports the total number of observations.
 func (h *Hist) Total() uint64 { return h.total }
 
-// Mean reports the mean of the observed values.
+// Mean reports the mean of the observed values. Float addition is not
+// associative, so the sum walks the buckets in ascending value order:
+// map iteration order must never reach a reported number.
 func (h *Hist) Mean() float64 {
 	if h.total == 0 {
 		return 0
 	}
 	var sum float64
-	for v, c := range h.counts {
-		sum += float64(v) * float64(c)
+	for _, v := range h.Buckets() {
+		sum += float64(v) * float64(h.counts[v])
 	}
 	return sum / float64(h.total)
 }
 
-// StdDev reports the population standard deviation of the observed values.
+// StdDev reports the population standard deviation of the observed
+// values, accumulated in ascending bucket order for the same
+// determinism reason as Mean.
 func (h *Hist) StdDev() float64 {
 	if h.total == 0 {
 		return 0
 	}
 	m := h.Mean()
 	var sq float64
-	for v, c := range h.counts {
+	for _, v := range h.Buckets() {
 		d := float64(v) - m
-		sq += d * d * float64(c)
+		sq += d * d * float64(h.counts[v])
 	}
 	return math.Sqrt(sq / float64(h.total))
 }
