@@ -9,6 +9,15 @@
 //
 //	arld -addr localhost:8080 -store-dir /tmp/arl-store -retries 2
 //
+// When -store-dir is set, arld also keeps a write-ahead job journal
+// under <store-dir>/journal (override with -journal-dir): every
+// accepted job and unit state transition is logged before it becomes
+// visible, and a restart replays the journal — finished work is served
+// from the record, incomplete units are re-enqueued — so a kill -9
+// mid-campaign loses nothing. /readyz reports 503 until the replay
+// finishes. -store-faults injects a deterministic storage-fault plan
+// under both the store and the journal for chaos drills.
+//
 // SIGINT/SIGTERM drains gracefully: in-flight units run to completion
 // and flush through the store's atomic writes, queued units end as
 // canceled with their jobs marked interrupted, and the process exits
@@ -23,10 +32,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/service"
+	"repro/internal/service/journal"
 	"repro/internal/store"
 )
 
@@ -37,6 +48,8 @@ func main() {
 		fmt.Sprintf("unit queue bound; submissions that do not fit get 429 (0 = %d)", service.DefaultQueueCap))
 	tenantCap := flag.Int("tenant-cap", 0,
 		"per-tenant in-flight unit bound; over-quota submissions get 429 (0 = the queue bound)")
+	journalDir := flag.String("journal-dir", "",
+		"write-ahead job journal directory (empty = <store-dir>/journal when -store-dir is set)")
 	c.RunnerFlags()
 	c.StoreFlags()
 	c.ObsFlags("")
@@ -46,17 +59,20 @@ func main() {
 
 	var st *store.Store
 	if c.StoreDir != "" {
+		st = c.OpenStore()
+	}
+
+	jdir := *journalDir
+	if jdir == "" && c.StoreDir != "" {
+		jdir = filepath.Join(c.StoreDir, "journal")
+	}
+	var jrn *journal.Journal
+	if jdir != "" {
 		var err error
-		st, err = store.Open(c.StoreDir)
+		jrn, err = journal.OpenFS(c.StoreFS(), jdir)
 		if err != nil {
-			c.Fatalf("%v", err)
+			c.Fatalf("journal: %v", err)
 		}
-		if !c.Quiet {
-			st.SetLog(func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "arld: "+format+"\n", args...)
-			})
-		}
-		c.Store = st
 	}
 
 	var logw io.Writer
@@ -69,6 +85,7 @@ func main() {
 		TenantCap:   *tenantCap,
 		UnitTimeout: c.Timeout,
 		Retries:     c.Retries,
+		Journal:     jrn,
 		Log:         logw,
 	}, st)
 	c.ObserveRegistry(svc.Registry())
@@ -81,6 +98,18 @@ func main() {
 	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// Recover after the listener is up so /healthz answers (and /readyz
+	// reports 503) while a large journal replays.
+	if jrn != nil {
+		stats, err := svc.Recover()
+		if err != nil {
+			c.Fatalf("journal recovery: %v", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"arld: journal replayed: %d jobs (%d finished), %d units requeued, %d records (%d corrupt, %d torn)\n",
+			stats.Jobs, stats.Finished, stats.Requeued, stats.Replayed, stats.Corrupt, stats.Torn)
+	}
 
 	select {
 	case err := <-errc:
@@ -97,6 +126,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "arld: shutdown: %v\n", err)
 	}
 	cancel()
+	if jrn != nil {
+		if err := jrn.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "arld: journal close: %v\n", err)
+		}
+	}
 	c.Finish(svc.Registry())
 	c.Exit()
 }

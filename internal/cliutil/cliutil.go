@@ -28,6 +28,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/store/faultfs"
 	"repro/internal/workload"
 )
 
@@ -64,10 +65,12 @@ type Common struct {
 	TraceCap    int
 
 	// Resilience (StoreFlags): the durable artifact store, resuming
-	// from it, and per-stage retries.
-	StoreDir string
-	Resume   bool
-	Retries  int
+	// from it, per-stage retries, and the deterministic storage-fault
+	// plan chaos runs inject under the store and journal.
+	StoreDir    string
+	Resume      bool
+	Retries     int
+	StoreFaults string
 
 	// Store is the artifact store opened by Runner when -store-dir is
 	// set (nil otherwise); Finish publishes its counters.
@@ -80,6 +83,7 @@ type Common struct {
 	Tenant string
 
 	start       time.Time
+	fs          store.FS
 	cpuOut      *os.File
 	ctx         context.Context
 	cancel      context.CancelFunc
@@ -140,8 +144,8 @@ func (c *Common) ServiceClient() *service.Client {
 	return cl
 }
 
-// StoreFlags registers the crash-safety flags -store-dir, -resume and
-// -retries.
+// StoreFlags registers the crash-safety flags -store-dir, -resume,
+// -retries and -store-faults.
 func (c *Common) StoreFlags() {
 	flag.StringVar(&c.StoreDir, "store-dir", "",
 		"durable artifact store directory; completed stages are written through (empty = off)")
@@ -149,6 +153,50 @@ func (c *Common) StoreFlags() {
 		"satisfy stages from verified -store-dir records before recomputing")
 	flag.IntVar(&c.Retries, "retries", 0,
 		"retry a failed stage up to this many times (deterministic backoff keyed by -seed)")
+	flag.StringVar(&c.StoreFaults, "store-faults", "",
+		"inject deterministic storage faults under the store and journal: seed:count:window (see internal/store/faultfs)")
+}
+
+// StoreFS returns the filesystem the store and journal run on: the OS
+// filesystem, wrapped with the -store-faults injection plan when one
+// was given. The wrapper is built once and shared, so every component
+// draws faults from the same deterministic plan.
+func (c *Common) StoreFS() store.FS {
+	if c.fs != nil {
+		return c.fs
+	}
+	c.fs = store.OS()
+	if c.StoreFaults != "" {
+		plan, err := faultfs.ParsePlan(c.StoreFaults)
+		if err != nil {
+			c.Fatalf("-store-faults: %v", err)
+		}
+		logf := func(string, ...any) {}
+		if !c.Quiet {
+			logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
+			}
+		}
+		c.fs = faultfs.New(c.fs, plan, logf)
+	}
+	return c.fs
+}
+
+// OpenStore opens the -store-dir artifact store over StoreFS, wires
+// its log, and records it for Finish's provenance publish. Fatal when
+// the directory cannot be initialized.
+func (c *Common) OpenStore() *store.Store {
+	s, err := store.OpenFS(c.StoreDir, c.StoreFS())
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	if !c.Quiet {
+		s.SetLog(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
+		})
+	}
+	c.Store = s
+	return s
 }
 
 // HandleSignals installs the graceful-shutdown protocol and returns
@@ -319,17 +367,7 @@ func (c *Common) Runner() *experiments.Runner {
 		c.reg = r.Obs
 	}
 	if c.StoreDir != "" {
-		s, err := store.Open(c.StoreDir)
-		if err != nil {
-			c.Fatalf("%v", err)
-		}
-		if !c.Quiet {
-			s.SetLog(func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
-			})
-		}
-		c.Store = s
-		r.Store = s
+		r.Store = c.OpenStore()
 		r.Resume = c.Resume
 	}
 	if c.Retries > 0 {

@@ -6,6 +6,8 @@ package service
 import (
 	"sync"
 	"time"
+
+	"repro/internal/service/journal"
 )
 
 type queue struct {
@@ -63,4 +65,21 @@ func (q *queue) pushChecked(v int) {
 	defer q.mu.Unlock()
 	//arlvet:allow lockheld fixture exercises the allow path
 	q.ch <- v
+}
+
+// Bad: a write-ahead append fsyncs; holding mu across it stalls every
+// goroutine behind the lock for the duration of a disk flush.
+func (q *queue) journalUnderLock(j *journal.Journal) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return j.Append(journal.Record{T: journal.TypeEnd}) // want `journal I/O Append while q\.mu is held`
+}
+
+// Allowed: the real WAL sites hold the lock on purpose — the record
+// must be durable before the state change becomes visible — and say so.
+func (q *queue) journalOrdered(j *journal.Journal) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//arlvet:allow lockheld fixture: append-before-visible ordering requires the lock
+	return j.Append(journal.Record{T: journal.TypeEnd})
 }

@@ -16,74 +16,148 @@ var ErrOpen = errors.New("circuit breaker open")
 // a breaker when NewBreaker is given a non-positive threshold.
 const DefaultBreakerThreshold = 4
 
-// Breaker is a per-key circuit breaker: after threshold consecutive
-// recorded failures for one key, Allow rejects further work for that
-// key immediately, so a persistently broken workload degrades to one
-// rendered error instead of burning the campaign's time budget stage
-// after stage. A breaker never closes again within a process — the
-// inputs of a batch are fixed, so a workload that failed N times in a
-// row will not heal by itself; rerun (or resume) to try again.
+// DefaultBreakerCooldown is how many arrivals an open breaker rejects
+// before granting a half-open probe. Cooldowns are counted in rejected
+// Allow calls, not wall time: the breaker stays a pure function of the
+// sequence of Allow/Record calls, so a chaos run replays identically
+// and the wallclock analyzer has nothing to flag. The default is large
+// enough that a batch run which trips on a genuinely broken workload
+// never reaches a probe (preserving the one-error-per-workload
+// degradation), while a long-lived service crossing a transient outage
+// probes and heals within a few dozen arrivals.
+const DefaultBreakerCooldown = 32
+
+// maxBreakerCooldown caps the exponential cooldown growth of a key
+// whose probes keep failing.
+const maxBreakerCooldown = 1 << 16
+
+// openState tracks one key's open circuit.
+type openState struct {
+	cause    error // the failure that tripped (or re-tripped) the breaker
+	wait     int   // rejections remaining before the next probe is granted
+	cooldown int   // current cooldown length; doubles on a failed probe
+	probing  bool  // a half-open probe is in flight
+}
+
+// Breaker is a per-key circuit breaker with a half-open probe state:
+// after threshold consecutive recorded failures for one key, Allow
+// rejects further work for that key, so a persistently broken workload
+// degrades to one rendered error instead of burning the campaign's
+// time budget stage after stage. After a cooldown — counted in
+// rejected arrivals, never wall time — Allow grants exactly one probe
+// attempt. A successful probe closes the circuit; a failed probe
+// re-opens it with the cooldown doubled (capped), so a key that keeps
+// failing costs asymptotically one attempt per ~2^k arrivals while a
+// transient outage heals at the first probe.
 //
 // Safe for concurrent use.
 type Breaker struct {
 	mu        sync.Mutex
 	threshold int
+	cooldown  int
 	consec    map[string]int
-	open      map[string]error
+	open      map[string]*openState
 	trips     int
+	reopens   int
+	closes    int
 }
 
 // NewBreaker returns a breaker tripping after threshold consecutive
-// failures per key (non-positive selects DefaultBreakerThreshold).
+// failures per key (non-positive selects DefaultBreakerThreshold),
+// with the default probe cooldown.
 func NewBreaker(threshold int) *Breaker {
 	if threshold <= 0 {
 		threshold = DefaultBreakerThreshold
 	}
 	return &Breaker{
 		threshold: threshold,
+		cooldown:  DefaultBreakerCooldown,
 		consec:    make(map[string]int),
-		open:      make(map[string]error),
+		open:      make(map[string]*openState),
 	}
 }
 
-// Allow reports whether work for key may proceed; when the breaker is
-// open it returns an error wrapping ErrOpen that names the failure
-// that tripped it.
+// SetCooldown overrides the initial probe cooldown (rejected arrivals
+// before the first probe; non-positive selects the default). Applies
+// to circuits opened after the call.
+func (b *Breaker) SetCooldown(n int) {
+	if n <= 0 {
+		n = DefaultBreakerCooldown
+	}
+	b.mu.Lock()
+	b.cooldown = n
+	b.mu.Unlock()
+}
+
+// Allow reports whether work for key may proceed. While the circuit is
+// open it returns an error wrapping ErrOpen that names the tripping
+// failure; each rejection counts down the cooldown, and once it is
+// exhausted exactly one caller is granted a half-open probe (further
+// arrivals keep rejecting until that probe's outcome is Recorded).
 func (b *Breaker) Allow(key string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if cause, tripped := b.open[key]; tripped {
-		return fmt.Errorf("%w for %q after %d consecutive failures (first kept cause: %v)",
-			ErrOpen, key, b.threshold, cause)
+	st, tripped := b.open[key]
+	if !tripped {
+		return nil
 	}
-	return nil
+	if !st.probing && st.wait <= 0 {
+		st.probing = true
+		return nil // the half-open probe
+	}
+	if !st.probing {
+		st.wait--
+	}
+	return fmt.Errorf("%w for %q after %d consecutive failures (first kept cause: %v)",
+		ErrOpen, key, b.threshold, st.cause)
 }
 
-// Record feeds one outcome for key: success closes the failure streak;
-// a failure extends it and trips the breaker at the threshold.
-// Cancellation is recorded as neither — a campaign shutting down says
-// nothing about the workload — and breaker-open errors never re-count.
+// Record feeds one outcome for key: success closes the failure streak
+// (and, during a probe, the circuit); a failure extends the streak,
+// trips the breaker at the threshold, and re-opens a probing circuit
+// with its cooldown doubled. Cancellation is recorded as neither — a
+// campaign shutting down says nothing about the workload — and during
+// a probe it re-arms the probe so the next arrival retries it.
+// Breaker-open errors never re-count.
 func (b *Breaker) Record(key string, err error) {
-	if err != nil && (errors.Is(err, ErrOpen) || isCanceled(err)) {
+	if err != nil && errors.Is(err, ErrOpen) {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	st, tripped := b.open[key]
+	if err != nil && isCanceled(err) {
+		if tripped && st.probing {
+			st.probing = false // the probe never ran; hand it to the next arrival
+		}
+		return
+	}
 	if err == nil {
+		if tripped && st.probing {
+			delete(b.open, key)
+			b.closes++
+		}
 		b.consec[key] = 0
 		return
 	}
-	if _, tripped := b.open[key]; tripped {
+	if tripped {
+		if st.probing {
+			st.probing = false
+			st.cooldown = min(st.cooldown*2, maxBreakerCooldown)
+			st.wait = st.cooldown
+			st.cause = err
+			b.reopens++
+		}
 		return
 	}
 	b.consec[key]++
 	if b.consec[key] >= b.threshold {
-		b.open[key] = err
+		b.open[key] = &openState{cause: err, wait: b.cooldown, cooldown: b.cooldown}
 		b.trips++
 	}
 }
 
-// Tripped reports whether key's breaker is open.
+// Tripped reports whether key's circuit is open.
 func (b *Breaker) Tripped(key string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -91,11 +165,26 @@ func (b *Breaker) Tripped(key string) bool {
 	return tripped
 }
 
-// Trips reports how many keys have tripped so far.
+// Trips reports how many circuits have opened from the closed state.
 func (b *Breaker) Trips() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// Reopens reports how many half-open probes have failed, re-opening
+// their circuit with a doubled cooldown.
+func (b *Breaker) Reopens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reopens
+}
+
+// Closes reports how many circuits a successful probe has closed.
+func (b *Breaker) Closes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closes
 }
 
 // isCanceled matches a parent-cancellation error without claiming

@@ -241,3 +241,106 @@ func TestTransient(t *testing.T) {
 		t.Fatal("misclassified")
 	}
 }
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(2)
+	b.SetCooldown(3)
+	fail := errors.New("boom")
+	b.Record("w", fail)
+	b.Record("w", fail)
+	if !b.Tripped("w") {
+		t.Fatal("not tripped at threshold")
+	}
+	// The cooldown is counted in rejected arrivals, never wall time.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow("w"); !errors.Is(err, ErrOpen) {
+			t.Fatalf("arrival %d during cooldown: %v, want ErrOpen", i, err)
+		}
+	}
+	if err := b.Allow("w"); err != nil {
+		t.Fatalf("probe not granted after cooldown: %v", err)
+	}
+	// Only one probe may be in flight; concurrent arrivals keep rejecting.
+	if err := b.Allow("w"); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second in-flight probe granted: %v", err)
+	}
+	// Failed probe: re-open with the cooldown doubled.
+	b.Record("w", fail)
+	if b.Reopens() != 1 {
+		t.Fatalf("Reopens = %d, want 1", b.Reopens())
+	}
+	for i := 0; i < 6; i++ {
+		if err := b.Allow("w"); !errors.Is(err, ErrOpen) {
+			t.Fatalf("arrival %d during doubled cooldown: %v, want ErrOpen", i, err)
+		}
+	}
+	if err := b.Allow("w"); err != nil {
+		t.Fatalf("second probe not granted after doubled cooldown: %v", err)
+	}
+	// Successful probe closes the circuit for good.
+	b.Record("w", nil)
+	if b.Tripped("w") {
+		t.Fatal("circuit still open after successful probe")
+	}
+	if b.Closes() != 1 {
+		t.Fatalf("Closes = %d, want 1", b.Closes())
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Allow("w"); err != nil {
+			t.Fatalf("closed circuit rejecting: %v", err)
+		}
+	}
+	// One fresh failure must not instantly re-trip: the streak restarts.
+	b.Record("w", fail)
+	if b.Tripped("w") {
+		t.Fatal("single post-close failure re-tripped the circuit")
+	}
+}
+
+func TestBreakerProbeCancelRearms(t *testing.T) {
+	b := NewBreaker(1)
+	b.SetCooldown(1)
+	b.Record("w", errors.New("boom"))
+	if err := b.Allow("w"); !errors.Is(err, ErrOpen) {
+		t.Fatal("cooldown arrival not rejected")
+	}
+	if err := b.Allow("w"); err != nil {
+		t.Fatalf("probe not granted: %v", err)
+	}
+	// The probe's attempt was cancelled by shutdown: no verdict on the
+	// key, so the probe slot is handed to the next arrival unpenalized.
+	b.Record("w", context.Canceled)
+	if err := b.Allow("w"); err != nil {
+		t.Fatalf("probe not re-armed after cancel: %v", err)
+	}
+	if b.Reopens() != 0 {
+		t.Fatalf("cancel counted as a failed probe: Reopens = %d", b.Reopens())
+	}
+	b.Record("w", nil)
+	if b.Tripped("w") {
+		t.Fatal("circuit still open after successful re-armed probe")
+	}
+}
+
+func TestBreakerOpenErrorDuringProbeKeepsProbe(t *testing.T) {
+	// Feeding an ErrOpen outcome back (another stage of the same unit
+	// rejected) must not consume or fail the in-flight probe.
+	b := NewBreaker(1)
+	b.SetCooldown(1)
+	b.Record("w", errors.New("boom"))
+	if err := b.Allow("w"); !errors.Is(err, ErrOpen) {
+		t.Fatal("cooldown arrival not rejected")
+	}
+	if err := b.Allow("w"); err != nil {
+		t.Fatalf("probe not granted: %v", err)
+	}
+	rejected := b.Allow("w")
+	if !errors.Is(rejected, ErrOpen) {
+		t.Fatal("second arrival not rejected during probe")
+	}
+	b.Record("w", rejected)
+	b.Record("w", nil)
+	if b.Tripped("w") {
+		t.Fatal("probe lost to a fed-back open error")
+	}
+}

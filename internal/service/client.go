@@ -3,10 +3,14 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -43,6 +47,37 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
+// statusError is a non-2xx server answer; it keeps the code machine-
+// readable so retry policy can distinguish "the server is restarting"
+// (retry with the same idempotency key) from "the request is wrong".
+type statusError struct {
+	code   int
+	method string
+	path   string
+	status string
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("server: %s (%s)", e.msg, e.status)
+	}
+	return fmt.Sprintf("server: %s %s: %s", e.method, e.path, e.status)
+}
+
+// transientServerError reports whether err is worth retrying against
+// the same server: a transport failure (connection refused/reset — the
+// server is restarting) or a 503 from a server that is recovering its
+// journal or mid-drain. 4xx rejections and decode errors are not.
+func transientServerError(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusServiceUnavailable
+}
+
 // do issues one JSON request, decoding the response into out (unless
 // nil) and turning non-2xx statuses into errors carrying the server's
 // message.
@@ -68,11 +103,12 @@ func (c *Client) do(method, path string, body, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &statusError{code: resp.StatusCode, method: method, path: path, status: resp.Status}
 		var er errorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s (%s)", er.Error, resp.Status)
+			se.msg = er.Error
 		}
-		return fmt.Errorf("server: %s %s: %s", method, path, resp.Status)
+		return se
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -111,50 +147,69 @@ func (c *Client) Results(id string) (ResultsResponse, error) {
 	return resp, err
 }
 
+// waitRetryBudget bounds how many consecutive failed contacts Wait
+// rides out before giving up — at waitRetryDelay apart, roughly half a
+// minute: enough to cross a server crash, journal replay and restart,
+// not enough to hang forever on a server that is simply gone.
+const waitRetryBudget = 150
+
+const waitRetryDelay = 200 * time.Millisecond
+
 // Wait tails the job's NDJSON event stream until it reaches a terminal
 // state, logging per-unit completions, then returns the final status.
-// If the stream drops mid-job it reconnects from the last seen event.
+// If the stream drops mid-job — a proxy timeout, or the server itself
+// crashing and restarting — it reconnects from the last seen event
+// sequence number and keeps waiting, as long as failures to reach the
+// server stay transient and within the retry budget.
 func (c *Client) Wait(id string) (JobStatus, error) {
 	from := 0
+	fails := 0
 	for {
-		n, err := c.tail(id, from)
-		from += n
-		status, serr := c.Status(id)
-		if serr != nil {
-			if err != nil {
-				return status, fmt.Errorf("event stream: %v; status: %v", err, serr)
-			}
-			return status, serr
+		next, _ := c.tail(id, from)
+		if next > from {
+			from = next
 		}
-		if status.Terminal() {
-			return status, nil
+		status, serr := c.Status(id)
+		switch {
+		case serr == nil:
+			fails = 0
+			if status.Terminal() {
+				return status, nil
+			}
+		case !transientServerError(serr):
+			return status, serr
+		default:
+			fails++
+			if fails > waitRetryBudget {
+				return status, fmt.Errorf("server unreachable for %d attempts: %w", fails, serr)
+			}
 		}
 		// The stream dropped mid-job (server restart, proxy timeout);
 		// reconnect from the last seen event.
-		time.Sleep(200 * time.Millisecond)
+		time.Sleep(waitRetryDelay)
 	}
 }
 
-// tail streams events from the given index, returning how many were
-// seen. A nil error means the stream ended with the job terminal.
+// tail streams events with sequence number ≥ from, returning the next
+// resume point (one past the last event seen). A nil error means the
+// stream ended with the job terminal.
 func (c *Client) tail(id string, from int) (int, error) {
 	resp, err := c.http().Get(c.url(fmt.Sprintf("/api/v1/campaigns/%s/events?from=%d", id, from)))
 	if err != nil {
-		return 0, err
+		return from, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("server: events: %s", resp.Status)
+		return from, fmt.Errorf("server: events: %s", resp.Status)
 	}
-	seen := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		var e Event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return seen, err
+			return from, err
 		}
-		seen++
+		from = e.Seq + 1
 		if c.Log != nil && e.State != StateQueued && e.State != StateRunning {
 			dedup := ""
 			if e.Deduped {
@@ -168,15 +223,38 @@ func (c *Client) tail(id string, from int) (int, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return seen, err
+		return from, err
 	}
-	return seen, nil
+	return from, nil
+}
+
+// NewIdempotencyKey returns a fresh random idempotency key for one
+// logical submission: reusing it across retries of the same submission
+// is what makes a re-POST after a crash return the original job.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
 }
 
 // Run submits a campaign, waits for it, and returns the results —
-// erroring unless the job completed fully.
+// erroring unless the job completed fully. The submission carries an
+// idempotency key (generated here unless the caller set one) and is
+// retried through transient server trouble — a restart between the
+// POST and its response yields the original job, never a duplicate.
 func (c *Client) Run(req CampaignRequest) (ResultsResponse, error) {
-	status, err := c.Submit(req)
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = NewIdempotencyKey()
+	}
+	var status JobStatus
+	var err error
+	for attempt := 0; ; attempt++ {
+		status, err = c.Submit(req)
+		if err == nil || !transientServerError(err) || attempt >= waitRetryBudget {
+			break
+		}
+		time.Sleep(waitRetryDelay)
+	}
 	if err != nil {
 		return ResultsResponse{}, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the service's HTTP API (see the package doc for the
@@ -18,8 +19,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Liveness vs readiness: /healthz is "the process is up" — true
+	// from the first accepted connection, through journal replay,
+	// through drain. /readyz is "route traffic here" — false while the
+	// journal replays and false again the moment Drain begins, so load
+	// balancers stop sending work to a server that would only 503 it.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
 }
@@ -48,7 +61,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	status, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady), errors.Is(err, ErrJournal):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuota):
 		writeError(w, http.StatusTooManyRequests, err)
@@ -92,8 +105,12 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's per-unit events as NDJSON: a replay
-// from ?from=N (default 0), then a live tail until the job reaches a
-// terminal state or the client goes away.
+// from ?from=N (default 0, by sequence number), then a live tail until
+// the job reaches a terminal state or the client goes away. Each write
+// runs under a deadline: a subscriber that stops reading (its socket
+// buffers full) is dropped after Config.EventWriteTimeout instead of
+// wedging this handler — and, through it, a goroutine per dead client
+// — forever. A dropped subscriber re-attaches with ?from=N.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -109,20 +126,31 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		from = n
 	}
+	timeout := s.cfg.EventWriteTimeout
+	if timeout <= 0 {
+		timeout = DefaultEventWriteTimeout
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	for {
 		events, more, terminal := j.eventsFrom(from)
-		for _, e := range events {
-			if enc.Encode(e) != nil {
-				return // client went away
+		if len(events) > 0 {
+			// One deadline covers the whole batch: a reader draining at
+			// any reasonable rate never hits it, a stopped one does.
+			rc.SetWriteDeadline(time.Now().Add(timeout))
+			for _, e := range events {
+				if enc.Encode(e) != nil {
+					s.dropSubscriber(e.Job)
+					return
+				}
 			}
-		}
-		from += len(events)
-		if flusher != nil {
-			flusher.Flush()
+			from = events[len(events)-1].Seq + 1
+			if rc.Flush() != nil {
+				s.dropSubscriber(events[0].Job)
+				return
+			}
 		}
 		if terminal {
 			return
@@ -136,6 +164,14 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// dropSubscriber counts one /events stream ended by a write failure or
+// deadline — the slow-subscriber guard firing.
+func (s *Service) dropSubscriber(jobID string) {
+	s.counter("service_events_dropped_subscribers_total",
+		"event subscribers dropped after a failed or timed-out write", nil).Inc()
+	s.logf("events %s: subscriber dropped (write failed or timed out)", jobID)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,428 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/store/faultfs"
+)
+
+func jobRec(i int) Record {
+	return Record{T: TypeJob, Job: fmt.Sprintf("c%04d", i), Tenant: "t", Req: json.RawMessage(`{"workloads":["li"]}`)}
+}
+
+func collect(t *testing.T, j *Journal) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	stats, err := j.Replay(func(r Record) { recs = append(recs, r) })
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := []Record{
+		{T: TypeJob, Job: "c0000", Tenant: "alpha", IdemKey: "k-1", Req: json.RawMessage(`{"scale":1}`)},
+		{T: TypeEvent, Job: "c0000", Seq: 0, Unit: 0, State: "running"},
+		{T: TypeEvent, Job: "c0000", Seq: 1, Unit: 0, State: "done", Result: json.RawMessage(`{"ipc":1.5}`)},
+		{T: TypeEnd, Job: "c0000", State: "complete"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got, stats := collect(t, j2)
+	if stats.Corrupt != 0 || stats.Torn != 0 {
+		t.Fatalf("clean journal replayed with corrupt=%d torn=%d", stats.Corrupt, stats.Torn)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if string(g) != string(w) {
+			t.Fatalf("record %d = %s, want %s", i, g, w)
+		}
+	}
+}
+
+// TestFreshSegmentPerProcess checks each Open starts a new segment, so
+// a successor never appends to (and can never tear) a predecessor's
+// file.
+func TestFreshSegmentPerProcess(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		j, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open %d: %v", i, err)
+		}
+		if err := j.Append(jobRec(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		j.Close()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			segs++
+		}
+	}
+	if segs != 3 {
+		t.Fatalf("3 generations left %d segments, want 3", segs)
+	}
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	recs, _ := collect(t, j)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records across segments, want 3", len(recs))
+	}
+}
+
+// TestTornTailTolerated truncates the newest segment mid-record — the
+// exact debris of a SIGKILL during an append — and checks replay keeps
+// every complete record, counts one torn tail, and quarantines
+// nothing (a torn tail is expected crash debris, not corruption).
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(jobRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	seg := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs, stats := collect(t, j2)
+	if len(recs) != 4 || stats.Torn != 1 || stats.Corrupt != 0 || stats.Quarantined != 0 {
+		t.Fatalf("got %d records, stats %+v; want 4 records, torn=1, corrupt=0, quarantined=0", len(recs), stats)
+	}
+}
+
+// TestCorruptRecordSkippedAndQuarantined flips bytes inside one record
+// of a multi-record segment: replay must drop exactly that record,
+// keep both its predecessors and successors, and capture the segment
+// in quarantine/.
+func TestCorruptRecordSkippedAndQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(jobRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	seg := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	// lines[0] is the header; corrupt the payload of the middle record.
+	mid := 3
+	lines[mid] = strings.Replace(lines[mid], `"t":"job"`, `"t":"JOB"`, 1)
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs, stats := collect(t, j2)
+	if len(recs) != 4 || stats.Corrupt != 1 || stats.Quarantined != 1 {
+		t.Fatalf("got %d records, stats %+v; want 4 records, corrupt=1, quarantined=1", len(recs), stats)
+	}
+	for _, r := range recs {
+		if r.Job == "c0002" {
+			t.Fatal("the corrupted record leaked through replay")
+		}
+	}
+	if n, err := j2.Quarantined(); err != nil || n != 1 {
+		t.Fatalf("Quarantined() = %d, %v; want 1", n, err)
+	}
+	// A second replay of the same damage reuses the existing capture.
+	_, stats = collect(t, j2)
+	if stats.Quarantined != 0 {
+		t.Fatalf("re-replay quarantined %d more copies of the same segment", stats.Quarantined)
+	}
+}
+
+// TestAppendFaultResync drives an append through an injected short
+// write — a torn partial line — and checks the next append starts on a
+// fresh line so only the faulted record is lost.
+func TestAppendFaultResync(t *testing.T) {
+	// Op 1: op 0 is the segment header write; op 1 is the first record.
+	fs := faultfs.New(nil, &faultfs.Plan{Faults: []faultfs.Fault{{Kind: faultfs.ShortWrite, Op: 1}}}, t.Logf)
+	dir := t.TempDir()
+	j, err := OpenFS(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(jobRec(0)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("faulted append err = %v, want injected", err)
+	}
+	for i := 1; i < 4; i++ {
+		if err := j.Append(jobRec(i)); err != nil {
+			t.Fatalf("append %d after resync: %v", i, err)
+		}
+	}
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs, stats := collect(t, j2)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want the 3 post-fault appends (stats %+v)", len(recs), stats)
+	}
+	if stats.Corrupt != 1 {
+		t.Fatalf("the torn half-line should scan as 1 corrupt line, stats %+v", stats)
+	}
+	if recs[0].Job != "c0001" {
+		t.Fatalf("first surviving record is %s, want c0001", recs[0].Job)
+	}
+}
+
+// TestReplayRetriesTransientReadError: a journal segment read that
+// fails once (EIO-class transient trouble) is retried before the
+// segment is abandoned — no records may be lost to a transient fault.
+func TestReplayRetriesTransientReadError(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(jobRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	fs := faultfs.New(nil, &faultfs.Plan{Faults: []faultfs.Fault{{Kind: faultfs.ReadEIO, Op: 0}}}, t.Logf)
+	j2, err := OpenFS(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs, _ := collect(t, j2)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records through a transient read fault, want 3", len(recs))
+	}
+	if fs.Fired() != 1 {
+		t.Fatalf("fault fired %d times, want 1", fs.Fired())
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	big := strings.Repeat("x", 64<<10)
+	n := DefaultSegmentCap/(64<<10) + 4
+	for i := 0; i < n; i++ {
+		if err := j.Append(Record{T: TypeEvent, Job: "c0000", Seq: i, Error: big}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, err := j.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("%d oversized appends stayed in %d segment(s), want rotation", n, len(segs))
+	}
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs, _ := collect(t, j2)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across rotated segments, want %d", len(recs), n)
+	}
+}
+
+// TestConcurrentCorruptionHammer is the journal's adversarial
+// integrity test: many goroutines append concurrently while byte
+// flips land in already-closed segments and replays run in parallel.
+// Invariants: (1) no append is torn by another — every record a
+// generation wrote and did not later have corrupted replays intact;
+// (2) corrupted records are skipped and their segments quarantined,
+// never decoded; (3) the final replay recovers exactly the uncorrupted
+// set. Run under -race this also proves the locking discipline.
+func TestConcurrentCorruptionHammer(t *testing.T) {
+	dir := t.TempDir()
+
+	const (
+		generations = 4
+		writers     = 8
+		perWriter   = 25
+	)
+	written := make(map[string]bool)
+	corrupted := make(map[string]bool)
+
+	for gen := 0; gen < generations; gen++ {
+		j, err := Open(dir)
+		if err != nil {
+			t.Fatalf("gen %d Open: %v", gen, err)
+		}
+		j.SetSync(false) // hammer throughput; crash durability is covered elsewhere
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					id := fmt.Sprintf("g%d-w%d-%d", gen, w, i)
+					if err := j.Append(Record{T: TypeJob, Job: id, Tenant: "hammer"}); err != nil {
+						t.Errorf("append %s: %v", id, err)
+						return
+					}
+					mu.Lock()
+					written[id] = true
+					mu.Unlock()
+				}
+			}(w)
+		}
+		// Concurrent replays exercise read-during-append; results are
+		// discarded (a replay racing appends sees a valid prefix).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := j.Replay(func(Record) {}); err != nil {
+				t.Errorf("concurrent replay: %v", err)
+			}
+		}()
+		wg.Wait()
+		j.Close()
+
+		// Adversary: flip bytes inside one committed record of this
+		// generation's segment. splitmix64-free determinism: always the
+		// second record line.
+		seg := filepath.Join(dir, segName(gen))
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitAfter(string(data), "\n")
+		if len(lines) > 2 {
+			victim := lines[2]
+			var rec Record
+			if r, err := parseLine([]byte(strings.TrimSuffix(victim, "\n"))); err == nil {
+				rec = r
+			} else {
+				t.Fatalf("gen %d victim line unparseable before corruption: %v", gen, err)
+			}
+			corrupted[rec.Job] = true
+			flipped := []byte(victim)
+			flipped[len(flipped)/2] ^= 0xFF
+			lines[2] = string(flipped)
+			if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := make(map[string]bool)
+	stats, err := j.Replay(func(r Record) {
+		if got[r.Job] {
+			t.Errorf("record %s replayed twice", r.Job)
+		}
+		got[r.Job] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for id := range written {
+		switch {
+		case corrupted[id] && got[id]:
+			t.Errorf("corrupted record %s leaked through replay", id)
+		case !corrupted[id] && !got[id]:
+			t.Errorf("intact record %s lost", id)
+		}
+	}
+	for id := range got {
+		if !written[id] {
+			t.Errorf("replay invented record %s", id)
+		}
+	}
+	if stats.Corrupt != len(corrupted) {
+		t.Errorf("stats.Corrupt = %d, want %d", stats.Corrupt, len(corrupted))
+	}
+	// Mid-hammer replays may already have captured earlier generations'
+	// damage, so assert the lifetime total rather than this pass's count.
+	if n, err := j.Quarantined(); err != nil || n != len(corrupted) {
+		t.Errorf("Quarantined() = %d, %v; want %d (one per damaged segment)", n, err, len(corrupted))
+	}
+	want := len(written) - len(corrupted)
+	if len(got) != want {
+		t.Errorf("recovered %d records, want %d (of %d written, %d corrupted)", len(got), want, len(written), len(corrupted))
+	}
+}

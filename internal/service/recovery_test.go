@@ -1,0 +1,365 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/service/journal"
+	"repro/internal/store"
+)
+
+// journaledService builds a service over a journal (and store) rooted
+// at dir, serving its handler. Recover is left to the caller so tests
+// can observe the not-ready window.
+func journaledService(t *testing.T, dir string, cfg Config) (*Service, *Client) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrn, err := journal.Open(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = jrn
+	svc := New(cfg, st)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(svc.Drain)
+	t.Cleanup(func() { jrn.Close() })
+	return svc, &Client{Base: srv.URL, Tenant: "test"}
+}
+
+func getStatus(t *testing.T, base, path string) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestReadyzWindows covers both 503 windows: before journal replay has
+// finished and after drain begins. /healthz stays 200 throughout —
+// the process is alive in both windows, it just must not be routed to.
+func TestReadyzWindows(t *testing.T) {
+	svc, cl := journaledService(t, t.TempDir(), Config{Workers: 1})
+
+	// Window 1: journal not yet replayed.
+	if code := getStatus(t, cl.Base, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before Recover = %d, want 503", code)
+	}
+	if code := getStatus(t, cl.Base, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz before Recover = %d, want 200", code)
+	}
+	if _, err := svc.Submit(CampaignRequest{Workloads: []string{"130.li"}, Configs: []string{"(2+0)"}}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Submit before Recover: %v, want ErrNotReady", err)
+	}
+
+	if _, err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getStatus(t, cl.Base, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after Recover = %d, want 200", code)
+	}
+
+	// Window 2: draining.
+	svc.Drain()
+	if code := getStatus(t, cl.Base, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	if code := getStatus(t, cl.Base, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", code)
+	}
+}
+
+// TestJournalRecoveryRestoresFinishedJob runs a campaign to completion
+// under generation 1, then rebuilds the service from the journal alone
+// and checks the job is fully there: terminal state, per-unit results,
+// the event stream with its original sequence numbers, and the
+// idempotency key still routing to it.
+func TestJournalRecoveryRestoresFinishedJob(t *testing.T) {
+	dir := t.TempDir()
+	req := CampaignRequest{
+		MaxInsts:       testMaxInsts,
+		IdempotencyKey: "recover-1",
+		Workloads:      []string{"130.li"},
+		Configs:        []string{"(2+0)", "(3+3)"},
+	}
+
+	svc1, cl1 := journaledService(t, dir, Config{Workers: 2})
+	if _, err := svc1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	resp1, err := cl1.Run(CampaignRequest{
+		MaxInsts: req.MaxInsts, IdempotencyKey: req.IdempotencyKey,
+		Workloads: req.Workloads, Configs: req.Configs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp1.Status.ID
+	var events1 []Event
+	j1, _ := svc1.Job(id)
+	events1, _, _ = j1.eventsFrom(0)
+	svc1.Drain()
+
+	// Generation 2: same journal dir, fresh everything else.
+	svc2, cl2 := journaledService(t, dir, Config{Workers: 2})
+	rs, err := svc2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Jobs != 1 || rs.Finished != 1 || rs.Requeued != 0 {
+		t.Fatalf("recover stats %+v, want 1 job, 1 finished, 0 requeued", rs)
+	}
+	status, err := cl2.Status(id)
+	if err != nil {
+		t.Fatalf("recovered job not served: %v", err)
+	}
+	if status.State != JobComplete || status.Done != 2 {
+		t.Fatalf("recovered status %+v, want complete with 2 done", status)
+	}
+	resp2, err := cl2.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range resp2.Units {
+		if u.State != StateDone || len(u.Result) == 0 {
+			t.Fatalf("recovered unit %d: state %s, %d result bytes", i, u.State, len(u.Result))
+		}
+	}
+	enc1, _ := json.Marshal(resp1.Units)
+	enc2, _ := json.Marshal(resp2.Units)
+	if string(enc1) != string(enc2) {
+		t.Fatalf("recovered results differ:\n%s\n--- vs ---\n%s", enc1, enc2)
+	}
+
+	// The event stream replays with its original sequence numbers, so a
+	// client that saw N events resumes at ?from=N exactly.
+	j2, ok := svc2.Job(id)
+	if !ok {
+		t.Fatal("job missing after recovery")
+	}
+	events2, _, terminal := j2.eventsFrom(0)
+	if !terminal {
+		t.Fatal("recovered job not terminal in event stream")
+	}
+	if len(events1) != len(events2) {
+		t.Fatalf("recovered %d events, want %d", len(events2), len(events1))
+	}
+	for i := range events1 {
+		if events1[i].Seq != events2[i].Seq || events1[i].State != events2[i].State || events1[i].Unit != events2[i].Unit {
+			t.Fatalf("event %d differs: %+v vs %+v", i, events1[i], events2[i])
+		}
+	}
+
+	// The idempotency key survives the restart: a re-POST returns the
+	// original, finished job.
+	again, err := cl2.Submit(CampaignRequest{
+		MaxInsts: req.MaxInsts, IdempotencyKey: req.IdempotencyKey,
+		Workloads: req.Workloads, Configs: req.Configs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != id {
+		t.Fatalf("idempotent re-POST after restart returned %s, want %s", again.ID, id)
+	}
+}
+
+// TestJournalRecoveryRequeuesIncompleteUnits hand-writes a journal in
+// which one unit finished and the other was mid-run at the crash, then
+// recovers: the finished unit must keep its result without
+// re-executing, the interrupted one must re-queue (with a fresh queued
+// event continuing the sequence numbers) and run to completion.
+func TestJournalRecoveryRequeuesIncompleteUnits(t *testing.T) {
+	dir := t.TempDir()
+
+	// Forge the dead predecessor's journal.
+	cfg, err := ParseConfigName("(2+0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ParseConfigName("(3+3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CampaignRequest{
+		MaxInsts: testMaxInsts,
+		Units: []UnitSpec{
+			{Kind: KindSimulate, Workload: "130.li", Config: &cfg},
+			{Kind: KindSimulate, Workload: "130.li", Config: &cfg2},
+		},
+	}
+	reqEnc, _ := json.Marshal(req)
+	// A sentinel cycle count no real simulation of this budget can
+	// produce: seeing it back from /results proves the unit was served
+	// from the journal, not re-executed.
+	canned, _ := json.Marshal(cpu.Result{Cycles: 1<<40 + 7})
+	jrn0, err := journal.Open(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []journal.Record{
+		{T: journal.TypeJob, Job: "c0001", Tenant: "test", IdemKey: "forged", Req: reqEnc},
+		{T: journal.TypeEvent, Job: "c0001", Seq: 0, Unit: 0, State: StateRunning},
+		{T: journal.TypeEvent, Job: "c0001", Seq: 1, Unit: 0, State: StateDone, Result: canned},
+		{T: journal.TypeEvent, Job: "c0001", Seq: 2, Unit: 1, State: StateRunning},
+		// ...and here the process died, unit 1 mid-run.
+	} {
+		if err := jrn0.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jrn0.Close()
+
+	svc, cl := journaledService(t, dir, Config{Workers: 2})
+	rs, err := svc.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Jobs != 1 || rs.Finished != 0 || rs.Requeued != 1 {
+		t.Fatalf("recover stats %+v, want 1 job, 0 finished, 1 requeued", rs)
+	}
+	status, err := cl.Wait("c0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != JobComplete || status.Done != 2 {
+		t.Fatalf("recovered job ended %+v, want complete with 2 done", status)
+	}
+	resp, err := cl.Results("c0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit 0 keeps the journaled (canned) result — proof it was served
+	// from the journal, not re-executed.
+	var unit0 cpu.Result
+	if err := json.Unmarshal(resp.Units[0].Result, &unit0); err != nil {
+		t.Fatal(err)
+	}
+	if unit0.Cycles != 1<<40+7 {
+		t.Fatalf("finished unit re-executed: cycles %d, want the journaled sentinel", unit0.Cycles)
+	}
+	if resp.Units[1].State != StateDone || len(resp.Units[1].Result) == 0 {
+		t.Fatalf("requeued unit: %+v", resp.Units[1])
+	}
+
+	// The reset emitted a fresh queued event continuing the sequence:
+	// seq 3 = unit 1 back to queued, then its re-run.
+	j, _ := svc.Job("c0001")
+	events, _, _ := j.eventsFrom(3)
+	if len(events) == 0 || events[0].Seq != 3 || events[0].State != StateQueued || events[0].Unit != 1 {
+		t.Fatalf("expected seq-3 queued reset event for unit 1, got %+v", events)
+	}
+}
+
+// TestIdempotencyKeysAreTenantScoped: the same key from two tenants
+// must create two jobs — one tenant cannot read another's campaign by
+// guessing keys.
+func TestIdempotencyKeysAreTenantScoped(t *testing.T) {
+	svc, _, _ := testService(t, Config{Workers: 1}, false)
+	hold := make(chan struct{})
+	defer close(hold)
+	svc.testHook = func(*unit, int) error { <-hold; return nil }
+
+	req := CampaignRequest{
+		MaxInsts: testMaxInsts, IdempotencyKey: "shared-key",
+		Workloads: []string{"130.li"}, Configs: []string{"(2+0)"},
+	}
+	reqA := req
+	reqA.Tenant = "alpha"
+	a1, err := svc.Submit(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := svc.Submit(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.ID != a2.ID {
+		t.Fatalf("same tenant, same key: jobs %s and %s", a1.ID, a2.ID)
+	}
+	reqB := req
+	reqB.Tenant = "beta"
+	b, err := svc.Submit(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == a1.ID {
+		t.Fatalf("tenants alpha and beta shared job %s through one key", b.ID)
+	}
+}
+
+// TestSlowEventSubscriberDropped attaches a subscriber that never
+// reads, floods the stream past the socket buffers, and checks the
+// write deadline drops it (counter) instead of wedging the handler
+// while a healthy subscriber keeps streaming.
+func TestSlowEventSubscriberDropped(t *testing.T) {
+	svc, cl, _ := testService(t, Config{
+		Workers: 2, QueueCap: 2048, EventWriteTimeout: 150 * time.Millisecond,
+	}, false)
+	// Every unit fails instantly with a fat error payload — event
+	// volume without simulation cost. The last unit blocks forever so
+	// the job stays non-terminal and the handler must keep writing.
+	hold := make(chan struct{})
+	defer close(hold)
+	const units = 600
+	payload := strings.Repeat("x", 8192)
+	svc.testHook = func(u *unit, _ int) error {
+		if u.index == units-1 {
+			<-hold
+			return nil
+		}
+		return errors.New(payload)
+	}
+	cfg, err := ParseConfigName("(2+0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]UnitSpec, units)
+	for i := range specs {
+		specs[i] = UnitSpec{Kind: KindSimulate, Workload: "130.li", Config: &cfg}
+	}
+	status, err := svc.Submit(CampaignRequest{MaxInsts: testMaxInsts, Units: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pathological subscriber: a raw connection that sends the
+	// request and then never reads a byte.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(cl.Base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt := "GET /api/v1/campaigns/" + status.ID + "/events HTTP/1.1\r\nHost: arld\r\n\r\n"
+	if _, err := conn.Write([]byte(fmt)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for counterValue(svc.reg, "service_events_dropped_subscribers_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow subscriber never dropped")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A healthy subscriber attached after the drop still streams: the
+	// service, not just the socket, survived the slow client.
+	got, err := cl.Status(status.ID)
+	if err != nil || got.Failed == 0 {
+		t.Fatalf("service wedged after dropping slow subscriber: %+v, %v", got, err)
+	}
+}

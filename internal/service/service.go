@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/service/journal"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -38,6 +39,20 @@ type Config struct {
 	// BreakerThreshold trips a workload's circuit breaker after this
 	// many consecutive unit failures (0 = resilience default).
 	BreakerThreshold int
+	// BreakerCooldown overrides the breaker's half-open probe cooldown,
+	// counted in rejected arrivals (0 = resilience default).
+	BreakerCooldown int
+	// Journal, when non-nil, makes the service crash-restartable: every
+	// accepted job and unit state transition is written ahead to it,
+	// and the service stays not-ready (submissions rejected with
+	// ErrNotReady, /readyz 503) until Recover has replayed it.
+	Journal *journal.Journal
+	// EventWriteTimeout bounds one write to an /events subscriber; a
+	// subscriber that stops reading past its socket buffers is dropped
+	// after this long instead of wedging the handler forever (0 =
+	// DefaultEventWriteTimeout). A dropped subscriber re-attaches with
+	// ?from=N.
+	EventWriteTimeout time.Duration
 	// Log receives one line per notable event (nil for silence).
 	Log io.Writer
 }
@@ -45,11 +60,22 @@ type Config struct {
 // DefaultQueueCap bounds the unit queue when Config.QueueCap is zero.
 const DefaultQueueCap = 1024
 
+// DefaultEventWriteTimeout bounds one /events write when
+// Config.EventWriteTimeout is zero.
+const DefaultEventWriteTimeout = 30 * time.Second
+
 // Submission rejections, mapped onto HTTP statuses by the handler.
 var (
 	ErrDraining  = errors.New("service: draining, not accepting campaigns")
 	ErrQueueFull = errors.New("service: unit queue full")
 	ErrQuota     = errors.New("service: tenant quota exceeded")
+	// ErrNotReady rejects submissions between startup and the end of
+	// journal replay; clients retry (the window is one Recover call).
+	ErrNotReady = errors.New("service: recovering journal, not ready")
+	// ErrJournal rejects a submission whose write-ahead record could
+	// not be persisted: accepting it would break the crash-restart
+	// guarantee, so the client must retry.
+	ErrJournal = errors.New("service: journal write failed")
 )
 
 // runnerKey classes runners by the campaign shaping that participates
@@ -83,7 +109,8 @@ type job struct {
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
-	events   []Event
+	events   []Event       // ascending by Seq; contiguous except after corrupt-journal recovery
+	nextSeq  int           // next event sequence number (survives restarts)
 	notify   chan struct{} // closed and replaced on every event
 	state    string
 	drained  bool // ended by a server drain, not by its own units
@@ -110,6 +137,10 @@ type Service struct {
 	runners  map[runnerKey]*experiments.Runner
 	seen     map[string]struct{} // unit keys computed (or claimed) by this process
 	tenant   map[string]int      // queued+running units per tenant
+	idem     map[string]string   // tenant-scoped idempotency key -> job id
+
+	jrn   *journal.Journal
+	ready atomic.Bool // false while the journal replays and once draining
 
 	breaker  *resilience.Breaker
 	inflight atomic.Int64
@@ -141,14 +172,27 @@ func New(cfg Config, st *store.Store) *Service {
 		runners: make(map[runnerKey]*experiments.Runner),
 		seen:    make(map[string]struct{}),
 		tenant:  make(map[string]int),
+		idem:    make(map[string]string),
+		jrn:     cfg.Journal,
 		breaker: resilience.NewBreaker(cfg.BreakerThreshold),
 	}
+	if cfg.BreakerCooldown > 0 {
+		s.breaker.SetCooldown(cfg.BreakerCooldown)
+	}
+	// A journal-less service has nothing to replay; a journaled one
+	// stays not-ready until Recover walks the log.
+	s.ready.Store(cfg.Journal == nil)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// Ready reports whether the service is accepting submissions: journal
+// replay has finished (or no journal is configured) and Drain has not
+// begun. /readyz serves this; /healthz stays true the whole time.
+func (s *Service) Ready() bool { return s.ready.Load() }
 
 // Registry exposes the service metrics registry (for /metrics and
 // tests).
@@ -240,8 +284,10 @@ func expand(req CampaignRequest) ([]UnitSpec, error) {
 }
 
 // Submit validates and enqueues one campaign. The rejection errors
-// (ErrDraining, ErrQueueFull, ErrQuota) map onto 503/429; anything
-// else is a 400-shaped validation failure.
+// (ErrDraining, ErrNotReady, ErrJournal, ErrQueueFull, ErrQuota) map
+// onto 503/429; anything else is a 400-shaped validation failure. A
+// request repeating an already-seen idempotency key returns the
+// original job's status instead of a new job.
 func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 	specs, err := expand(req)
 	if err != nil {
@@ -251,12 +297,32 @@ func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 	if tenant == "" {
 		tenant = "anonymous"
 	}
+	idemKey := ""
+	if req.IdempotencyKey != "" {
+		idemKey = tenant + "\x00" + req.IdempotencyKey
+	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.reject(tenant, "draining")
 		return JobStatus{}, ErrDraining
+	}
+	if !s.ready.Load() {
+		s.mu.Unlock()
+		s.reject(tenant, "not-ready")
+		return JobStatus{}, ErrNotReady
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			j := s.jobs[id]
+			s.counter("service_idempotent_replays_total",
+				"submissions answered by an existing job via idempotency key",
+				obs.Labels{"tenant": tenant}).Inc()
+			s.mu.Unlock()
+			s.logf("job %s: idempotent replay for tenant %q", id, tenant)
+			return s.status(j), nil
+		}
 	}
 	if s.tenant[tenant]+len(specs) > s.cfg.TenantCap {
 		s.mu.Unlock()
@@ -273,9 +339,32 @@ func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w: %d queued, %d requested, cap %d",
 			ErrQueueFull, len(s.queue), len(specs), s.cfg.QueueCap)
 	}
+	id := fmt.Sprintf("c%04d", s.nextJob+1)
+	if s.jrn != nil {
+		// Write-ahead: the job record must be durable before the job is
+		// visible or any unit can run; a failed append rejects the
+		// submission rather than accepting work a crash would lose.
+		reqEnc, err := json.Marshal(req)
+		if err != nil {
+			s.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("encoding request: %v", err)
+		}
+		//arlvet:allow lockheld the job record must hit the journal before the job becomes visible; the ID allocation and idempotency registration it orders live under this mu
+		jerr := s.jrn.Append(journal.Record{
+			T: journal.TypeJob, Job: id, Tenant: tenant,
+			IdemKey: req.IdempotencyKey, Req: reqEnc,
+		})
+		if jerr != nil {
+			s.counter("service_journal_errors_total", "journal appends that failed", nil).Inc()
+			s.mu.Unlock()
+			s.reject(tenant, "journal")
+			s.logf("job %s: rejected, journal append failed: %v", id, jerr)
+			return JobStatus{}, fmt.Errorf("%w: %v", ErrJournal, jerr)
+		}
+	}
 	s.nextJob++
 	j := &job{
-		id:     fmt.Sprintf("c%04d", s.nextJob),
+		id:     id,
 		tenant: tenant,
 		req:    req,
 		notify: make(chan struct{}),
@@ -292,6 +381,9 @@ func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 		})
 	}
 	s.jobs[j.id] = j
+	if idemKey != "" {
+		s.idem[idemKey] = j.id
+	}
 	s.tenant[tenant] += len(specs)
 	for _, u := range j.units {
 		//arlvet:allow lockheld capacity was checked under this same mu above and only workers shrink the queue, so these sends cannot block
@@ -429,9 +521,13 @@ func (s *Service) run(u *unit) {
 	// First claim of a key computes; every later unit with the same
 	// key — same client resubmitting, another tenant's overlapping
 	// grid — shares that computation through the runner memo and the
-	// store, and is counted as a dedupe hit.
-	u.deduped = !s.claim(u.key)
-	if u.deduped {
+	// store, and is counted as a dedupe hit. The write happens under
+	// j.mu: results() snapshots u.deduped under that lock concurrently.
+	deduped := !s.claim(u.key)
+	j.mu.Lock()
+	u.deduped = deduped
+	j.mu.Unlock()
+	if deduped {
 		s.counter("service_units_deduped_total", "units satisfied by work another unit already did",
 			obs.Labels{"tenant": j.tenant}).Inc()
 	}
@@ -522,16 +618,41 @@ func (s *Service) claim(key string) bool {
 	return true
 }
 
-// transition moves a unit between non-terminal states and emits the
-// event.
+// transition moves a unit between non-terminal states and emits (and
+// journals) the event.
 func (s *Service) transition(u *unit, state string) {
 	j := u.job
 	j.mu.Lock()
 	j.counts[u.state]--
 	u.state = state
 	j.counts[state]++
-	j.emitLocked(Event{Job: j.id, Unit: u.index, State: state})
+	e := j.emitLocked(Event{Job: j.id, Unit: u.index, State: state})
+	s.journalEventLocked(e, nil)
 	j.mu.Unlock()
+}
+
+// journalEventLocked appends one event record to the journal. Called
+// under the job's mu: the journal must record events in the same order
+// their sequence numbers were assigned, and the event only becomes
+// visible to streamers when that mu is released — so writing inside
+// the lock is what makes "journaled" and "observable" atomic. An
+// append failure is counted and logged, not fatal: the event still
+// flows to live subscribers; a crash before the next successful append
+// would replay the unit from its previous state, and the store memo
+// absorbs the recompute.
+func (s *Service) journalEventLocked(e Event, result json.RawMessage) {
+	if s.jrn == nil {
+		return
+	}
+	//arlvet:allow lockheld WAL ordering: the journal must see events in seq order, which only holding the job mu guarantees
+	err := s.jrn.Append(journal.Record{
+		T: journal.TypeEvent, Job: e.Job, Seq: e.Seq, Unit: e.Unit,
+		State: e.State, Deduped: e.Deduped, Error: e.Error, Result: result,
+	})
+	if err != nil {
+		s.counter("service_journal_errors_total", "journal appends that failed", nil).Inc()
+		s.logf("journal: event %s/%d: %v", e.Job, e.Seq, err)
+	}
 }
 
 // finish moves a unit to a terminal state, releases its tenant quota,
@@ -547,7 +668,11 @@ func (s *Service) finish(u *unit, state, errText string, result json.RawMessage)
 	if u.deduped && state == StateDone {
 		j.deduped++
 	}
-	j.emitLocked(Event{Job: j.id, Unit: u.index, State: state, Deduped: u.deduped, Error: errText})
+	e := j.emitLocked(Event{Job: j.id, Unit: u.index, State: state, Deduped: u.deduped, Error: errText})
+	// The result payload rides in the journal record (not the event
+	// wire form), so /results serves finished units after a restart
+	// without re-executing them.
+	s.journalEventLocked(e, result)
 	terminal := j.counts[StateDone]+j.counts[StateFailed]+j.counts[StateCanceled] == len(j.units)
 	if terminal && !j.finished {
 		j.finished = true
@@ -562,6 +687,13 @@ func (s *Service) finish(u *unit, state, errText string, result json.RawMessage)
 			j.state = JobCanceled
 		default:
 			j.state = JobComplete
+		}
+		if s.jrn != nil {
+			//arlvet:allow lockheld the end record must be ordered after the final unit event, which this mu serializes
+			if err := s.jrn.Append(journal.Record{T: journal.TypeEnd, Job: j.id, State: j.state}); err != nil {
+				s.counter("service_journal_errors_total", "journal appends that failed", nil).Inc()
+				s.logf("journal: end %s: %v", j.id, err)
+			}
 		}
 		close(j.done)
 	}
@@ -579,25 +711,234 @@ func (s *Service) finish(u *unit, state, errText string, result json.RawMessage)
 	}
 }
 
-// emitLocked appends one event and wakes the streamers. Callers hold
-// j.mu.
-func (j *job) emitLocked(e Event) {
-	e.Seq = len(j.events)
+// emitLocked stamps the next sequence number on the event, appends it
+// and wakes the streamers, returning the stamped event. Callers hold
+// j.mu. Sequence numbers continue across restarts (Recover seeds
+// nextSeq past the replayed events), which is what keeps a client's
+// ?from=N resume point valid on the restarted server.
+func (j *job) emitLocked(e Event) Event {
+	e.Seq = j.nextSeq
+	j.nextSeq++
 	j.events = append(j.events, e)
 	close(j.notify)
 	j.notify = make(chan struct{})
+	return e
 }
 
-// eventsFrom returns the events at index ≥ from, plus a channel that
-// closes when more arrive and whether the job is terminal.
+// eventsFrom returns the events with sequence number ≥ from, plus a
+// channel that closes when more arrive and whether the job is
+// terminal. The slice is ascending by Seq (contiguous except when
+// corrupt-journal recovery dropped records), so the cut point is a
+// binary search, not an index.
 func (j *job) eventsFrom(from int) ([]Event, <-chan struct{}, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	i := sort.Search(len(j.events), func(i int) bool { return j.events[i].Seq >= from })
 	var evs []Event
-	if from < len(j.events) {
-		evs = append(evs, j.events[from:]...)
+	if i < len(j.events) {
+		evs = append(evs, j.events[i:]...)
 	}
 	return evs, j.notify, j.finished
+}
+
+// RecoverStats summarizes one journal recovery.
+type RecoverStats struct {
+	Jobs     int // jobs reconstructed from the journal
+	Finished int // of those, jobs already terminal (nothing to run)
+	Requeued int // incomplete units re-enqueued
+	Replayed int // intact journal records applied
+	Corrupt  int // journal lines dropped by checksum/framing
+	Torn     int // torn segment tails (crash-mid-append signatures)
+}
+
+// Recover replays the journal and restores the service to the state
+// the previous process crashed out of: every accepted job exists again
+// with its event history (same sequence numbers), finished units keep
+// their results, and incomplete units are re-enqueued — they recompute
+// through the store memo, so no finished work re-executes. Submissions
+// are rejected with ErrNotReady until Recover returns; call it once,
+// after New, before (or concurrently with) serving traffic. With no
+// journal configured it only flips the service ready.
+func (s *Service) Recover() (RecoverStats, error) {
+	var rs RecoverStats
+	if s.jrn == nil {
+		s.ready.Store(true)
+		return rs, nil
+	}
+	// Fold the log into per-job state: the last writer wins record by
+	// record, exactly the order the previous process applied them.
+	type replayJob struct {
+		rec    journal.Record
+		events []journal.Record
+		end    *journal.Record
+	}
+	byJob := make(map[string]*replayJob)
+	stats, err := s.jrn.Replay(func(r journal.Record) {
+		switch r.T {
+		case journal.TypeJob:
+			byJob[r.Job] = &replayJob{rec: r}
+		case journal.TypeEvent:
+			if rj := byJob[r.Job]; rj != nil {
+				rj.events = append(rj.events, r)
+			}
+		case journal.TypeEnd:
+			if rj := byJob[r.Job]; rj != nil {
+				end := r
+				rj.end = &end
+			}
+		}
+	})
+	if err != nil {
+		return rs, err
+	}
+	rs.Replayed, rs.Corrupt, rs.Torn = stats.Records, stats.Corrupt, stats.Torn
+	s.counter("service_journal_replayed_records_total", "journal records replayed intact at startup", nil).Add(uint64(stats.Records))
+	s.counter("service_journal_corrupt_records_total", "journal lines dropped as corrupt at startup", nil).Add(uint64(stats.Corrupt))
+	if stats.Torn > 0 {
+		s.counter("service_journal_torn_tails_total", "torn journal segment tails (crash mid-append)", nil).Add(uint64(stats.Torn))
+	}
+
+	ids := make([]string, 0, len(byJob))
+	for id := range byJob {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var requeue []*unit // units to re-enqueue, in job order
+	var reset []*unit   // of those, units that were mid-run at the crash
+	s.mu.Lock()
+	for _, id := range ids {
+		rj := byJob[id]
+		var req CampaignRequest
+		if err := json.Unmarshal(rj.rec.Req, &req); err != nil {
+			s.logf("recover: job %s: undecodable request, dropping: %v", id, err)
+			continue
+		}
+		specs, err := expand(req)
+		if err != nil {
+			s.logf("recover: job %s: request no longer expands, dropping: %v", id, err)
+			continue
+		}
+		tenant := rj.rec.Tenant
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+		j := &job{
+			id:     id,
+			tenant: tenant,
+			req:    req,
+			notify: make(chan struct{}),
+			state:  StateRunning,
+			counts: map[string]int{StateQueued: len(specs)},
+			done:   make(chan struct{}),
+		}
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+		for i, spec := range specs {
+			j.units = append(j.units, &unit{
+				job: j, index: i, spec: spec,
+				key:   spec.key(req.Scale, req.MaxInsts),
+				state: StateQueued,
+			})
+		}
+		// Replay the event history in sequence order. Corruption may
+		// have dropped records, so later events always win: each one
+		// carries the unit's full state at that point.
+		sort.Slice(rj.events, func(a, b int) bool { return rj.events[a].Seq < rj.events[b].Seq })
+		for _, ev := range rj.events {
+			if ev.Unit < 0 || ev.Unit >= len(j.units) {
+				continue
+			}
+			u := j.units[ev.Unit]
+			j.counts[u.state]--
+			u.state = ev.State
+			j.counts[ev.State]++
+			u.deduped = ev.Deduped
+			u.errText = ev.Error
+			if len(ev.Result) > 0 {
+				u.result = ev.Result
+			}
+			if ev.State == StateDone && ev.Deduped {
+				j.deduped++
+			}
+			j.events = append(j.events, Event{
+				Seq: ev.Seq, Job: id, Unit: ev.Unit, State: ev.State,
+				Deduped: ev.Deduped, Error: ev.Error,
+			})
+			if ev.Seq >= j.nextSeq {
+				j.nextSeq = ev.Seq + 1
+			}
+		}
+		terminal := j.counts[StateDone]+j.counts[StateFailed]+j.counts[StateCanceled] == len(j.units)
+		if rj.end != nil || terminal {
+			j.finished = true
+			switch {
+			case rj.end != nil:
+				j.state = rj.end.State
+			case j.counts[StateFailed] > 0:
+				j.state = JobFailed
+			case j.counts[StateCanceled] > 0:
+				j.state = JobCanceled
+			default:
+				j.state = JobComplete
+			}
+			close(j.done)
+			rs.Finished++
+		} else {
+			n := 0
+			for _, u := range j.units {
+				switch u.state {
+				case StateQueued:
+					requeue = append(requeue, u)
+					n++
+				case StateRunning:
+					// Mid-run at the crash: the attempt died with the
+					// process. Re-queue; transition() below emits (and
+					// journals) the queued event so stream followers see
+					// the reset.
+					requeue = append(requeue, u)
+					reset = append(reset, u)
+					n++
+				}
+			}
+			s.tenant[tenant] += n
+		}
+		// Done units' keys count as computed for dedupe accounting, and
+		// their artifacts sit in the store for the memo to find.
+		for _, u := range j.units {
+			if u.state == StateDone {
+				s.seen[u.key] = struct{}{}
+			}
+		}
+		if rj.rec.IdemKey != "" {
+			s.idem[tenant+"\x00"+rj.rec.IdemKey] = id
+		}
+		s.jobs[id] = j
+		var num int
+		if _, err := fmt.Sscanf(id, "c%04d", &num); err == nil && num > s.nextJob {
+			s.nextJob = num
+		}
+		rs.Jobs++
+	}
+	s.mu.Unlock()
+
+	for _, u := range reset {
+		s.transition(u, StateQueued)
+	}
+	rs.Requeued = len(requeue)
+	s.counter("service_journal_recovered_jobs_total", "jobs reconstructed from the journal", nil).Add(uint64(rs.Jobs))
+	s.counter("service_units_requeued_total", "incomplete units re-enqueued after recovery", nil).Add(uint64(rs.Requeued))
+	s.logf("recovered %d jobs (%d finished) from journal: %d records, %d corrupt, %d torn; re-enqueueing %d units",
+		rs.Jobs, rs.Finished, rs.Replayed, rs.Corrupt, rs.Torn, rs.Requeued)
+
+	// Open for business before the (possibly queue-capacity-blocking)
+	// re-enqueue: workers are already draining the channel, and new
+	// submissions interleave safely with recovered units.
+	s.ready.Store(true)
+	for _, u := range requeue {
+		s.queue <- u
+	}
+	s.gauge("service_queue_depth", "units waiting for a worker").Set(float64(len(s.queue)))
+	return rs, nil
 }
 
 // Drain gracefully shuts the service down: new submissions get
@@ -613,6 +954,9 @@ func (s *Service) Drain() {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	// Readiness drops the instant draining starts, so a load balancer
+	// stops routing while in-flight units finish.
+	s.ready.Store(false)
 	s.logf("draining: %d units in flight, %d queued", s.inflight.Load(), len(s.queue))
 	close(s.stop)
 	s.wg.Wait()

@@ -10,7 +10,10 @@
 //
 //	POST /api/v1/campaigns            submit a campaign; 202 + job id,
 //	                                  429 on queue overflow or tenant
-//	                                  quota, 503 while draining
+//	                                  quota, 503 while draining or
+//	                                  still replaying the journal; a
+//	                                  repeated idempotency key returns
+//	                                  the original job
 //	GET  /api/v1/campaigns/{id}       job status (unit state counts)
 //	GET  /api/v1/campaigns/{id}/events  NDJSON stream of per-unit
 //	                                  completion events; replays from
@@ -21,7 +24,18 @@
 //	GET  /metrics                     queue depth, in-flight units,
 //	                                  dedupe hits, per-tenant counters,
 //	                                  store counters (obs text form)
-//	GET  /healthz                     liveness
+//	GET  /healthz                     liveness (the process is up)
+//	GET  /readyz                      readiness: 503 while the journal
+//	                                  is still replaying and while
+//	                                  draining, 200 in between
+//
+// When built with a journal (see Config.Journal), every accepted job
+// and unit state transition is written ahead to an append-only log, so
+// a SIGKILL at any instant loses no accepted work: the restarted
+// service replays the journal, restores finished units' results and
+// event streams (same sequence numbers, so ?from=N resumes exactly),
+// and re-enqueues incomplete units, which recompute through the
+// artifact-store memo instead of from scratch.
 package service
 
 import (
@@ -74,6 +88,12 @@ type CampaignRequest struct {
 	Tenant   string `json:"tenant,omitempty"`
 	Scale    int    `json:"scale,omitempty"`
 	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// IdempotencyKey, when non-empty, makes the submission replay-safe:
+	// a second submission with the same (tenant, key) — a client
+	// retrying after a crash or a dropped connection — returns the
+	// original job instead of enqueueing a duplicate. Keys survive
+	// server restarts via the journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// Seed feeds the deterministic retry backoff jitter of this job's
 	// units (not the simulation semantics, which are deterministic).
 	Seed      uint64     `json:"seed,omitempty"`

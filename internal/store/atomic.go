@@ -16,11 +16,18 @@ const tmpPrefix = ".tmp-"
 // target directory, are synced to stable storage, and are renamed over
 // path in one step. Parent directories are created as needed.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicFS(OS(), path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit FS — the seam
+// the fault-injection harness uses to fail the write at any step of
+// the temp/sync/rename protocol.
+func WriteFileAtomicFS(fs FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
+	f, err := fs.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
@@ -33,13 +40,13 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Chmod(tmp, perm)
+		err = fs.Chmod(tmp, perm)
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fs.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	return nil
@@ -48,17 +55,26 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 // sweepTemp removes leftover tmpPrefix files under dir — the debris a
 // SIGKILL mid-write leaves behind. Rename is atomic, so anything still
 // carrying the prefix never became visible and is safe to delete.
-func sweepTemp(dir string) (removed int, err error) {
-	walkErr := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
+func sweepTemp(fs FS, dir string) (removed int, err error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		if e.IsDir() {
+			n, err := sweepTemp(fs, path)
+			removed += n
+			if err != nil {
+				return removed, err
+			}
+			continue
 		}
-		if !info.IsDir() && strings.HasPrefix(filepath.Base(path), tmpPrefix) {
-			if rmErr := os.Remove(path); rmErr == nil {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			if rmErr := fs.Remove(path); rmErr == nil {
 				removed++
 			}
 		}
-		return nil
-	})
-	return removed, walkErr
+	}
+	return removed, nil
 }

@@ -100,6 +100,7 @@ type Stats struct {
 // Store is a content-addressed artifact store rooted at one directory.
 type Store struct {
 	root string
+	fs   FS
 
 	// log receives one line per notable event (quarantine, resume
 	// hit). Held behind an atomic pointer so SetLog is safe at any
@@ -127,13 +128,20 @@ func (s *Store) SetLog(fn func(format string, args ...any)) {
 // Open opens (creating as needed) the store rooted at dir and sweeps
 // any temporary-file debris a previous crash left behind.
 func Open(dir string) (*Store, error) {
-	s := &Store{root: dir}
+	return OpenFS(dir, OS())
+}
+
+// OpenFS is Open over an explicit filesystem seam — the entry point
+// the storage-fault chaos harness uses to interpose faultfs between
+// the store and the disk.
+func OpenFS(dir string, fs FS) (*Store, error) {
+	s := &Store{root: dir, fs: fs}
 	for _, sub := range []string{s.objectsDir(), s.quarantineDir()} {
-		if err := os.MkdirAll(sub, 0o755); err != nil {
+		if err := fs.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	if _, err := sweepTemp(s.objectsDir()); err != nil {
+	if _, err := sweepTemp(fs, s.objectsDir()); err != nil {
 		return nil, fmt.Errorf("store: sweeping temp files: %w", err)
 	}
 	return s, nil
@@ -228,7 +236,7 @@ func (s *Store) Put(k Key, v any) error {
 	rec = append(rec, hdr...)
 	rec = append(rec, '\n')
 	rec = append(rec, payload...)
-	if err := WriteFileAtomic(s.path(k), rec, 0o644); err != nil {
+	if err := WriteFileAtomicFS(s.fs, s.path(k), rec, 0o644); err != nil {
 		return fmt.Errorf("store: writing %s: %w", k, err)
 	}
 	s.writes.Add(1)
@@ -243,7 +251,7 @@ func (s *Store) Put(k Key, v any) error {
 // (I/O, permissions), not data problems.
 func (s *Store) Get(k Key, v any) (bool, error) {
 	path := s.path(k)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		s.misses.Add(1)
 		return false, nil
@@ -306,12 +314,12 @@ func (s *Store) quarantine(path string) error {
 	base := filepath.Base(path)
 	dst := filepath.Join(s.quarantineDir(), base)
 	for i := 1; ; i++ {
-		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+		if _, err := s.fs.Stat(dst); errors.Is(err, os.ErrNotExist) {
 			break
 		}
 		dst = filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", base, i))
 	}
-	return os.Rename(path, dst)
+	return s.fs.Rename(path, dst)
 }
 
 // Len reports how many committed records the store holds (quarantined
