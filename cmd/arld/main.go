@@ -4,8 +4,11 @@
 // the experiment Runner's stages, and uses the content-addressed
 // artifact store as a shared cache tier, so concurrent clients
 // submitting overlapping grids deduplicate work instead of repeating
-// it. See internal/service for the API surface; arlsim, arlreport and
-// arlfault consume it through their -server flag.
+// it. Design-space frontier sweeps ride the same machinery via POST
+// /api/v1/explorations (the grid expands into campaign units
+// server-side, so frontier points dedupe against plain campaigns).
+// See internal/service for the API surface; arlsim, arlreport,
+// arlfault and arlexplore consume it through their -server flag.
 //
 //	arld -addr localhost:8080 -store-dir /tmp/arl-store -retries 2
 //

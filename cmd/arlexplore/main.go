@@ -1,0 +1,140 @@
+// Command arlexplore Pareto-searches the partitioned-cache design
+// space: it expands a declarative grid of machine configurations
+// (first-level ports, LVC ports and capacity, ARPT size, misprediction
+// penalty, steering policy), evaluates every (point, workload) pair on
+// the shared experiment harness, and writes a ranked frontier artifact
+// (schema arl-frontier/v1) of IPC vs. total capacity vs. port count.
+//
+// Usage:
+//
+//	arlexplore [-l1ports 2,3,4] [-lvcports 0,2,3] [-lvcsize 4,8]
+//	           [-arpt 0,1024] [-penalty 1,4] [-steer region]
+//	           [-max-points N] [-o frontier.json]
+//	           [-w name] [-scale N] [-n maxInsts] [-parallel N]
+//	           [-seed S] [-store-dir DIR] [-resume] [-retries N]
+//	arlexplore -server http://host:port [-tenant name] [...]
+//
+// Every point runs through the store-memoized simulation stage, so a
+// sweep SIGKILLed mid-frontier and rerun with -store-dir/-resume
+// recomputes only the missing points and emits a byte-identical
+// artifact. With -server, the grid is submitted to a running arld
+// (POST /api/v1/explorations) where overlapping points dedupe against
+// other tenants' campaigns; the assembled frontier is byte-identical
+// to a local run over the same store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/explore"
+	"repro/internal/store"
+)
+
+func main() {
+	c := cliutil.New("arlexplore")
+	l1 := flag.String("l1ports", "2,3,4", "comma list of first-partition (L1D) port counts")
+	lvc := flag.String("lvcports", "0,2,3", "comma list of LVC port counts (0 = conventional, no LVC)")
+	size := flag.String("lvcsize", "", "comma list of LVC capacities in KB (empty = 4)")
+	arpt := flag.String("arpt", "", "comma list of ARPT entry counts (empty = 0: pipeline default)")
+	pen := flag.String("penalty", "", "comma list of misprediction penalties (empty = 1)")
+	steer := flag.String("steer", "", `steering policy for decoupled points: region, pattern, pchash (empty = region)`)
+	maxPts := flag.Int("max-points", 0, "cap the sweep with a seeded sample of the grid (0 = full cross product)")
+	out := flag.String("o", "", "write the ranked frontier artifact (JSON) to this file (empty = stdout table only)")
+	c.WorkloadFlags(0)
+	c.RunnerFlags()
+	c.SeedFlag(1)
+	c.StoreFlags()
+	c.ServerFlags()
+	c.ObsFlags("")
+	flag.Parse()
+	c.Start()
+
+	grid := explore.Grid{Steer: *steer, MaxPoints: *maxPts}
+	var err error
+	if grid.L1Ports, err = intList(*l1); err != nil {
+		c.Fatalf("-l1ports: %v", err)
+	}
+	if grid.LVCPorts, err = intList(*lvc); err != nil {
+		c.Fatalf("-lvcports: %v", err)
+	}
+	if grid.LVCSizeKB, err = intList(*size); err != nil {
+		c.Fatalf("-lvcsize: %v", err)
+	}
+	if grid.ARPTEntries, err = intList(*arpt); err != nil {
+		c.Fatalf("-arpt: %v", err)
+	}
+	if grid.Penalties, err = intList(*pen); err != nil {
+		c.Fatalf("-penalty: %v", err)
+	}
+
+	var f *explore.Frontier
+	if c.Server != "" {
+		cl := c.ServiceClient()
+		f, err = cl.Explore(c.Scale, c.MaxInsts, c.Seed, c.Workloads(), grid)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		fmt.Print(explore.RenderFrontier(f))
+		writeArtifact(c, f, *out)
+		c.Finish(nil)
+		return
+	}
+
+	c.HandleSignals()
+	r := c.Runner()
+	f, err = explore.Search(r, grid, c.Seed)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	fmt.Print(explore.RenderFrontier(f))
+	writeArtifact(c, f, *out)
+	c.Finish(r.Obs)
+	c.Exit()
+}
+
+// writeArtifact encodes, schema-validates and atomically writes the
+// frontier — a crash mid-write leaves the previous artifact intact,
+// and arlexplore can never emit a file arlmetrics would reject.
+func writeArtifact(c *cliutil.Common, f *explore.Frontier, path string) {
+	if path == "" {
+		return
+	}
+	b, err := explore.Encode(f)
+	if err != nil {
+		c.Fatalf("%v", err)
+	}
+	if err := explore.ValidateFrontier(b); err != nil {
+		c.Fatalf("frontier does not validate against its own schema: %v", err)
+	}
+	if err := store.WriteFileAtomic(path, b, 0o644); err != nil {
+		c.Fatalf("%s: %v", path, err)
+	}
+	if !c.Quiet {
+		fmt.Printf("frontier artifact written to %s\n", path)
+	}
+}
+
+// intList parses a comma-separated list of non-negative integers; an
+// empty string is an empty list (the grid dimension's default).
+func intList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q", p)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative list element %d", v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

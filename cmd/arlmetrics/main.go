@@ -1,7 +1,10 @@
-// Command arlmetrics validates and summarizes the metrics artifacts
-// (results/*.metrics.json) the other arl* commands write. CI uses it
-// to assert that every artifact parses against the embedded JSON
-// schema; -schema prints that schema for external tooling.
+// Command arlmetrics validates and summarizes the schema'd JSON
+// artifacts the other arl* commands write: per-run metrics artifacts
+// (results/*.metrics.json, schema arl-metrics/v1) and ranked frontier
+// artifacts from arlexplore (schema arl-frontier/v1). The artifact
+// kind is dispatched on the document's "schema" field. CI uses it to
+// assert that every artifact parses against its embedded JSON schema;
+// -schema prints the metrics schema for external tooling.
 //
 // Usage:
 //
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/explore"
 	"repro/internal/obs"
 )
 
@@ -52,6 +56,17 @@ func validate(path string, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	// Dispatch on the artifact's self-declared schema so one command
+	// checks every artifact kind the repo mints.
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(doc, &head); err != nil {
+		return err
+	}
+	if head.Schema == explore.FrontierSchema {
+		return validateFrontier(path, doc, quiet)
+	}
 	if err := obs.ValidateMetrics(doc); err != nil {
 		return err
 	}
@@ -63,6 +78,27 @@ func validate(path string, quiet bool) error {
 	if !quiet {
 		fmt.Printf("%s: ok (%s, cmd %q, go %s, %.1fs wall, %d metrics)\n",
 			path, a.Schema, a.Run.Cmd, a.Run.GoVersion, a.Run.WallSeconds, len(a.Metrics))
+	}
+	return nil
+}
+
+func validateFrontier(path string, doc []byte, quiet bool) error {
+	if err := explore.ValidateFrontier(doc); err != nil {
+		return err
+	}
+	var f explore.Frontier
+	if err := json.Unmarshal(doc, &f); err != nil {
+		return err
+	}
+	if !quiet {
+		pareto := 0
+		for _, p := range f.Points {
+			if p.Pareto {
+				pareto++
+			}
+		}
+		fmt.Printf("%s: ok (%s, %d points, %d pareto, %d workloads, seed %d)\n",
+			path, f.Schema, len(f.Points), pareto, len(f.Workloads), f.Seed)
 	}
 	return nil
 }

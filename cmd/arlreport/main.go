@@ -1,5 +1,5 @@
 // Command arlreport runs every experiment in DESIGN.md's index (E1-E11
-// plus the E14 binary-hint and E15 fault-storm studies)
+// plus the E14 binary-hint, E15 fault-storm and E16 frontier studies)
 // over all twelve workloads and prints the full paper-vs-measured data
 // set used to populate EXPERIMENTS.md.
 //
@@ -34,6 +34,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 )
 
 func main() {
@@ -140,6 +141,20 @@ func main() {
 		storm, err := r.RecoveryStorm(1, []float64{0, 0.01, 0.05}, []int{2, 8, 16})
 		check(err)
 		fmt.Print(experiments.RenderRecoveryStorm(storm))
+
+		// E16 generalizes Figure 8 from its eight fixed machines to a
+		// ranked design-space frontier; the port grid overlaps the E7
+		// configurations, so those points come straight out of the memo.
+		section("E16: design-space frontier")
+		grid := explore.Grid{L1Ports: []int{2, 3, 4}, LVCPorts: []int{0, 2, 3}}
+		var front *explore.Frontier
+		if c.Server != "" {
+			front, err = c.ServiceClient().Explore(c.Scale, c.MaxInsts, c.Seed, r.Workloads, grid)
+		} else {
+			front, err = explore.Search(r, grid, c.Seed)
+		}
+		check(err)
+		fmt.Print(explore.RenderFrontier(front))
 	}
 
 	if errs := r.Errors(); len(errs) > 0 {

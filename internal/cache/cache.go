@@ -1,9 +1,11 @@
 // Package cache models the set-associative, write-back, write-allocate
-// caches of the paper's memory hierarchy: the multi-ported L1 data
-// cache, the small direct-mapped Local Variable Cache (LVC), and the
-// shared L2. Timing (latencies, per-cycle port arbitration) belongs to
-// the pipeline model in internal/cpu; this package answers hit/miss and
-// tracks contents and statistics.
+// caches of the paper's memory hierarchy as a composable partitioned
+// first level (Hierarchy: N steered partitions over one shared L2).
+// The paper's configuration — a multi-ported L1 data cache plus the
+// small direct-mapped Local Variable Cache (LVC), region-steered — is
+// the two-partition instance. Timing (latencies, per-cycle port
+// arbitration) belongs to the pipeline model in internal/cpu; this
+// package answers hit/miss and tracks contents and statistics.
 package cache
 
 import (
@@ -38,6 +40,12 @@ func (c Config) Validate() error {
 	sets := lines / c.Assoc
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	if c.Ports <= 0 {
+		return fmt.Errorf("cache %q: %d ports", c.Name, c.Ports)
+	}
+	if c.HitLatency <= 0 {
+		return fmt.Errorf("cache %q: %d-cycle hit latency", c.Name, c.HitLatency)
 	}
 	return nil
 }
@@ -86,25 +94,10 @@ type Cache struct {
 	setMask  uint32
 	clock    uint64
 	stats    Stats
-
-	reg       *obs.Registry
-	regLabels obs.Labels
-}
-
-// Option configures a Cache beyond its geometry.
-type Option func(*Cache)
-
-// WithRegistry attaches a metrics registry: PublishStats will record the
-// cache's counters there, labeled with the cache name plus labels.
-func WithRegistry(r *obs.Registry, labels obs.Labels) Option {
-	return func(c *Cache) {
-		c.reg = r
-		c.regLabels = labels
-	}
 }
 
 // New builds a cache; the configuration must validate.
-func New(cfg Config, opts ...Option) (*Cache, error) {
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,20 +109,7 @@ func New(cfg Config, opts ...Option) (*Cache, error) {
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		c.setShift++
 	}
-	for _, opt := range opts {
-		opt(c)
-	}
 	return c, nil
-}
-
-// PublishStats records the current counters into the registry attached
-// via WithRegistry (no-op without one). Call it once at end of run:
-// obs counters are cumulative, so repeated calls would double-count.
-func (c *Cache) PublishStats() {
-	if c.reg == nil {
-		return
-	}
-	c.stats.Publish(c.reg, c.regLabels.With(obs.Labels{"cache": c.cfg.Name}))
 }
 
 // Config reports the cache's configuration.

@@ -17,7 +17,8 @@ func mustNew(cfg Config) *Cache {
 
 func small() *Cache {
 	// 4 sets x 2 ways x 16-byte lines = 128 bytes.
-	return mustNew(Config{Name: "t", SizeBytes: 128, LineBytes: 16, Assoc: 2})
+	return mustNew(Config{Name: "t", SizeBytes: 128, LineBytes: 16, Assoc: 2,
+		HitLatency: 1, Ports: 1})
 }
 
 func TestColdMissThenHit(t *testing.T) {
@@ -93,11 +94,14 @@ func TestFlush(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	bad := []Config{
-		{Name: "b1", SizeBytes: 0, LineBytes: 16, Assoc: 1},
-		{Name: "b2", SizeBytes: 128, LineBytes: 24, Assoc: 1}, // line not pow2
-		{Name: "b3", SizeBytes: 96, LineBytes: 16, Assoc: 2},  // 3 sets
-		{Name: "b4", SizeBytes: 128, LineBytes: 16, Assoc: 3}, // 8/3 sets
-		{Name: "b5", SizeBytes: 128, LineBytes: 16, Assoc: 0},
+		{Name: "b1", SizeBytes: 0, LineBytes: 16, Assoc: 1, HitLatency: 1, Ports: 1},
+		{Name: "b2", SizeBytes: 128, LineBytes: 24, Assoc: 1, HitLatency: 1, Ports: 1}, // line not pow2
+		{Name: "b3", SizeBytes: 96, LineBytes: 16, Assoc: 2, HitLatency: 1, Ports: 1},  // 3 sets
+		{Name: "b4", SizeBytes: 128, LineBytes: 16, Assoc: 3, HitLatency: 1, Ports: 1}, // 8/3 sets
+		{Name: "b5", SizeBytes: 128, LineBytes: 16, Assoc: 0, HitLatency: 1, Ports: 1},
+		{Name: "b6", SizeBytes: 128, LineBytes: 16, Assoc: 2, HitLatency: 1, Ports: 0},  // portless
+		{Name: "b7", SizeBytes: 128, LineBytes: 16, Assoc: 2, HitLatency: 0, Ports: 1},  // free hits
+		{Name: "b8", SizeBytes: 128, LineBytes: 16, Assoc: 2, HitLatency: 1, Ports: -1}, // negative ports
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -159,7 +163,8 @@ func TestStatsConservationProperty(t *testing.T) {
 // with the same set index but different tags at once.
 func TestDirectMappedExclusionProperty(t *testing.T) {
 	f := func(a, b uint32) bool {
-		c := mustNew(Config{Name: "dm", SizeBytes: 64, LineBytes: 16, Assoc: 1})
+		c := mustNew(Config{Name: "dm", SizeBytes: 64, LineBytes: 16, Assoc: 1,
+			HitLatency: 1, Ports: 1})
 		c.Access(a, false)
 		c.Access(b, false)
 		sameSet := (a>>4)&3 == (b>>4)&3

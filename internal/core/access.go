@@ -1,0 +1,30 @@
+package core
+
+// AccessInfo describes one dynamic memory access to a cache-steering
+// predicate: enough of the trace instruction to steer by region (the
+// paper's stack/heap split), by access pattern (Bicameral-style
+// regular/irregular separation), or by instruction identity (PC hash).
+// It deliberately carries values, not pointers into the trace, so a
+// predicate can never mutate the shared immutable trace.
+type AccessInfo struct {
+	// Addr is the effective address of the access.
+	Addr uint32
+	// Index is the static instruction index — the trace's PC surrogate
+	// (traces do not retain raw PCs; the static index identifies the
+	// instruction just as uniquely).
+	Index int32
+	// IsLoad distinguishes loads from stores.
+	IsLoad bool
+	// IsFP marks floating-point memory values (typically strided array
+	// traffic in the paper's workloads).
+	IsFP bool
+	// Stack is the actual access region, known at address translation —
+	// the signal the paper's LVC steering uses at cache-access time.
+	Stack bool
+	// PredStack is the dispatch-time ARPT steering prediction.
+	PredStack bool
+	// EarlyAddr marks addresses manifest in the addressing mode
+	// ($sp/$fp/$gp/constant bases): statically predictable, hence
+	// "regular" in the access-pattern sense.
+	EarlyAddr bool
+}

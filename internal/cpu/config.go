@@ -1,6 +1,11 @@
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+)
 
 // Latencies follow the MIPS R10000 as Table 4 specifies.
 const (
@@ -17,17 +22,39 @@ const (
 // Config is one machine configuration. The paper's (N+M) notation maps
 // to L1Ports=N / LVCPorts=M; M=0 is a conventional single-pipeline
 // memory system.
+//
+// The first-level cache is described either by the general Partitions
+// + SteerPolicy surface, or — for compatibility, deprecated as of this
+// PR — by the legacy L1Ports/L1Latency/LVCPorts/LVCLatency fields,
+// which resolve to the equivalent region-steered two-partition (or
+// unified one-partition) hierarchy. New code should construct configs
+// through Conventional, Decoupled or Custom rather than filling the
+// legacy fields directly.
 type Config struct {
 	Name string
 
-	IssueWidth        int // also decode and commit width (Table 4)
-	ROBSize           int
-	LSQSize           int
-	LVAQSize          int // 0 disables the LVAQ (conventional design)
-	L1Ports           int
-	L1Latency         int
-	LVCPorts          int
-	LVCLatency        int
+	IssueWidth int // also decode and commit width (Table 4)
+	ROBSize    int
+	LSQSize    int
+	LVAQSize   int // 0 disables the LVAQ (conventional design)
+
+	// Partitions, when non-empty, lists the first-level cache
+	// partitions explicitly (per-partition size/assoc/line/ports/
+	// latency); SteerPolicy names the cache.NewSteer predicate that
+	// routes accesses between them ("" defaults to region when there
+	// are two or more partitions, none otherwise). When Partitions is
+	// empty, the legacy L1/LVC fields below derive the hierarchy.
+	Partitions  []cache.PartitionConfig
+	SteerPolicy string
+
+	// Deprecated: L1Ports, L1Latency, LVCPorts and LVCLatency survive
+	// for one PR as a compatibility surface; ResolvePartitions maps
+	// them onto Partitions. They are ignored when Partitions is set.
+	L1Ports    int
+	L1Latency  int
+	LVCPorts   int
+	LVCLatency int
+
 	IntALU            int
 	FPALU             int
 	IntMulDiv         int
@@ -36,20 +63,88 @@ type Config struct {
 	FastForward       bool // LVAQ offset-based store-to-load fast forwarding
 }
 
+// String returns the canonical configuration name — "(3+3)",
+// "(2+0,3cyc)", "(3+3,lvc8K,pen4)". The name is the identity used by
+// store keys and the arld grid shorthand; ParseConfigName in
+// internal/service inverts it.
+func (c Config) String() string { return c.Name }
+
+// configKey is Config without the Stringer, so %+v renders every
+// field rather than collapsing to the name.
+type configKey Config
+
+// Key returns a full-field rendering of the configuration for memo
+// and store keys: unlike Name it distinguishes configs that differ in
+// any field, and unlike %+v on Config it does not collapse to String.
+func (c Config) Key() string { return fmt.Sprintf("%+v", configKey(c)) }
+
 // Decoupled reports whether the configuration runs two memory
 // pipelines.
 func (c Config) Decoupled() bool { return c.LVAQSize > 0 }
+
+// partitions derives the first-level partition list and steering
+// policy without validating them.
+func (c Config) partitions() ([]cache.PartitionConfig, string) {
+	policy := c.SteerPolicy
+	if len(c.Partitions) > 0 {
+		parts := append([]cache.PartitionConfig(nil), c.Partitions...)
+		if policy == "" {
+			if len(parts) > 1 {
+				policy = cache.SteerRegion
+			} else {
+				policy = cache.SteerNone
+			}
+		}
+		return parts, policy
+	}
+	if c.Decoupled() {
+		lvc := cache.LVCConfig(c.LVCPorts)
+		lvc.HitLatency = c.LVCLatency
+		if policy == "" {
+			policy = cache.SteerRegion
+		}
+		return []cache.PartitionConfig{cache.L1Config(c.L1Ports, c.L1Latency), lvc}, policy
+	}
+	if policy == "" {
+		policy = cache.SteerNone
+	}
+	return []cache.PartitionConfig{cache.L1Config(c.L1Ports, c.L1Latency)}, policy
+}
+
+// ResolvePartitions resolves the configuration's first-level cache to
+// an explicit, validated partition list plus steering policy: the
+// Partitions/SteerPolicy surface when set, otherwise the legacy
+// L1Ports/LVCPorts derivation (region-steered L1+LVC when decoupled, a
+// unified L1 otherwise).
+func (c Config) ResolvePartitions() ([]cache.PartitionConfig, string, error) {
+	parts, policy := c.partitions()
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, "", fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+	if _, err := cache.NewSteer(policy, len(parts)); err != nil {
+		return nil, "", err
+	}
+	return parts, policy, nil
+}
+
+// Partitioned returns the configuration with its first level spelled
+// out on the Partitions/SteerPolicy surface (same Name, same machine):
+// the migration target for code still filling the legacy fields, and
+// the subject of the golden byte-identity tests.
+func (c Config) Partitioned() Config {
+	c.Partitions, c.SteerPolicy = c.partitions()
+	return c
+}
 
 // Validate checks structural sanity.
 func (c Config) Validate() error {
 	if c.IssueWidth <= 0 || c.ROBSize <= 0 || c.LSQSize <= 0 {
 		return fmt.Errorf("cpu config %q: non-positive core sizes", c.Name)
 	}
-	if c.L1Ports <= 0 || c.L1Latency <= 0 {
-		return fmt.Errorf("cpu config %q: bad L1 parameters", c.Name)
-	}
-	if c.Decoupled() && (c.LVCPorts <= 0 || c.LVCLatency <= 0) {
-		return fmt.Errorf("cpu config %q: decoupled but bad LVC parameters", c.Name)
+	if _, _, err := c.ResolvePartitions(); err != nil {
+		return fmt.Errorf("cpu config %q: %w", c.Name, err)
 	}
 	if c.IntALU <= 0 || c.FPALU <= 0 || c.IntMulDiv <= 0 || c.FPMulDiv <= 0 {
 		return fmt.Errorf("cpu config %q: non-positive FU counts", c.Name)
@@ -94,6 +189,110 @@ func Decoupled(l1Ports, lvcPorts int) Config {
 	c.LVCPorts = lvcPorts
 	c.FastForward = true
 	return c
+}
+
+// WithPenalty returns the configuration with the given ARPT steering
+// mispredict penalty, renaming it canonically: the ",penP" token is
+// appended (always last) when P differs from the Table 4 default of 1,
+// and stripped when P == 1, so "(3+3)".WithPenalty(4) is
+// "(3+3,pen4)" and back.
+func (c Config) WithPenalty(pen int) Config {
+	name := strings.TrimSuffix(c.Name, ")")
+	if i := strings.LastIndex(name, ",pen"); i >= 0 {
+		name = name[:i]
+	}
+	if pen != 1 {
+		name += fmt.Sprintf(",pen%d", pen)
+	}
+	c.Name = name + ")"
+	c.MispredictPenalty = pen
+	return c
+}
+
+// CustomParams parameterizes Custom. Zero values mean the Table 4
+// defaults: L1Latency 2, LVCSizeKB 4, Steer region (decoupled) or none
+// (conventional), Penalty 1. LVCPorts 0 selects the conventional
+// single-pipeline machine.
+type CustomParams struct {
+	L1Ports   int
+	L1Latency int    // 0 means 2 cycles
+	LVCPorts  int    // 0 means conventional (no LVC)
+	LVCSizeKB int    // 0 means 4 KB
+	Steer     string // "" means region when decoupled, none when conventional
+	Penalty   int    // 0 means 1 cycle
+
+	// ARPTEntries is carried by the explorer's grid, not by Config:
+	// the steering predictor is a front-end table sized at trace time.
+	// It lives here so one params struct names a full design point.
+	ARPTEntries int
+}
+
+// Custom builds a configuration for an arbitrary design point and
+// names it canonically: "(N+M[,Lcyc][,lvcSK][,<policy>][,penP])" with
+// segments emitted only when they differ from the Table 4 defaults.
+// Non-canonical combinations — an LVC dimension or a splitting policy
+// on a conventional machine — are rejected rather than silently
+// collapsed, so every name denotes exactly one machine.
+func Custom(p CustomParams) (Config, error) {
+	lat := p.L1Latency
+	if lat == 0 {
+		lat = 2
+	}
+	kb := p.LVCSizeKB
+	if kb == 0 {
+		kb = 4
+	}
+	pen := p.Penalty
+	if pen == 0 {
+		pen = 1
+	}
+	if p.L1Ports <= 0 {
+		return Config{}, fmt.Errorf("cpu: custom config with %d L1 ports", p.L1Ports)
+	}
+	if p.LVCPorts < 0 {
+		return Config{}, fmt.Errorf("cpu: custom config with %d LVC ports", p.LVCPorts)
+	}
+
+	if p.LVCPorts == 0 {
+		if p.Steer != "" && p.Steer != cache.SteerNone {
+			return Config{}, fmt.Errorf("cpu: %s steering needs an LVC partition", p.Steer)
+		}
+		if p.LVCSizeKB != 0 && p.LVCSizeKB != 4 {
+			return Config{}, fmt.Errorf("cpu: LVC size on a conventional (%d+0) config", p.L1Ports)
+		}
+		if pen != 1 {
+			return Config{}, fmt.Errorf("cpu: steering penalty on a conventional (%d+0) config", p.L1Ports)
+		}
+		return Conventional(p.L1Ports, lat), nil
+	}
+
+	switch p.Steer {
+	case "", cache.SteerRegion, cache.SteerPattern, cache.SteerPCHash, cache.SteerNone:
+	default:
+		return Config{}, fmt.Errorf("cpu: unknown steering policy %q", p.Steer)
+	}
+	c := Decoupled(p.L1Ports, p.LVCPorts)
+	c.L1Latency = lat
+	name := fmt.Sprintf("(%d+%d", p.L1Ports, p.LVCPorts)
+	if lat != 2 {
+		name += fmt.Sprintf(",%dcyc", lat)
+	}
+	if kb != 4 {
+		name += fmt.Sprintf(",lvc%dK", kb)
+		lvc := cache.LVCConfig(p.LVCPorts)
+		lvc.SizeBytes = kb << 10
+		c.Partitions = []cache.PartitionConfig{cache.L1Config(p.L1Ports, lat), lvc}
+	}
+	if p.Steer != "" && p.Steer != cache.SteerRegion {
+		name += "," + p.Steer
+		c.SteerPolicy = p.Steer
+	}
+	c.Name = name + ")"
+	c = c.WithPenalty(pen)
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
 }
 
 // Figure8Configs returns the configurations of the paper's Figure 8 in

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/obs"
 )
@@ -110,9 +111,15 @@ func (r *Result) Publish(reg *obs.Registry, labels obs.Labels) {
 	reg.Counter("sim_vp_used_total", "results supplied by the value predictor", l).Add(r.VPUsed)
 	reg.Counter("sim_stall_rob_cycles_total", "dispatch cycles lost to a full ROB", l).Add(r.StallROB)
 	reg.Counter("sim_stall_queue_cycles_total", "dispatch cycles lost to a full LSQ/LVAQ", l).Add(r.StallQueue)
-	r.L1Stats.Publish(reg, l.With(obs.Labels{"cache": "L1D"}))
-	r.L2Stats.Publish(reg, l.With(obs.Labels{"cache": "L2"}))
-	if r.Config.Decoupled() {
-		r.LVCStats.Publish(reg, l.With(obs.Labels{"cache": "LVC"}))
+	// One publish path for every cache: each first-level partition under
+	// labels{cache, partition}, the shared L2 under partition "shared".
+	parts, _ := r.Config.partitions()
+	for i, st := range r.PartStats {
+		name := "L1D"
+		if i < len(parts) {
+			name = parts[i].Name
+		}
+		st.Publish(reg, l.With(obs.Labels{"cache": name, "partition": strconv.Itoa(i)}))
 	}
+	r.L2Stats.Publish(reg, l.With(obs.Labels{"cache": "L2", "partition": "shared"}))
 }

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/asm"
@@ -233,7 +234,7 @@ func TestNopTracerStripped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *res != *plain {
+	if !reflect.DeepEqual(res, plain) {
 		t.Errorf("Nop-traced result differs from plain result:\n%+v\n%+v", res, plain)
 	}
 }

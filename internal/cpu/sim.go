@@ -55,9 +55,14 @@ type Result struct {
 	Cycles uint64
 	Insts  uint64
 
-	L1Stats  cache.Stats
-	LVCStats cache.Stats
-	L2Stats  cache.Stats
+	// PartStats holds per-partition first-level statistics in partition
+	// order. L1Stats and LVCStats mirror partitions 0 and 1 for the
+	// paper's two-partition reports (LVCStats stays zero with a single
+	// partition).
+	PartStats []cache.Stats
+	L1Stats   cache.Stats
+	LVCStats  cache.Stats
+	L2Stats   cache.Stats
 
 	ARPTMispredicts uint64
 	Recoveries      uint64 // completed detect→cancel→replay sequences
@@ -181,9 +186,12 @@ type simulator struct {
 	memPending []int64
 	pendDirty  bool
 
-	l1  *cache.Cache
-	lvc *cache.Cache
-	l2  *cache.Cache
+	// First-level partitions plus shared L2, with the per-partition
+	// timing parameters the hierarchy leaves to the pipeline model.
+	hier   *cache.Hierarchy
+	ports  []int // static per-partition port counts
+	plats  []int // per-partition hit latencies
+	budget []int // ports left this cycle, refilled by memScan
 
 	ctx      context.Context
 	faults   MemFaulter
@@ -235,30 +243,35 @@ func (sm *Sim) run(tr *Trace) (*Result, error) {
 	if len(tr.Insts) == 0 {
 		return nil, fmt.Errorf("cpu: empty trace %q", tr.Name)
 	}
-	l1, err := cache.New(cache.L1Config(cfg.L1Ports, cfg.L1Latency))
+	parts, policy, err := cfg.ResolvePartitions()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cpu config %q: %w", cfg.Name, err)
 	}
-	l2, err := cache.New(cache.L2Config())
+	steer, err := cache.NewSteer(policy, len(parts))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cpu config %q: %w", cfg.Name, err)
+	}
+	hier, err := cache.NewHierarchy(cache.HierarchyConfig{Partitions: parts, Steer: steer})
+	if err != nil {
+		return nil, fmt.Errorf("cpu config %q: %w", cfg.Name, err)
 	}
 	s := &simulator{
 		cfg:      cfg,
 		tr:       tr,
 		res:      &Result{Config: cfg, Name: tr.Name},
 		rob:      make([]robEntry, cfg.ROBSize),
-		l1:       l1,
-		l2:       l2,
+		hier:     hier,
+		ports:    make([]int, len(parts)),
+		plats:    make([]int, len(parts)),
+		budget:   make([]int, len(parts)),
 		ctx:      sm.ctx,
 		faults:   sm.faults,
 		recovery: sm.recovery,
 		trc:      sm.tracer,
 	}
-	if cfg.Decoupled() {
-		if s.lvc, err = cache.New(cache.LVCConfig(cfg.LVCPorts)); err != nil {
-			return nil, err
-		}
+	for i, p := range parts {
+		s.ports[i] = p.Ports
+		s.plats[i] = p.HitLatency
 	}
 	if sm.reg != nil {
 		l := sm.labels.With(obs.Labels{"workload": tr.Name, "config": cfg.Name})
@@ -308,11 +321,15 @@ func (sm *Sim) run(tr *Trace) (*Result, error) {
 	}
 	s.res.Cycles = uint64(s.now)
 	s.res.Insts = uint64(total)
-	s.res.L1Stats = s.l1.Stats()
-	s.res.L2Stats = s.l2.Stats()
-	if s.lvc != nil {
-		s.res.LVCStats = s.lvc.Stats()
+	s.res.PartStats = make([]cache.Stats, s.hier.NumPartitions())
+	for i := range s.res.PartStats {
+		s.res.PartStats[i] = s.hier.Partition(i).Stats()
 	}
+	s.res.L1Stats = s.res.PartStats[0]
+	if len(s.res.PartStats) > 1 {
+		s.res.LVCStats = s.res.PartStats[1]
+	}
+	s.res.L2Stats = s.hier.L2().Stats()
 	return s.res, nil
 }
 
@@ -522,8 +539,7 @@ func (s *simulator) memScan() {
 		sort.Slice(s.memPending, func(i, j int) bool { return s.memPending[i] < s.memPending[j] })
 		s.pendDirty = false
 	}
-	l1Ports := s.cfg.L1Ports
-	lvcPorts := s.cfg.LVCPorts
+	copy(s.budget, s.ports)
 
 	keep := s.memPending[:0]
 	for _, seq := range s.memPending {
@@ -537,7 +553,7 @@ func (s *simulator) memScan() {
 			keep = append(keep, seq) // store data not produced yet
 			continue
 		}
-		toLVC := s.cfg.Decoupled() && ti.Stack()
+		pi := s.hier.Steer(ti.AccessInfo())
 
 		if ti.IsLoad() {
 			switch s.resolveLoad(seq, e, ti) {
@@ -553,10 +569,10 @@ func (s *simulator) memScan() {
 			}
 		}
 		pool := int64(obs.PoolL1)
-		if toLVC {
+		if pi != 0 {
 			pool = obs.PoolLVC
 		}
-		if toLVC && lvcPorts == 0 || !toLVC && l1Ports == 0 {
+		if s.budget[pi] == 0 {
 			if s.trc != nil {
 				s.emit(seq, obs.EvPortStall, pool)
 			}
@@ -565,7 +581,7 @@ func (s *simulator) memScan() {
 		}
 		grant := s.nGrant
 		s.nGrant++
-		if s.faults != nil && s.faults.PortDenied(grant, toLVC) {
+		if s.faults != nil && s.faults.PortDenied(grant, pi != 0) {
 			// Injected port fault: the grant is withdrawn this cycle and
 			// the access retries later under a fresh grant ordinal.
 			if s.trc != nil {
@@ -574,14 +590,10 @@ func (s *simulator) memScan() {
 			keep = append(keep, seq)
 			continue
 		}
-		if toLVC {
-			lvcPorts--
-		} else {
-			l1Ports--
-		}
-		lat, level := s.accessLatency(ti.Addr, !ti.IsLoad(), toLVC)
+		s.budget[pi]--
+		lat, level := s.accessLatency(ti.Addr, !ti.IsLoad(), pi)
 		if s.trc != nil {
-			s.emit(seq, obs.EvCacheAccess, obs.CacheArg(toLVC, !ti.IsLoad(), level))
+			s.emit(seq, obs.EvCacheAccess, obs.CacheArg(pi != 0, !ti.IsLoad(), level))
 		}
 		if ti.IsLoad() {
 			if s.faults != nil {
@@ -645,22 +657,15 @@ func (s *simulator) resolveLoad(seq int64, e *robEntry, ti *TraceInst) int {
 	return loadProceed
 }
 
-// accessLatency charges the hierarchy: L1 or LVC first, then the shared
-// L2, then memory. It also reports the level that satisfied the access
-// (obs.LevelFirst / LevelL2 / LevelMem).
-func (s *simulator) accessLatency(addr uint32, write, toLVC bool) (lat, level int) {
-	first := s.l1
-	lat = s.cfg.L1Latency
-	if toLVC {
-		first = s.lvc
-		lat = s.cfg.LVCLatency
-	}
-	hit, _ := first.Access(addr, write)
-	if hit {
+// accessLatency charges the hierarchy: the steered partition first,
+// then the shared L2, then memory. It also reports the level that
+// satisfied the access (obs.LevelFirst / LevelL2 / LevelMem).
+func (s *simulator) accessLatency(addr uint32, write bool, pi int) (lat, level int) {
+	lat = s.plats[pi]
+	switch s.hier.Access(pi, addr, write) {
+	case cache.LevelFirst:
 		return lat, obs.LevelFirst
-	}
-	l2hit, _ := s.l2.Access(addr, write)
-	if l2hit {
+	case cache.LevelL2:
 		return lat + LatL2, obs.LevelL2
 	}
 	return lat + LatL2 + LatMem, obs.LevelMem

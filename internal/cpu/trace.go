@@ -72,6 +72,21 @@ func (t *TraceInst) Mispredicted() bool {
 	return t.IsMem() && t.Stack() != t.PredStack()
 }
 
+// AccessInfo projects the instruction onto the cache-steering view:
+// the value a cache.Steer predicate sees when the simulator grants
+// this access a port.
+func (t *TraceInst) AccessInfo() core.AccessInfo {
+	return core.AccessInfo{
+		Addr:      t.Addr,
+		Index:     t.Index,
+		IsLoad:    t.IsLoad(),
+		IsFP:      t.Flags&FlagFPMem != 0,
+		Stack:     t.Stack(),
+		PredStack: t.PredStack(),
+		EarlyAddr: t.Flags&FlagEarlyAddr != 0,
+	}
+}
+
 // Trace is a program's dynamic instruction stream with steering
 // predictions and value-prediction outcomes precomputed. Predictor
 // state evolves in fetch order, which the trace preserves, so one trace

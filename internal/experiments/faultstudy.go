@@ -125,7 +125,7 @@ func (r *Runner) RecoveryStorm(seed uint64, rates []float64, penalties []int) ([
 // local arlfault run, a resumed one, and an arld service worker all
 // address the same artifact.
 func FaultCampaignConfig(seed uint64, runs, faults int, cfg cpu.Config) string {
-	return fmt.Sprintf("seed=%d runs=%d faults=%d %+v", seed, runs, faults, cfg)
+	return fmt.Sprintf("seed=%d runs=%d faults=%d %s", seed, runs, faults, cfg.Key())
 }
 
 // FaultCampaign runs (and memoizes) one workload's seeded differential

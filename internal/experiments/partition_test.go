@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// TestFigure8GoldenPartitioned gates the partitioned-cache redesign's
+// central claim: the Figure-8 report is byte-identical to the golden
+// capture from the dedicated L1/LVC engine, whether the machines are
+// built through the deprecated L1Ports/LVCPorts fields or through the
+// explicit Partitions surface they now derive into.
+func TestFigure8GoldenPartitioned(t *testing.T) {
+	golden, err := os.ReadFile("testdata/figure8_li_20k.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(label string, configs []cpu.Config) {
+		r := quickRunner(t, "li")
+		r.MaxInsts = 20000
+		rows, err := r.FigureWithConfigs(configs)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if got := RenderFigure8(rows, configs); got != string(golden) {
+			t.Errorf("%s configs diverge from the golden Figure-8 report:\n got:\n%s\nwant:\n%s",
+				label, got, golden)
+		}
+	}
+	run("legacy", cpu.Figure8Configs())
+
+	explicit := cpu.Figure8Configs()
+	for i := range explicit {
+		explicit[i] = explicit[i].Partitioned()
+	}
+	run("partitioned", explicit)
+}

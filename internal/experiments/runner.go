@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -340,7 +341,11 @@ func (r *Runner) stage(wl, stage string, fn func(ctx context.Context) error) err
 // records written by an incompatible pipeline never alias current
 // ones. Bump whenever compilation, profiling, tracing or simulation
 // semantics change.
-const storeVersion = "arl/v1"
+//
+// v2: configs key on cpu.Config.Key() (full-field, Stringer-proof),
+// results carry per-partition statistics, and cache metrics gained the
+// partition label — v1 records would replay the old label set.
+const storeVersion = "arl/v2"
 
 // storeKey builds the canonical store key for one artifact of this
 // runner's campaign (its scale and instruction budget are part of the
@@ -500,8 +505,40 @@ func (r *Runner) Profile(w *workload.Workload) (*profile.Profile, error) {
 // memoized trace safely backs any number of concurrent simulations
 // across machine configurations.
 func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
-	return r.traces.get(w.Name, func() (*cpu.Trace, error) {
-		key := r.storeKey("trace", w.Name, "")
+	return r.trace(w, w.Name, "", nil)
+}
+
+// TraceARPT builds (and memoizes) a workload's timing trace with the
+// steering predictor's ARPT sized to entries (0 means the 32K-entry
+// pipeline default, sharing the default trace's memo and store
+// records). Distinct ARPT sizes steer differently, so each size is its
+// own trace identity.
+func (r *Runner) TraceARPT(w *workload.Workload, entries int) (*cpu.Trace, error) {
+	if entries == 0 {
+		return r.Trace(w)
+	}
+	tag := fmt.Sprintf("arpt=%d", entries)
+	return r.trace(w, w.Name+"|"+tag, tag, func() (*core.Classifier, error) {
+		pcfg := core.DefaultPipelineConfig()
+		pcfg.Entries = entries
+		table, err := core.NewARPT(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewClassifier(
+			core.ClassifierConfig{Scheme: cpu.Scheme1BitHybridPipeline},
+			core.WithTable(table))
+	})
+}
+
+// trace is the shared trace stage behind Trace and TraceARPT: memoKey
+// names the memo entry, storeCfg the store key's config field, and
+// classifier (when non-nil) builds the steering classifier per attempt
+// (classifier state is mutable and must not be shared across retries).
+func (r *Runner) trace(w *workload.Workload, memoKey, storeCfg string,
+	classifier func() (*core.Classifier, error)) (*cpu.Trace, error) {
+	return r.traces.get(memoKey, func() (*cpu.Trace, error) {
+		key := r.storeKey("trace", w.Name, storeCfg)
 		stored := new(cpu.Trace)
 		if r.storeLoad(key, stored) {
 			r.noteTrace(w.Name, uint64(len(stored.Insts)), 0)
@@ -517,6 +554,13 @@ func (r *Runner) Trace(w *workload.Workload) (*cpu.Trace, error) {
 			opts := cpu.TraceOptions{MaxInsts: r.MaxInsts}
 			if r.watched() {
 				opts.Ctx = ctx
+			}
+			if classifier != nil {
+				cls, err := classifier()
+				if err != nil {
+					return err
+				}
+				opts.Classifier = cls
 			}
 			start := time.Now() //arlvet:allow wallclock RunStats measures harness cost; wall time never reaches simulation results
 			var err error
@@ -552,13 +596,32 @@ type storedResult struct {
 
 // SimulateConfig simulates (and memoizes) one workload's default trace
 // under one machine configuration. The memo key covers every Config
-// field, so e.g. the (3+3) machine at different misprediction
-// penalties occupies distinct entries, while the (2+0) baseline that
-// both Figure 8 and the penalty sweep need is simulated exactly once.
+// field (cpu.Config.Key, not the display name), so e.g. the (3+3)
+// machine at different misprediction penalties occupies distinct
+// entries, while the (2+0) baseline that both Figure 8 and the penalty
+// sweep need is simulated exactly once.
 func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Result, error) {
-	key := fmt.Sprintf("%s|%+v", w.Name, cfg)
+	return r.simulate(w, cfg, 0)
+}
+
+// SimulateConfigARPT simulates one workload under one machine
+// configuration with the steering ARPT sized to entries (0 means the
+// pipeline default, collapsing onto SimulateConfig's records so
+// explorer points dedupe against plain campaigns).
+func (r *Runner) SimulateConfigARPT(w *workload.Workload, entries int, cfg cpu.Config) (*cpu.Result, error) {
+	return r.simulate(w, cfg, entries)
+}
+
+// simulate is the shared simulation stage: the ARPT size prefixes both
+// keys because it changes the trace the config runs over.
+func (r *Runner) simulate(w *workload.Workload, cfg cpu.Config, entries int) (*cpu.Result, error) {
+	cfgKey := cfg.Key()
+	if entries > 0 {
+		cfgKey = fmt.Sprintf("arpt=%d|%s", entries, cfgKey)
+	}
+	key := w.Name + "|" + cfgKey
 	return r.results.get(key, func() (*cpu.Result, error) {
-		skey := r.storeKey("result", w.Name, fmt.Sprintf("%+v", cfg))
+		skey := r.storeKey("result", w.Name, cfgKey)
 		var stored storedResult
 		if r.storeLoad(skey, &stored) && stored.Result != nil {
 			if r.Obs != nil && len(stored.Metrics) > 0 {
@@ -573,7 +636,7 @@ func (r *Runner) SimulateConfig(w *workload.Workload, cfg cpu.Config) (*cpu.Resu
 			}
 			return stored.Result, nil
 		}
-		tr, err := r.Trace(w)
+		tr, err := r.TraceARPT(w, entries)
 		if err != nil {
 			return nil, err
 		}
@@ -634,6 +697,14 @@ func (r *Runner) workers() int {
 		return r.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelDo runs fn(i) for every i in [0, n) on the runner's worker
+// pool — the same pool the experiment drivers use, exported for
+// drivers (like the design-space explorer) that fan out over something
+// other than the workload list.
+func (r *Runner) ParallelDo(n int, fn func(i int) error) error {
+	return r.parallelDo(n, fn)
 }
 
 // parallelDo runs fn(i) for every i in [0, n) on a pool of at most

@@ -133,11 +133,12 @@ type PenaltyRow struct {
 }
 
 // PenaltyConfig is the (3+3) machine at one ARPT misprediction
-// recovery penalty — the E11 sweep's unit configuration.
+// recovery penalty — the E11 sweep's unit configuration. WithPenalty
+// renames canonically ("(3+3,pen4)"), so each penalty point has its
+// own name identity; pen=1 stays plain "(3+3)" and dedupes with
+// Figure 8's.
 func PenaltyConfig(pen int) cpu.Config {
-	cfg := cpu.Decoupled(3, 3)
-	cfg.MispredictPenalty = pen
-	return cfg
+	return cpu.Decoupled(3, 3).WithPenalty(pen)
 }
 
 // PenaltySweep runs E11 over the given penalty values, fanning out

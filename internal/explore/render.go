@@ -1,0 +1,29 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFrontier prints the ranked frontier in the report layout:
+// Pareto-front points first (marked *), then the dominated remainder.
+func RenderFrontier(f *Frontier) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design-space frontier: %d points over %d workloads (seed %d)\n",
+		len(f.Points), len(f.Workloads), f.Seed)
+	if f.Dropped > 0 {
+		fmt.Fprintf(&b, "NOTE: max_points sampling dropped %d of %d enumerated points\n",
+			f.Dropped, f.Dropped+len(f.Points))
+	}
+	fmt.Fprintf(&b, "%-4s %-24s %8s %9s %6s %7s\n",
+		"rank", "config", "IPC", "totalKB", "ports", "pareto")
+	for _, e := range f.Points {
+		mark := ""
+		if e.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-4d %-24s %8.3f %9.1f %6d %7s\n",
+			e.Rank, e.Name, e.IPC, e.TotalKB, e.Ports, mark)
+	}
+	return b.String()
+}

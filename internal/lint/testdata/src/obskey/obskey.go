@@ -41,3 +41,13 @@ func replay(reg *obs.Registry) {
 	//arlvet:allow obskey fixture exercises the allow path
 	reg.Counter(dynamicName, "replayed", nil)
 }
+
+// The per-partition cache publish path (cpu.Result.Publish): every
+// cache metric carries exactly {cache, partition} — the L2 rides the
+// same schema with partition "shared". A registration that drops the
+// partition label is set drift and must not compile past arlvet.
+func partitions(reg *obs.Registry) {
+	reg.Counter("cache_hits_total", "hits", obs.Labels{"cache": "L1D", "partition": "0"})
+	reg.Counter("cache_hits_total", "hits", obs.Labels{"cache": "LVC", "partition": "1"})
+	reg.Counter("cache_hits_total", "hits", obs.Labels{"cache": "L2"}) // want `metric "cache_hits_total" registered with label set \{cache\} here but \{cache,partition\}`
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/faultinject"
 	"repro/internal/workload"
 )
@@ -362,6 +363,69 @@ func (c *Client) PenaltySweep(scale int, maxInsts, seed uint64,
 		}
 	}
 	return experiments.AssemblePenaltySweep(workloads, penalties, bases, results), nil
+}
+
+// Explore runs a design-space frontier sweep remotely: the grid goes
+// to POST /api/v1/explorations (idempotent, retried through transient
+// server trouble like Run), the client re-enumerates the same points
+// from the same seed to decode results in unit order, and the frontier
+// assembles through the same explore.Assemble a local arlexplore run
+// uses — so a -server frontier artifact is byte-identical to a local
+// one over the same store.
+func (c *Client) Explore(scale int, maxInsts, seed uint64,
+	workloads []*workload.Workload, grid explore.Grid) (*explore.Frontier, error) {
+	pts, dropped, err := grid.Enumerate(seed)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.Name
+	}
+	req := ExplorationRequest{
+		Tenant: c.Tenant, Scale: scale, MaxInsts: maxInsts, Seed: seed,
+		Workloads: names, Grid: grid, IdempotencyKey: NewIdempotencyKey(),
+	}
+	var status JobStatus
+	for attempt := 0; ; attempt++ {
+		err = c.do(http.MethodPost, "/api/v1/explorations", req, &status)
+		if err == nil || !transientServerError(err) || attempt >= waitRetryBudget {
+			break
+		}
+		time.Sleep(waitRetryDelay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	status, err = c.Wait(status.ID)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Results(status.ID)
+	if err != nil {
+		return nil, err
+	}
+	if status.State != JobComplete {
+		return nil, fmt.Errorf("job %s ended %s (%d failed, %d canceled): %s",
+			status.ID, status.State, status.Failed, status.Canceled, firstError(resp))
+	}
+	// Server expansion order is points outer, workloads inner (see
+	// ExplorationRequest.Campaign).
+	results := make([][]*cpu.Result, len(pts))
+	for i := range results {
+		results[i] = make([]*cpu.Result, len(names))
+	}
+	for _, u := range resp.Units {
+		if u.Index < 0 || u.Index >= len(pts)*len(names) || len(u.Result) == 0 {
+			continue
+		}
+		var res cpu.Result
+		if err := json.Unmarshal(u.Result, &res); err != nil {
+			return nil, fmt.Errorf("unit %d: decoding result: %v", u.Index, err)
+		}
+		results[u.Index/len(names)][u.Index%len(names)] = &res
+	}
+	return explore.Assemble(grid, seed, scale, maxInsts, names, pts, dropped, results)
 }
 
 // FaultSummaries runs the differential fault campaign remotely over

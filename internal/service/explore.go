@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/workload"
+)
+
+// ExplorationRequest is one design-space frontier submission (POST
+// /api/v1/explorations): a declarative grid plus the campaign shaping
+// of a CampaignRequest. The server expands it to explore units, so
+// frontier sweeps ride the same journaled, deduplicating campaign
+// machinery as everything else.
+type ExplorationRequest struct {
+	Tenant         string       `json:"tenant,omitempty"`
+	Scale          int          `json:"scale,omitempty"`
+	MaxInsts       uint64       `json:"max_insts,omitempty"`
+	IdempotencyKey string       `json:"idempotency_key,omitempty"`
+	Seed           uint64       `json:"seed,omitempty"` // grid sampling + retry jitter
+	Workloads      []string     `json:"workloads,omitempty"`
+	Grid           explore.Grid `json:"grid"`
+}
+
+// Campaign expands the exploration into an ordinary campaign request
+// with explicit units — points outer, workloads inner, the order the
+// client's frontier assembly relies on. Expansion happens before the
+// journal write, so recovery replays concrete units and never needs to
+// re-enumerate the grid.
+func (req ExplorationRequest) Campaign() (CampaignRequest, error) {
+	pts, _, err := req.Grid.Enumerate(req.Seed)
+	if err != nil {
+		return CampaignRequest{}, err
+	}
+	var names []string
+	if len(req.Workloads) == 0 {
+		for _, w := range workload.All() {
+			names = append(names, w.Name)
+		}
+	} else {
+		names = make([]string, len(req.Workloads))
+		for i, n := range req.Workloads {
+			w, ok := workload.ByName(n)
+			if !ok {
+				return CampaignRequest{}, fmt.Errorf("unknown workload %q", n)
+			}
+			names[i] = w.Name // canonical long name, the store-key form
+		}
+	}
+	units := make([]UnitSpec, 0, len(pts)*len(names))
+	for _, p := range pts {
+		cfg := p.Config
+		for _, n := range names {
+			units = append(units, UnitSpec{
+				Kind: KindExplore, Workload: n, Config: &cfg, ARPT: p.ARPTEntries,
+			})
+		}
+	}
+	return CampaignRequest{
+		Tenant:         req.Tenant,
+		Scale:          req.Scale,
+		MaxInsts:       req.MaxInsts,
+		IdempotencyKey: req.IdempotencyKey,
+		Seed:           req.Seed,
+		Units:          units,
+	}, nil
+}

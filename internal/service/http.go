@@ -13,6 +13,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/explorations", s.handleExplore)
 	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
@@ -60,6 +61,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady), errors.Is(err, ErrJournal):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuota):
+		writeError(w, http.StatusTooManyRequests, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+// handleExplore accepts a design-space exploration: the grid expands
+// into explore units server-side and submits as an ordinary campaign,
+// sharing handleSubmit's idempotency and error mapping.
+func (s *Service) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExplorationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	creq, err := req.Campaign()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, err := s.Submit(creq)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrNotReady), errors.Is(err, ErrJournal):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -237,9 +237,13 @@ func expand(req CampaignRequest) ([]UnitSpec, error) {
 		if u.Kind == "" {
 			u.Kind = KindSimulate
 		}
-		if _, ok := workload.ByName(u.Workload); !ok {
+		w, ok := workload.ByName(u.Workload)
+		if !ok {
 			return nil, fmt.Errorf("unit %d: unknown workload %q", i, u.Workload)
 		}
+		// Canonicalize: the unit key embeds the workload name, so "li"
+		// and "130.li" must not mint two keys for one simulation.
+		u.Workload = w.Name
 		switch u.Kind {
 		case KindSimulate:
 			if u.Config == nil {
@@ -251,6 +255,21 @@ func expand(req CampaignRequest) ([]UnitSpec, error) {
 		case KindFaultCampaign:
 			if u.Config == nil || u.Runs <= 0 || u.Faults <= 0 {
 				return nil, fmt.Errorf("unit %d: faultcampaign unit needs config, runs and faults", i)
+			}
+		case KindExplore:
+			if u.Config == nil {
+				return nil, fmt.Errorf("unit %d: explore unit without a config", i)
+			}
+			if err := u.Config.Validate(); err != nil {
+				return nil, fmt.Errorf("unit %d: %v", i, err)
+			}
+			if u.ARPT < 0 {
+				return nil, fmt.Errorf("unit %d: negative ARPT size %d", i, u.ARPT)
+			}
+			if u.ARPT == 0 {
+				// Default ARPT means the plain simulation: normalize the
+				// kind so the unit dedupes against simulate campaigns.
+				u.Kind = KindSimulate
 			}
 		default:
 			return nil, fmt.Errorf("unit %d: unknown kind %q", i, u.Kind)
@@ -265,7 +284,8 @@ func expand(req CampaignRequest) ([]UnitSpec, error) {
 			}
 		}
 		for _, name := range names {
-			if _, ok := workload.ByName(name); !ok {
+			w, ok := workload.ByName(name)
+			if !ok {
 				return nil, fmt.Errorf("unknown workload %q", name)
 			}
 			for _, cn := range req.Configs {
@@ -273,7 +293,7 @@ func expand(req CampaignRequest) ([]UnitSpec, error) {
 				if err != nil {
 					return nil, err
 				}
-				units = append(units, UnitSpec{Kind: KindSimulate, Workload: name, Config: &cfg})
+				units = append(units, UnitSpec{Kind: KindSimulate, Workload: w.Name, Config: &cfg})
 			}
 		}
 	}
@@ -601,6 +621,8 @@ func (s *Service) execute(u *unit) (any, error) {
 		return r.SimulateConfig(w, *u.spec.Config)
 	case KindFaultCampaign:
 		return r.FaultCampaign(w, u.spec.Seed, u.spec.Runs, u.spec.Faults, *u.spec.Config)
+	case KindExplore:
+		return r.SimulateConfigARPT(w, u.spec.ARPT, *u.spec.Config)
 	default:
 		return nil, fmt.Errorf("unknown unit kind %q", u.spec.Kind)
 	}

@@ -41,7 +41,9 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 )
 
@@ -54,6 +56,11 @@ const (
 	// configuration) differential fault-injection campaign — the
 	// arlfault unit.
 	KindFaultCampaign = "faultcampaign"
+	// KindExplore is one design-space point: a timing simulation whose
+	// trace is built with a non-default ARPT size. Points with the
+	// default ARPT normalize to KindSimulate at expansion, so frontier
+	// campaigns dedupe against plain simulation campaigns.
+	KindExplore = "explore"
 )
 
 // UnitSpec identifies one shardable unit of campaign work. Config
@@ -67,6 +74,7 @@ type UnitSpec struct {
 	Seed     uint64      `json:"seed,omitempty"`   // faultcampaign plan seed
 	Runs     int         `json:"runs,omitempty"`   // faultcampaign runs
 	Faults   int         `json:"faults,omitempty"` // planned faults per run
+	ARPT     int         `json:"arpt,omitempty"`   // explore: ARPT entries (0 = default)
 }
 
 // key is the unit's canonical dedupe identity within one server:
@@ -75,10 +83,10 @@ type UnitSpec struct {
 func (u UnitSpec) key(scale int, maxInsts uint64) string {
 	cfg := ""
 	if u.Config != nil {
-		cfg = fmt.Sprintf("%+v", *u.Config)
+		cfg = u.Config.Key()
 	}
-	return fmt.Sprintf("%s|%s|scale=%d|n=%d|seed=%d|runs=%d|faults=%d|%s",
-		u.Kind, u.Workload, scale, maxInsts, u.Seed, u.Runs, u.Faults, cfg)
+	return fmt.Sprintf("%s|%s|scale=%d|n=%d|seed=%d|runs=%d|faults=%d|arpt=%d|%s",
+		u.Kind, u.Workload, scale, maxInsts, u.Seed, u.Runs, u.Faults, u.ARPT, cfg)
 }
 
 // CampaignRequest is one submission: explicit units, a
@@ -162,16 +170,73 @@ type ResultsResponse struct {
 	Units  []UnitStatus `json:"units"`
 }
 
-// ParseConfigName renders an "(N+M)" configuration name into the
-// machine configuration it denotes (M=0 is conventional). Used for the
-// grid shorthand and by arlsim's -config flag.
+// ParseConfigName parses a canonical configuration name —
+// "(N+M[,Lcyc][,lvcSK][,<policy>][,penP])", segments in any order —
+// into the machine configuration it denotes (M=0 is conventional).
+// Every cpu constructor emits names in this grammar, and parsing goes
+// back through cpu.Custom, so ParseConfigName(c.Name) returns a Config
+// identical to c for any canonically constructed c. Used for the grid
+// shorthand, arlexplore point names, and arlsim's -config flag.
 func ParseConfigName(name string) (cpu.Config, error) {
-	var n, m int
-	if _, err := fmt.Sscanf(name, "(%d+%d)", &n, &m); err != nil || n <= 0 || m < 0 {
-		return cpu.Config{}, fmt.Errorf(`bad config %q, want "(N+M)" like "(2+0)" or "(3+3)"`, name)
+	bad := func() (cpu.Config, error) {
+		return cpu.Config{}, fmt.Errorf(
+			`bad config %q, want "(N+M[,Lcyc][,lvcSK][,<policy>][,penP])" like "(2+0)", "(3+3)" or "(3+3,lvc8K,pen4)"`, name)
 	}
-	if m == 0 {
-		return cpu.Conventional(n, 2), nil
+	if len(name) < 2 || name[0] != '(' || name[len(name)-1] != ')' {
+		return bad()
 	}
-	return cpu.Decoupled(n, m), nil
+	tokens := strings.Split(name[1:len(name)-1], ",")
+	var p cpu.CustomParams
+	if _, err := fmt.Sscanf(tokens[0], "%d+%d", &p.L1Ports, &p.LVCPorts); err != nil ||
+		p.L1Ports <= 0 || p.LVCPorts < 0 || tokens[0] != fmt.Sprintf("%d+%d", p.L1Ports, p.LVCPorts) {
+		return bad()
+	}
+	var seen [4]bool // one slot per segment kind: a canonical name never repeats one
+	dup := func(kind int) bool {
+		d := seen[kind]
+		seen[kind] = true
+		return d
+	}
+	for _, tok := range tokens[1:] {
+		var v int
+		switch {
+		case tok == cache.SteerRegion || tok == cache.SteerPattern ||
+			tok == cache.SteerPCHash || tok == cache.SteerNone:
+			if dup(0) {
+				return bad()
+			}
+			p.Steer = tok
+		case scanToken(tok, "%dcyc", &v):
+			if dup(1) {
+				return bad()
+			}
+			p.L1Latency = v
+		case scanToken(tok, "lvc%dK", &v):
+			if dup(2) {
+				return bad()
+			}
+			p.LVCSizeKB = v
+		case scanToken(tok, "pen%d", &v):
+			if dup(3) {
+				return bad()
+			}
+			p.Penalty = v
+		default:
+			return bad()
+		}
+	}
+	c, err := cpu.Custom(p)
+	if err != nil {
+		return cpu.Config{}, fmt.Errorf("bad config %q: %w", name, err)
+	}
+	return c, nil
+}
+
+// scanToken matches tok against a single-integer Sscanf format,
+// rejecting trailing garbage (Sscanf alone accepts "4cycX").
+func scanToken(tok, format string, v *int) bool {
+	if _, err := fmt.Sscanf(tok, format, v); err != nil {
+		return false
+	}
+	return tok == fmt.Sprintf(format, *v)
 }
