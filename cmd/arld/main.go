@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/resilience/chaosnet"
 	"repro/internal/service"
 	"repro/internal/service/journal"
 	"repro/internal/store"
@@ -53,8 +54,15 @@ func main() {
 		"per-tenant in-flight unit bound; over-quota submissions get 429 (0 = the queue bound)")
 	journalDir := flag.String("journal-dir", "",
 		"write-ahead job journal directory (empty = <store-dir>/journal when -store-dir is set)")
+	coordinator := flag.Bool("coordinator", false,
+		"coordinator mode: no in-process workers; every unit is pulled by remote arlworkers through the lease API")
+	leaseTTL := flag.Int("lease-ttl", 0,
+		"remote-worker lease lifetime in lease-clock ticks (0 = fleet default)")
+	leaseTick := flag.Duration("lease-tick", 500*time.Millisecond,
+		"wall-clock period of one lease-clock tick (0 disables the ticker; the clock still advances on lease-API arrivals)")
 	c.RunnerFlags()
 	c.StoreFlags()
+	c.NetFaultsFlag()
 	c.ObsFlags("")
 	flag.Parse()
 	c.Start()
@@ -83,13 +91,15 @@ func main() {
 		logw = os.Stderr
 	}
 	svc := service.New(service.Config{
-		Workers:     c.Parallel,
-		QueueCap:    *queueCap,
-		TenantCap:   *tenantCap,
-		UnitTimeout: c.Timeout,
-		Retries:     c.Retries,
-		Journal:     jrn,
-		Log:         logw,
+		Workers:         c.Parallel,
+		QueueCap:        *queueCap,
+		TenantCap:       *tenantCap,
+		UnitTimeout:     c.Timeout,
+		Retries:         c.Retries,
+		Journal:         jrn,
+		LeaseTTL:        *leaseTTL,
+		CoordinatorOnly: *coordinator,
+		Log:             logw,
 	}, st)
 	c.ObserveRegistry(svc.Registry())
 
@@ -97,10 +107,43 @@ func main() {
 	if err != nil {
 		c.Fatalf("%v", err)
 	}
+	// -net-faults wraps the listener so accepted connections misbehave
+	// per the seeded plan — the server side of the fleet chaos harness.
+	ln = chaosnet.Listen(ln, c.NetInjector())
 	fmt.Fprintf(os.Stderr, "arld: listening on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: svc.Handler()}
+	// Server-wide timeouts: a slowloris client that dribbles its header
+	// or body bytes, or never reads its response, gets its connection
+	// closed instead of pinning a handler forever. The NDJSON /events
+	// stream outlives WriteTimeout by design — its handler re-arms the
+	// write deadline per batch through http.ResponseController, which
+	// overrides the server-wide deadline on that connection.
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The lease clock's wall-clock driver. Determinism lives inside the
+	// service (tests call TickLeases directly); the binary just decides
+	// how fast ticks arrive.
+	if *leaseTick > 0 {
+		go func() {
+			t := time.NewTicker(*leaseTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					svc.TickLeases(1)
+				}
+			}
+		}()
+	}
 
 	// Recover after the listener is up so /healthz answers (and /readyz
 	// reports 503) while a large journal replays.

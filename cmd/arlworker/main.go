@@ -1,0 +1,157 @@
+// Command arlworker is the remote execution half of a distributed
+// arld: it pulls campaign units from a coordinator over the lease API
+// (POST /api/v1/lease), runs them through its own store-backed
+// experiment Runner, heartbeats to keep its leases alive, and
+// publishes each result with the lease's fencing token attached — so
+// a worker that stalls past its lease and comes back (a zombie
+// writer) has its late completion rejected with 409 instead of
+// double-counting the unit.
+//
+//	arld -coordinator -addr :8080 -store-dir /srv/arl &
+//	arlworker -coordinator http://localhost:8080 -store-dir /tmp/w1 -parallel 4
+//
+// Workers are cattle: SIGKILL one mid-unit and the coordinator's
+// lease clock expires the lease and requeues the unit for the next
+// worker, where the content-addressed store memo makes the recompute
+// byte-identical. Pointing -store-dir at a shared directory turns the
+// store into a fleet-wide cache tier; a private directory still
+// dedupes that worker's own re-deliveries.
+//
+// -net-faults wraps the worker's HTTP transport in the seeded
+// chaosnet plan (latency spikes, resets, half-open partitions,
+// response truncation) for fleet chaos drills; the worker's retry
+// and fencing paths must absorb every injected fault without losing
+// or double-counting a unit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/resilience/chaosnet"
+	"repro/internal/service"
+	"repro/internal/service/fleet"
+	"repro/internal/store"
+)
+
+func main() {
+	c := cliutil.New("arlworker")
+	coordinator := flag.String("coordinator", "http://localhost:8080",
+		"coordinator base URL to pull leased units from")
+	id := flag.String("id", "", "worker identity reported in lease requests (default: host-pid)")
+	renew := flag.Duration("renew", fleet.DefaultRenewEvery, "lease heartbeat period")
+	poll := flag.Duration("poll", fleet.DefaultPoll, "idle poll period when the queue is empty")
+	httpTimeout := flag.Duration("http-timeout", 15*time.Second,
+		"per-request timeout for coordinator calls")
+	c.RunnerFlags()
+	c.StoreFlags()
+	c.NetFaultsFlag()
+	c.ObsFlags("")
+	flag.Parse()
+	c.Start()
+	ctx := c.HandleSignals()
+
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	reg := obs.NewRegistry()
+	c.ObserveRegistry(reg)
+
+	var st *store.Store
+	if c.StoreDir != "" {
+		st = c.OpenStore()
+	}
+
+	// Runners are classed by the campaign shaping the coordinator hands
+	// down with each grant — exactly the coordinator's own runnerKey —
+	// so a worker serving two campaigns with different budgets keeps
+	// their in-process memos separate while sharing one store.
+	rn := &runners{c: c, reg: reg, store: st, byKey: make(map[runnerKey]*experiments.Runner)}
+
+	w := &fleet.Worker{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Execute:     rn.execute,
+		HTTP: &http.Client{
+			Timeout:   *httpTimeout,
+			Transport: chaosnet.Transport(nil, c.NetInjector()),
+		},
+		RenewEvery: *renew,
+		Poll:       *poll,
+		Parallel:   c.Parallel,
+	}
+	if !c.Quiet {
+		w.Log = os.Stderr
+	}
+
+	fmt.Fprintf(os.Stderr, "arlworker: %s pulling from %s\n", *id, *coordinator)
+	w.Run(ctx)
+	c.Finish(reg)
+	c.Exit()
+}
+
+type runnerKey struct {
+	scale    int
+	maxInsts uint64
+}
+
+// runners lazily builds one store-backed Runner per (scale, maxInsts)
+// class, shared across the worker's parallel lease loops.
+type runners struct {
+	c     *cliutil.Common
+	reg   *obs.Registry
+	store *store.Store
+	mu    sync.Mutex
+	byKey map[runnerKey]*experiments.Runner
+}
+
+func (rn *runners) get(scale int, maxInsts uint64) *experiments.Runner {
+	k := runnerKey{scale, maxInsts}
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	r := rn.byKey[k]
+	if r == nil {
+		r = experiments.NewRunner()
+		r.Scale = scale
+		r.MaxInsts = maxInsts
+		r.Obs = rn.reg
+		if rn.store != nil {
+			r.Store = rn.store
+			r.Resume = true
+		}
+		if rn.c.Timeout > 0 {
+			r.WorkloadTimeout = rn.c.Timeout
+		}
+		rn.byKey[k] = r
+	}
+	return r
+}
+
+// execute runs one leased unit through the same dispatch the
+// coordinator's in-process workers use, so a unit computes
+// byte-identically wherever it lands.
+func (rn *runners) execute(_ context.Context, g fleet.LeaseGrant) (json.RawMessage, error) {
+	var spec service.UnitSpec
+	if err := json.Unmarshal(g.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("bad unit spec: %w", err)
+	}
+	res, err := service.ExecuteUnit(rn.get(g.Scale, g.MaxInsts), spec)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/resilience/chaosnet"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/store/faultfs"
@@ -71,6 +72,10 @@ type Common struct {
 	Resume      bool
 	Retries     int
 	StoreFaults string
+
+	// NetFaults (NetFaultsFlag) is the deterministic network-fault plan
+	// chaos runs inject under arld's listener or arlworker's transport.
+	NetFaults string
 
 	// Store is the artifact store opened by Runner when -store-dir is
 	// set (nil otherwise); Finish publishes its counters.
@@ -155,6 +160,34 @@ func (c *Common) StoreFlags() {
 		"retry a failed stage up to this many times (deterministic backoff keyed by -seed)")
 	flag.StringVar(&c.StoreFaults, "store-faults", "",
 		"inject deterministic storage faults under the store and journal: seed:count:window (see internal/store/faultfs)")
+}
+
+// NetFaultsFlag registers -net-faults, the network sibling of
+// -store-faults: a seeded chaos plan injected under arld's listener
+// (accepted-connection faults) or arlworker's HTTP transport
+// (round-trip faults).
+func (c *Common) NetFaultsFlag() {
+	flag.StringVar(&c.NetFaults, "net-faults", "",
+		"inject deterministic network faults: seed:count:window (see internal/resilience/chaosnet)")
+}
+
+// NetInjector builds the -net-faults injector, nil when the flag is
+// unset. Fatal on a malformed plan spec.
+func (c *Common) NetInjector() *chaosnet.Injector {
+	if c.NetFaults == "" {
+		return nil
+	}
+	plan, err := chaosnet.ParsePlan(c.NetFaults)
+	if err != nil {
+		c.Fatalf("-net-faults: %v", err)
+	}
+	logf := func(string, ...any) {}
+	if !c.Quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, c.Cmd+": "+format+"\n", args...)
+		}
+	}
+	return chaosnet.New(plan, logf)
 }
 
 // StoreFS returns the filesystem the store and journal run on: the OS

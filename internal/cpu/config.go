@@ -20,16 +20,14 @@ const (
 )
 
 // Config is one machine configuration. The paper's (N+M) notation maps
-// to L1Ports=N / LVCPorts=M; M=0 is a conventional single-pipeline
-// memory system.
+// to an N-ported L1 partition plus an M-ported LVC partition; M=0 is a
+// conventional single-pipeline memory system.
 //
-// The first-level cache is described either by the general Partitions
-// + SteerPolicy surface, or — for compatibility, deprecated as of this
-// PR — by the legacy L1Ports/L1Latency/LVCPorts/LVCLatency fields,
-// which resolve to the equivalent region-steered two-partition (or
-// unified one-partition) hierarchy. New code should construct configs
-// through Conventional, Decoupled or Custom rather than filling the
-// legacy fields directly.
+// The first-level cache is described solely by the Partitions +
+// SteerPolicy surface (the legacy L1Ports/L1Latency/LVCPorts/LVCLatency
+// fields were removed after their one-PR compatibility window). Build
+// configs through Conventional, Decoupled or Custom rather than filling
+// Partitions by hand.
 type Config struct {
 	Name string
 
@@ -38,22 +36,13 @@ type Config struct {
 	LSQSize    int
 	LVAQSize   int // 0 disables the LVAQ (conventional design)
 
-	// Partitions, when non-empty, lists the first-level cache
-	// partitions explicitly (per-partition size/assoc/line/ports/
-	// latency); SteerPolicy names the cache.NewSteer predicate that
-	// routes accesses between them ("" defaults to region when there
-	// are two or more partitions, none otherwise). When Partitions is
-	// empty, the legacy L1/LVC fields below derive the hierarchy.
+	// Partitions lists the first-level cache partitions explicitly
+	// (per-partition size/assoc/line/ports/latency); SteerPolicy names
+	// the cache.NewSteer predicate that routes accesses between them
+	// ("" defaults to region when there are two or more partitions,
+	// none otherwise).
 	Partitions  []cache.PartitionConfig
 	SteerPolicy string
-
-	// Deprecated: L1Ports, L1Latency, LVCPorts and LVCLatency survive
-	// for one PR as a compatibility surface; ResolvePartitions maps
-	// them onto Partitions. They are ignored when Partitions is set.
-	L1Ports    int
-	L1Latency  int
-	LVCPorts   int
-	LVCLatency int
 
 	IntALU            int
 	FPALU             int
@@ -82,42 +71,29 @@ func (c Config) Key() string { return fmt.Sprintf("%+v", configKey(c)) }
 // pipelines.
 func (c Config) Decoupled() bool { return c.LVAQSize > 0 }
 
-// partitions derives the first-level partition list and steering
-// policy without validating them.
+// partitions returns the first-level partition list and steering
+// policy without validating them, defaulting the policy by partition
+// count (region for split hierarchies, none for a unified cache).
 func (c Config) partitions() ([]cache.PartitionConfig, string) {
+	parts := append([]cache.PartitionConfig(nil), c.Partitions...)
 	policy := c.SteerPolicy
-	if len(c.Partitions) > 0 {
-		parts := append([]cache.PartitionConfig(nil), c.Partitions...)
-		if policy == "" {
-			if len(parts) > 1 {
-				policy = cache.SteerRegion
-			} else {
-				policy = cache.SteerNone
-			}
-		}
-		return parts, policy
-	}
-	if c.Decoupled() {
-		lvc := cache.LVCConfig(c.LVCPorts)
-		lvc.HitLatency = c.LVCLatency
-		if policy == "" {
-			policy = cache.SteerRegion
-		}
-		return []cache.PartitionConfig{cache.L1Config(c.L1Ports, c.L1Latency), lvc}, policy
-	}
 	if policy == "" {
-		policy = cache.SteerNone
+		if len(parts) > 1 {
+			policy = cache.SteerRegion
+		} else {
+			policy = cache.SteerNone
+		}
 	}
-	return []cache.PartitionConfig{cache.L1Config(c.L1Ports, c.L1Latency)}, policy
+	return parts, policy
 }
 
 // ResolvePartitions resolves the configuration's first-level cache to
-// an explicit, validated partition list plus steering policy: the
-// Partitions/SteerPolicy surface when set, otherwise the legacy
-// L1Ports/LVCPorts derivation (region-steered L1+LVC when decoupled, a
-// unified L1 otherwise).
+// an explicit, validated partition list plus steering policy.
 func (c Config) ResolvePartitions() ([]cache.PartitionConfig, string, error) {
 	parts, policy := c.partitions()
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("no first-level cache partitions")
+	}
 	for i, p := range parts {
 		if err := p.Validate(); err != nil {
 			return nil, "", fmt.Errorf("partition %d: %w", i, err)
@@ -127,15 +103,6 @@ func (c Config) ResolvePartitions() ([]cache.PartitionConfig, string, error) {
 		return nil, "", err
 	}
 	return parts, policy, nil
-}
-
-// Partitioned returns the configuration with its first level spelled
-// out on the Partitions/SteerPolicy surface (same Name, same machine):
-// the migration target for code still filling the legacy fields, and
-// the subject of the golden byte-identity tests.
-func (c Config) Partitioned() Config {
-	c.Partitions, c.SteerPolicy = c.partitions()
-	return c
 }
 
 // Validate checks structural sanity.
@@ -160,7 +127,6 @@ func baseTable4(name string) Config {
 		ROBSize:    256,
 		IntALU:     16, FPALU: 16, IntMulDiv: 4, FPMulDiv: 4,
 		MispredictPenalty: 1,
-		LVCLatency:        1,
 	}
 }
 
@@ -172,21 +138,19 @@ func Conventional(ports, latency int) Config {
 		c.Name = fmt.Sprintf("(%d+0,%dcyc)", ports, latency)
 	}
 	c.LSQSize = 128
-	c.L1Ports = ports
-	c.L1Latency = latency
+	c.Partitions = []cache.PartitionConfig{cache.L1Config(ports, latency)}
 	return c
 }
 
 // Decoupled builds an (N+M) configuration: LSQ/LVAQ of 96 entries each
-// (§4.3), an N-ported L1 and an M-ported 1-cycle LVC, with fast
-// forwarding enabled in the LVAQ.
+// (§4.3), a region-steered split of an N-ported 2-cycle L1 and an
+// M-ported 1-cycle LVC, with fast forwarding enabled in the LVAQ.
 func Decoupled(l1Ports, lvcPorts int) Config {
 	c := baseTable4(fmt.Sprintf("(%d+%d)", l1Ports, lvcPorts))
 	c.LSQSize = 96
 	c.LVAQSize = 96
-	c.L1Ports = l1Ports
-	c.L1Latency = 2
-	c.LVCPorts = lvcPorts
+	c.Partitions = []cache.PartitionConfig{
+		cache.L1Config(l1Ports, 2), cache.LVCConfig(lvcPorts)}
 	c.FastForward = true
 	return c
 }
@@ -272,16 +236,15 @@ func Custom(p CustomParams) (Config, error) {
 		return Config{}, fmt.Errorf("cpu: unknown steering policy %q", p.Steer)
 	}
 	c := Decoupled(p.L1Ports, p.LVCPorts)
-	c.L1Latency = lat
+	lvc := cache.LVCConfig(p.LVCPorts)
+	lvc.SizeBytes = kb << 10
+	c.Partitions = []cache.PartitionConfig{cache.L1Config(p.L1Ports, lat), lvc}
 	name := fmt.Sprintf("(%d+%d", p.L1Ports, p.LVCPorts)
 	if lat != 2 {
 		name += fmt.Sprintf(",%dcyc", lat)
 	}
 	if kb != 4 {
 		name += fmt.Sprintf(",lvc%dK", kb)
-		lvc := cache.LVCConfig(p.LVCPorts)
-		lvc.SizeBytes = kb << 10
-		c.Partitions = []cache.PartitionConfig{cache.L1Config(p.L1Ports, lat), lvc}
 	}
 	if p.Steer != "" && p.Steer != cache.SteerRegion {
 		name += "," + p.Steer

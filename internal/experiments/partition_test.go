@@ -4,14 +4,15 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 )
 
 // TestFigure8GoldenPartitioned gates the partitioned-cache redesign's
 // central claim: the Figure-8 report is byte-identical to the golden
-// capture from the dedicated L1/LVC engine, whether the machines are
-// built through the deprecated L1Ports/LVCPorts fields or through the
-// explicit Partitions surface they now derive into.
+// capture from the dedicated L1/LVC engine, whether the machines come
+// from the stock constructors or from hand-rolled Partitions lists
+// (with the steering policy left to default per partition count).
 func TestFigure8GoldenPartitioned(t *testing.T) {
 	golden, err := os.ReadFile("testdata/figure8_li_20k.golden")
 	if err != nil {
@@ -29,11 +30,17 @@ func TestFigure8GoldenPartitioned(t *testing.T) {
 				label, got, golden)
 		}
 	}
-	run("legacy", cpu.Figure8Configs())
+	run("constructed", cpu.Figure8Configs())
 
+	// The same machines with the partition lists rebuilt by hand and
+	// SteerPolicy cleared: the region/none defaulting must reproduce
+	// the constructors exactly.
 	explicit := cpu.Figure8Configs()
-	for i := range explicit {
-		explicit[i] = explicit[i].Partitioned()
+	for i, c := range explicit {
+		parts := make([]cache.PartitionConfig, len(c.Partitions))
+		copy(parts, c.Partitions)
+		explicit[i].Partitions = parts
+		explicit[i].SteerPolicy = ""
 	}
-	run("partitioned", explicit)
+	run("explicit", explicit)
 }

@@ -148,6 +148,24 @@ func (c *Client) Results(id string) (ResultsResponse, error) {
 	return resp, err
 }
 
+// Metrics fetches the server's /metrics text — fleet smoke tests grep
+// it for lease-expiry and fenced-reject counters.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http().Get(c.url("/metrics"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(body), nil
+}
+
 // waitRetryBudget bounds how many consecutive failed contacts Wait
 // rides out before giving up — at waitRetryDelay apart, roughly half a
 // minute: enough to cross a server crash, journal replay and restart,

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the worker's wall-clock knobs. The worker side is free
+// to use real time — determinism lives in the coordinator's lease
+// clock and in the simulation itself, not in worker pacing.
+const (
+	DefaultRenewEvery = 2 * time.Second
+	DefaultPoll       = 500 * time.Millisecond
+)
+
+// Execute runs one leased unit and returns the JSON result to publish.
+// The context is canceled when the worker shuts down; execution errors
+// are published as failed completions.
+type Execute func(ctx context.Context, g LeaseGrant) (json.RawMessage, error)
+
+// Worker pulls units from a coordinator under leases and executes them.
+// Zero-value durations select the defaults above.
+type Worker struct {
+	Coordinator string // base URL, e.g. http://host:8080
+	ID          string // worker identity reported in lease requests
+	Execute     Execute
+	HTTP        *http.Client  // nil = http.DefaultClient
+	RenewEvery  time.Duration // heartbeat period
+	Poll        time.Duration // sleep when the queue is empty or the coordinator is away
+	Parallel    int           // concurrent leases (<= 0 means 1)
+	Log         io.Writer     // nil = quiet
+
+	// Counters, readable while running (Stats) — handy for smoke tests
+	// and the shutdown log line.
+	leased    atomic.Uint64
+	completed atomic.Uint64
+	fenced    atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the worker's counters.
+type Stats struct {
+	Leased    uint64
+	Completed uint64
+	Fenced    uint64 // completions rejected by the coordinator's fence
+	Failed    uint64 // units whose Execute returned an error
+}
+
+// Stats returns the current counter values.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Leased:    w.leased.Load(),
+		Completed: w.completed.Load(),
+		Fenced:    w.fenced.Load(),
+		Failed:    w.failed.Load(),
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "arlworker: "+format+"\n", args...)
+	}
+}
+
+// Run pulls and executes units until ctx is canceled. It returns nil
+// on a clean shutdown; coordinator unavailability is retried forever
+// (the fleet outlives coordinator restarts by design).
+func (w *Worker) Run(ctx context.Context) error {
+	n := w.Parallel
+	if n <= 0 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(ctx)
+		}()
+	}
+	wg.Wait()
+	s := w.Stats()
+	w.logf("%s done: %d leased, %d completed, %d failed, %d fenced",
+		w.ID, s.Leased, s.Completed, s.Failed, s.Fenced)
+	return nil
+}
+
+func (w *Worker) loop(ctx context.Context) {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		g, ok, err := w.lease(ctx)
+		if err != nil {
+			w.logf("%s lease: %v", w.ID, err)
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(poll):
+			}
+			continue
+		}
+		w.leased.Add(1)
+		w.runUnit(ctx, g)
+	}
+}
+
+// runUnit executes one granted unit with a heartbeat alongside and
+// publishes the completion. A failing heartbeat does NOT abort the
+// execution: the lease may already be fenced, but the authoritative
+// answer comes from the completion attempt — if we lost the unit, the
+// coordinator rejects it there and we move on. Aborting locally would
+// just waste the work when the heartbeat failure was a transient
+// network fault.
+func (w *Worker) runUnit(ctx context.Context, g LeaseGrant) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		w.heartbeat(hbCtx, g)
+	}()
+
+	result, execErr := w.Execute(ctx, g)
+	stopHB()
+	hb.Wait()
+	if ctx.Err() != nil && execErr != nil {
+		// Shutdown mid-unit: publish nothing; the lease expires and the
+		// coordinator requeues the unit.
+		return
+	}
+
+	req := CompleteRequest{Worker: w.ID, Token: g.Token, State: StateDoneWire, Result: result}
+	if execErr != nil {
+		req.State = StateFailedWire
+		req.Error = execErr.Error()
+		w.failed.Add(1)
+	}
+	w.complete(ctx, g, req)
+}
+
+// Wire spellings of the two terminal unit states a worker can publish
+// (mirrors the service's StateDone/StateFailed).
+const (
+	StateDoneWire   = "done"
+	StateFailedWire = "failed"
+)
+
+func (w *Worker) heartbeat(ctx context.Context, g LeaseGrant) {
+	every := w.RenewEvery
+	if every <= 0 {
+		every = DefaultRenewEvery
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		code, err := w.post(ctx, fmt.Sprintf("/api/v1/lease/%s/renew", g.LeaseID),
+			RenewRequest{Worker: w.ID, Token: g.Token}, nil)
+		switch {
+		case err != nil:
+			w.logf("%s renew %s: %v", w.ID, g.LeaseID, err)
+		case code == http.StatusOK:
+		default:
+			// Lease gone or fenced: stop heartbeating, keep executing —
+			// the completion attempt settles ownership.
+			w.logf("%s renew %s: lost (%d)", w.ID, g.LeaseID, code)
+			return
+		}
+	}
+}
+
+// complete publishes the result, retrying transport errors until ctx
+// dies: an unpublished finished unit costs a whole re-execution
+// elsewhere, so it is worth being stubborn. A 4xx answer is final —
+// 409 means we were fenced (someone else owns the unit now).
+func (w *Worker) complete(ctx context.Context, g LeaseGrant, req CompleteRequest) {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	for {
+		code, err := w.post(ctx, fmt.Sprintf("/api/v1/lease/%s/complete", g.LeaseID), req, nil)
+		switch {
+		case err == nil && code == http.StatusOK:
+			w.completed.Add(1)
+			return
+		case err == nil && code >= 400 && code < 500:
+			w.fenced.Add(1)
+			w.logf("%s complete %s: fenced (%d), unit %s[%d] belongs to someone else",
+				w.ID, g.LeaseID, code, g.Job, g.Unit)
+			return
+		case err != nil:
+			w.logf("%s complete %s: %v (retrying)", w.ID, g.LeaseID, err)
+		default:
+			w.logf("%s complete %s: HTTP %d (retrying)", w.ID, g.LeaseID, code)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(poll):
+		}
+	}
+}
+
+// lease asks the coordinator for one unit. ok is false when no unit is
+// available (empty queue, coordinator draining or unreachable).
+func (w *Worker) lease(ctx context.Context) (LeaseGrant, bool, error) {
+	var g LeaseGrant
+	code, err := w.post(ctx, "/api/v1/lease", LeaseRequest{Worker: w.ID}, &g)
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return g, true, nil
+	case http.StatusNoContent:
+		return LeaseGrant{}, false, nil
+	default:
+		return LeaseGrant{}, false, fmt.Errorf("lease: HTTP %d", code)
+	}
+}
+
+// post sends a JSON body and decodes a JSON reply into out (when out
+// is non-nil and the status is 200). It returns the status code; a
+// non-nil error means the exchange itself failed (transport).
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

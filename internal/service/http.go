@@ -19,6 +19,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /api/v1/campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/lease", s.handleLease)
+	mux.HandleFunc("POST /api/v1/lease/{id}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /api/v1/lease/{id}/complete", s.handleLeaseComplete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Liveness vs readiness: /healthz is "the process is up" — true
 	// from the first accepted connection, through journal replay,

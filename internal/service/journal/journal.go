@@ -85,6 +85,13 @@ const (
 	TypeEvent = "event"
 	// TypeEnd records a job reaching its terminal state.
 	TypeEnd = "end"
+	// TypeLease records a unit being leased to a remote worker under a
+	// fencing token. Leases themselves do not survive a restart (the
+	// unit re-enqueues from its Running state), but the token high-water
+	// mark must: recovery folds the maximum journaled token back into
+	// the lease table so post-restart grants keep fencing pre-crash
+	// zombies.
+	TypeLease = "lease"
 )
 
 // Record is one journaled fact.
@@ -99,11 +106,15 @@ type Record struct {
 
 	// TypeEvent fields.
 	Seq     int             `json:"seq,omitempty"`
-	Unit    int             `json:"unit,omitempty"`
+	Unit    int             `json:"unit,omitempty"`  // also TypeLease's unit index
 	State   string          `json:"state,omitempty"` // also TypeEnd's final job state
 	Deduped bool            `json:"deduped,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
+
+	// TypeLease fields.
+	Token  uint64 `json:"token,omitempty"`
+	Worker string `json:"worker,omitempty"`
 }
 
 // ReplayStats summarizes one replay pass.
@@ -125,6 +136,7 @@ type Journal struct {
 	mu      sync.Mutex
 	active  store.File
 	size    int
+	segCap  int  // rotation threshold; 0 = DefaultSegmentCap
 	seg     int  // active segment number
 	dirty   bool // a failed append may have left a partial line
 	appends int
@@ -165,6 +177,15 @@ func OpenFS(fs store.FS, dir string) (*Journal, error) {
 func (j *Journal) SetSync(sync bool) {
 	j.mu.Lock()
 	j.sync = sync
+	j.mu.Unlock()
+}
+
+// SetSegmentCap overrides the rotation threshold in bytes (<= 0
+// restores DefaultSegmentCap). Tests use it to cross rotation
+// boundaries without writing megabytes.
+func (j *Journal) SetSegmentCap(n int) {
+	j.mu.Lock()
+	j.segCap = n
 	j.mu.Unlock()
 }
 
@@ -238,7 +259,11 @@ func (j *Journal) Append(rec Record) error {
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.size > DefaultSegmentCap {
+	segCap := j.segCap
+	if segCap <= 0 {
+		segCap = DefaultSegmentCap
+	}
+	if j.size > segCap {
 		if err := j.rotateLocked(j.seg + 1); err != nil {
 			return err
 		}

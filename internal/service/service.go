@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/service/fleet"
 	"repro/internal/service/journal"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -53,6 +54,14 @@ type Config struct {
 	// DefaultEventWriteTimeout). A dropped subscriber re-attaches with
 	// ?from=N.
 	EventWriteTimeout time.Duration
+	// LeaseTTL is the remote-worker lease lifetime in lease-clock ticks
+	// (0 = fleet.DefaultTTL). The lease clock advances on lease-API
+	// arrivals and explicit TickLeases calls, never on the wall clock.
+	LeaseTTL int
+	// CoordinatorOnly suppresses the in-process worker pool: every unit
+	// must be pulled by a remote arlworker through the lease API. The
+	// queue, journal, dedupe and event machinery are unchanged.
+	CoordinatorOnly bool
 	// Log receives one line per notable event (nil for silence).
 	Log io.Writer
 }
@@ -134,10 +143,13 @@ type Service struct {
 	draining bool
 	jobs     map[string]*job
 	nextJob  int
+	leased   int // units out on remote leases; they keep their queue-capacity slot
 	runners  map[runnerKey]*experiments.Runner
 	seen     map[string]struct{} // unit keys computed (or claimed) by this process
 	tenant   map[string]int      // queued+running units per tenant
 	idem     map[string]string   // tenant-scoped idempotency key -> job id
+
+	leases *fleet.Table
 
 	jrn   *journal.Journal
 	ready atomic.Bool // false while the journal replays and once draining
@@ -175,6 +187,7 @@ func New(cfg Config, st *store.Store) *Service {
 		idem:    make(map[string]string),
 		jrn:     cfg.Journal,
 		breaker: resilience.NewBreaker(cfg.BreakerThreshold),
+		leases:  fleet.NewTable(cfg.LeaseTTL),
 	}
 	if cfg.BreakerCooldown > 0 {
 		s.breaker.SetCooldown(cfg.BreakerCooldown)
@@ -182,9 +195,11 @@ func New(cfg Config, st *store.Store) *Service {
 	// A journal-less service has nothing to replay; a journaled one
 	// stays not-ready until Recover walks the log.
 	s.ready.Store(cfg.Journal == nil)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if !cfg.CoordinatorOnly {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return s
 }
@@ -352,12 +367,14 @@ func (s *Service) Submit(req CampaignRequest) (JobStatus, error) {
 	}
 	// len(queue) only shrinks concurrently (workers dequeue; enqueues
 	// all happen under mu), so this check is conservative and the
-	// sends below cannot block.
-	if len(s.queue)+len(specs) > s.cfg.QueueCap {
+	// sends below cannot block. Leased units keep their queue slot
+	// reserved — an expired lease must always be able to requeue its
+	// unit without blocking.
+	if len(s.queue)+s.leased+len(specs) > s.cfg.QueueCap {
 		s.mu.Unlock()
 		s.reject(tenant, "queue")
-		return JobStatus{}, fmt.Errorf("%w: %d queued, %d requested, cap %d",
-			ErrQueueFull, len(s.queue), len(specs), s.cfg.QueueCap)
+		return JobStatus{}, fmt.Errorf("%w: %d queued, %d leased, %d requested, cap %d",
+			ErrQueueFull, len(s.queue), s.leased, len(specs), s.cfg.QueueCap)
 	}
 	id := fmt.Sprintf("c%04d", s.nextJob+1)
 	if s.jrn != nil {
@@ -611,20 +628,28 @@ func (s *Service) run(u *unit) {
 // execute dispatches one unit to the shared runner for its campaign
 // class.
 func (s *Service) execute(u *unit) (any, error) {
-	r := s.runner(u.job.req.Scale, u.job.req.MaxInsts)
-	w, ok := workload.ByName(u.spec.Workload)
+	return ExecuteUnit(s.runner(u.job.req.Scale, u.job.req.MaxInsts), u.spec)
+}
+
+// ExecuteUnit dispatches one unit spec through r — the single
+// execution switch behind both arld's in-process workers and
+// arlworker's remote ones, so a unit computes identically wherever it
+// lands (and dedupes byte-identically through whichever store backs
+// the runner).
+func ExecuteUnit(r *experiments.Runner, spec UnitSpec) (any, error) {
+	w, ok := workload.ByName(spec.Workload)
 	if !ok {
-		return nil, fmt.Errorf("unknown workload %q", u.spec.Workload)
+		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
 	}
-	switch u.spec.Kind {
+	switch spec.Kind {
 	case KindSimulate:
-		return r.SimulateConfig(w, *u.spec.Config)
+		return r.SimulateConfig(w, *spec.Config)
 	case KindFaultCampaign:
-		return r.FaultCampaign(w, u.spec.Seed, u.spec.Runs, u.spec.Faults, *u.spec.Config)
+		return r.FaultCampaign(w, spec.Seed, spec.Runs, spec.Faults, *spec.Config)
 	case KindExplore:
-		return r.SimulateConfigARPT(w, u.spec.ARPT, *u.spec.Config)
+		return r.SimulateConfigARPT(w, spec.ARPT, *spec.Config)
 	default:
-		return nil, fmt.Errorf("unknown unit kind %q", u.spec.Kind)
+		return nil, fmt.Errorf("unknown unit kind %q", spec.Kind)
 	}
 }
 
@@ -795,6 +820,7 @@ func (s *Service) Recover() (RecoverStats, error) {
 		end    *journal.Record
 	}
 	byJob := make(map[string]*replayJob)
+	var maxToken uint64
 	stats, err := s.jrn.Replay(func(r journal.Record) {
 		switch r.T {
 		case journal.TypeJob:
@@ -808,11 +834,20 @@ func (s *Service) Recover() (RecoverStats, error) {
 				end := r
 				rj.end = &end
 			}
+		case journal.TypeLease:
+			// Leases die with the coordinator (their units replay as
+			// Running and requeue below), but the fencing high-water
+			// mark must not: a pre-crash zombie's token has to stay
+			// stale against every post-restart grant.
+			if r.Token > maxToken {
+				maxToken = r.Token
+			}
 		}
 	})
 	if err != nil {
 		return rs, err
 	}
+	s.leases.SetFence(maxToken)
 	rs.Replayed, rs.Corrupt, rs.Torn = stats.Records, stats.Corrupt, stats.Torn
 	s.counter("service_journal_replayed_records_total", "journal records replayed intact at startup", nil).Add(uint64(stats.Records))
 	s.counter("service_journal_corrupt_records_total", "journal lines dropped as corrupt at startup", nil).Add(uint64(stats.Corrupt))
@@ -991,6 +1026,21 @@ func (s *Service) Drain() {
 			s.finish(u, StateCanceled, "server draining", nil)
 		default:
 			s.gauge("service_queue_depth", "units waiting for a worker").Set(0)
+			// Outstanding remote leases are canceled too: their workers'
+			// completions will find no lease (404) and move on, and the
+			// units end interrupted like drained queued ones. Finished
+			// remote work already flushed through the workers' stores.
+			for _, l := range s.leases.DrainAll() {
+				u := l.Unit.(*unit)
+				s.mu.Lock()
+				s.leased--
+				s.mu.Unlock()
+				u.job.mu.Lock()
+				u.job.drained = true
+				u.job.mu.Unlock()
+				s.finish(u, StateCanceled, "server draining", nil)
+			}
+			s.workersGauge()
 			return
 		}
 	}

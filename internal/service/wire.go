@@ -21,6 +21,13 @@
 //	                                  reaches a terminal state
 //	GET  /api/v1/campaigns/{id}/results full per-unit results
 //	POST /api/v1/campaigns/{id}/cancel  cancel the job's pending units
+//	POST /api/v1/lease                pull one unit under a fenced
+//	                                  lease (arlworker); 204 when the
+//	                                  queue is empty
+//	POST /api/v1/lease/{id}/renew     heartbeat a lease; 404/409 when
+//	                                  it expired or was fenced
+//	POST /api/v1/lease/{id}/complete  publish a leased unit's result;
+//	                                  409 rejects zombie writers
 //	GET  /metrics                     queue depth, in-flight units,
 //	                                  dedupe hits, per-tenant counters,
 //	                                  store counters (obs text form)
